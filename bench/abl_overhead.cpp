@@ -1,0 +1,126 @@
+//===- bench/abl_overhead.cpp - Ablation C: overhead anatomy ---*- C++ -*-===//
+//
+// Decomposes the per-element overheads the paper's introduction names:
+//   1. two virtual calls per element per operator (iterator chains of
+//      increasing depth vs the fused equivalents),
+//   2. the indirect call into the user function (std::function vs an
+//      inlined lambda),
+//   3. the state-machine logic of stateful operators.
+//
+// Built on google-benchmark so per-element nanosecond costs come out of
+// its calibrated timing loop.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "fused/Fused.h"
+#include "linq/Linq.h"
+
+#include "benchmark/benchmark.h"
+
+#include <functional>
+#include <vector>
+
+using namespace steno;
+
+namespace {
+
+const std::int64_t N = 1 << 16; // items per iteration
+
+const std::vector<double> &data() {
+  static const std::vector<double> Xs = bench::uniformDoubles(N, 41, 0, 1);
+  return Xs;
+}
+
+/// Iterator chain of the requested depth: Depth stacked Selects, then Sum.
+void linqChain(benchmark::State &State) {
+  const std::vector<double> &Xs = data();
+  int Depth = static_cast<int>(State.range(0));
+  linq::Seq<double> S = linq::fromSpan(Xs.data(), Xs.size());
+  for (int I = 0; I < Depth; ++I)
+    S = S.select([](double X) { return X + 1.0; });
+  for (auto _ : State) {
+    benchmark::DoNotOptimize(S.sum());
+  }
+  State.SetItemsProcessed(State.iterations() * N);
+}
+
+/// The fused equivalent: the compiler collapses the whole chain.
+template <int Depth> double fusedChainOnce(const std::vector<double> &Xs) {
+  double Acc = 0;
+  for (double X : Xs) {
+    double V = X;
+    for (int I = 0; I < Depth; ++I)
+      V += 1.0;
+    Acc += V;
+  }
+  return Acc;
+}
+
+template <int Depth> void fusedChain(benchmark::State &State) {
+  const std::vector<double> &Xs = data();
+  for (auto _ : State)
+    benchmark::DoNotOptimize(fusedChainOnce<Depth>(Xs));
+  State.SetItemsProcessed(State.iterations() * N);
+}
+
+/// Indirect user-function call per element (the delegate cost).
+void stdFunctionCall(benchmark::State &State) {
+  const std::vector<double> &Xs = data();
+  std::function<double(double)> Fn = [](double X) { return X * X; };
+  benchmark::DoNotOptimize(Fn);
+  for (auto _ : State) {
+    double Acc = 0;
+    for (double X : Xs)
+      Acc += Fn(X);
+    benchmark::DoNotOptimize(Acc);
+  }
+  State.SetItemsProcessed(State.iterations() * N);
+}
+
+/// The same body inlined.
+void inlinedCall(benchmark::State &State) {
+  const std::vector<double> &Xs = data();
+  for (auto _ : State) {
+    double Acc = 0;
+    for (double X : Xs)
+      Acc += X * X;
+    benchmark::DoNotOptimize(Acc);
+  }
+  State.SetItemsProcessed(State.iterations() * N);
+}
+
+/// State-machine cost: a Where that passes everything, LINQ vs fused.
+void linqWherePassAll(benchmark::State &State) {
+  const std::vector<double> &Xs = data();
+  auto S = linq::fromSpan(Xs.data(), Xs.size())
+               .where([](double X) { return X >= 0.0; });
+  for (auto _ : State)
+    benchmark::DoNotOptimize(S.sum());
+  State.SetItemsProcessed(State.iterations() * N);
+}
+
+void fusedWherePassAll(benchmark::State &State) {
+  const std::vector<double> &Xs = data();
+  for (auto _ : State) {
+    double V = fused::from(Xs) |
+               fused::where([](double X) { return X >= 0.0; }) |
+               fused::sum();
+    benchmark::DoNotOptimize(V);
+  }
+  State.SetItemsProcessed(State.iterations() * N);
+}
+
+} // namespace
+
+BENCHMARK(linqChain)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+BENCHMARK(fusedChain<1>);
+BENCHMARK(fusedChain<2>);
+BENCHMARK(fusedChain<4>);
+BENCHMARK(fusedChain<8>);
+BENCHMARK(stdFunctionCall);
+BENCHMARK(inlinedCall);
+BENCHMARK(linqWherePassAll);
+BENCHMARK(fusedWherePassAll);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,116 @@
+//===- bench/abl_plinq.cpp - Ablation F: PLINQ vs HomomorphicApply -*-C++-*-===//
+//
+// §6's intra-machine story: DryadLINQ used to run homomorphic subqueries
+// with PLINQ, whose per-element iterator composition "suffers from
+// similar virtual call overheads to sequential LINQ"; the paper replaces
+// it with HomomorphicApply, which maps the Steno-compiled query body
+// across partitions with one indirect call per *partition*. This
+// ablation measures that replacement on the SumSq workload:
+//
+//   linq (sequential)        one iterator chain, one thread
+//   plinq                    iterator chains, one per partition
+//   HomomorphicApply(fused)  fused loop body per partition
+//   steno runParallel        the compiled dynamic query, view-partitioned
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "dryad/Dist.h"
+#include "dryad/HomomorphicApply.h"
+#include "expr/Dsl.h"
+#include "fused/Fused.h"
+#include "linq/Linq.h"
+#include "plinq/Plinq.h"
+
+#include <cstdio>
+
+using namespace steno;
+using namespace steno::bench;
+
+int main() {
+  const std::int64_t N = scaled(10000000);
+  const unsigned Parts = 8;
+  std::vector<double> Xs = uniformDoubles(N, 71);
+  dryad::ThreadPool Pool(Parts);
+
+  header("Ablation F: PLINQ vs HomomorphicApply (§6), sum of squares of " +
+         std::to_string(N) + " doubles, " + std::to_string(Parts) +
+         " partitions");
+
+  double LinqS = bestSeconds([&] {
+    doNotOptimize(linq::fromSpan(Xs.data(), Xs.size())
+                      .select([](double X) { return X * X; })
+                      .sum());
+  });
+
+  double PlinqS = bestSeconds([&] {
+    doNotOptimize(plinq::asParallel(Pool, Xs)
+                      .select([](double X) { return X * X; })
+                      .sum());
+  });
+
+  // HomomorphicApply over a statically fused body.
+  std::vector<plinq::ParSeq<double>> Dummy; // (just for symmetry docs)
+  std::vector<linq::Seq<double>> Chunks =
+      plinq::partitionSpan(Xs.data(), Xs.size(), Parts);
+  // Raw spans for the fused body (no iterator interface).
+  struct Span {
+    const double *Data;
+    std::size_t N;
+  };
+  std::vector<Span> Spans;
+  {
+    std::size_t Base = Xs.size() / Parts;
+    std::size_t Extra = Xs.size() % Parts;
+    std::size_t Pos = 0;
+    for (unsigned P = 0; P != Parts; ++P) {
+      std::size_t Len = Base + (P < Extra ? 1 : 0);
+      Spans.push_back(Span{Xs.data() + Pos, Len});
+      Pos += Len;
+    }
+  }
+  double HomS = bestSeconds([&] {
+    std::vector<double> Partials = dryad::homomorphicApply(
+        Pool, Spans, [](const Span &S) {
+          return fused::from(S.Data, S.N) |
+                 fused::select([](double X) { return X * X; }) |
+                 fused::sum();
+        });
+    double Total = 0;
+    for (double V : Partials)
+      Total += V;
+    doNotOptimize(Total);
+  });
+
+  // The dynamic pipeline end-to-end: compiled once, view-partitioned.
+  using namespace steno::expr;
+  using namespace steno::expr::dsl;
+  auto X = param("x", Type::doubleTy());
+  query::Query Q = query::Query::doubleArray(0)
+                       .select(lambda({X}, X * X))
+                       .sum();
+  dryad::DistributedQuery DQ = dryad::DistributedQuery::compile(Q);
+  Bindings B;
+  B.bindDoubleArray(0, Xs.data(), N);
+  double StenoS = bestSeconds([&] {
+    doNotOptimize(
+        DQ.runParallel(Pool, B).scalarValue().asDouble());
+  });
+
+  std::printf("\n%-26s %12s %14s %9s\n", "variant", "time (ms)",
+              "rel. to LINQ", "speedup");
+  auto Row = [&](const char *Name, double S) {
+    std::printf("%-26s %12.1f %13.1f%% %8.2fx\n", Name, S * 1e3,
+                100.0 * S / LinqS, LinqS / S);
+  };
+  Row("linq (sequential)", LinqS);
+  Row("plinq (iterators)", PlinqS);
+  Row("HomomorphicApply(fused)", HomS);
+  Row("steno runParallel", StenoS);
+  std::printf("\n(on a single hardware thread the parallel variants gain "
+              "nothing from concurrency, isolating the per-element cost "
+              "difference §6 describes)\n");
+  (void)Chunks;
+  (void)Dummy;
+  return 0;
+}

@@ -1,0 +1,42 @@
+//===- cpptree/Printer.h - Render generated AST to C++ source --*- C++ -*-===//
+///
+/// \file
+/// Renders a cpptree::Program into a self-contained C++ translation unit
+/// exposing one extern "C" entry point
+///
+///   extern "C" void <name>(const steno::rt::Captures *Caps_,
+///                          steno::rt::Emitter *Out_);
+///
+/// which the JIT backend compiles into a shared object (paper §3.3). All
+/// runtime support (VecView, Pair, the sink classes, emitRow) lives in
+/// steno/Rt.h, which the generated source includes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STENO_CPPTREE_PRINTER_H
+#define STENO_CPPTREE_PRINTER_H
+
+#include "cpptree/Tree.h"
+
+#include <set>
+#include <string>
+
+namespace steno {
+namespace cpptree {
+
+/// Slots a program touches; used to validate bindings before running.
+struct SlotUsage {
+  std::set<unsigned> SourceSlots;
+  std::set<unsigned> ValueSlots;
+};
+
+/// Computes the source/capture slots referenced anywhere in \p P.
+SlotUsage scanSlots(const Program &P);
+
+/// Renders \p P as a complete C++ source file.
+std::string printProgram(const Program &P);
+
+} // namespace cpptree
+} // namespace steno
+
+#endif // STENO_CPPTREE_PRINTER_H

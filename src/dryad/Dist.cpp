@@ -1,0 +1,312 @@
+//===- dryad/Dist.cpp -----------------------------------------*- C++ -*-===//
+
+#include "dryad/Dist.h"
+#include "dryad/JobGraph.h"
+#include "expr/Eval.h"
+#include "support/Error.h"
+
+#include <cassert>
+#include <deque>
+#include <unordered_map>
+
+using namespace steno;
+using namespace steno::dryad;
+using expr::Value;
+
+std::vector<Bindings> dryad::partitionBindings(const Bindings &B,
+                                               unsigned Parts,
+                                               unsigned PartitionSlot) {
+  assert(Parts > 0 && "need at least one partition");
+  assert(PartitionSlot < B.sources().size() &&
+         "partition slot is not bound");
+  const expr::SourceBuffer &Src = B.sources()[PartitionSlot];
+  std::int64_t Count = Src.Count;
+  std::int64_t Base = Count / Parts;
+  std::int64_t Extra = Count % Parts;
+  std::int64_t Pos = 0;
+  std::vector<Bindings> Out;
+  Out.reserve(Parts);
+  for (unsigned P = 0; P != Parts; ++P) {
+    std::int64_t Len = Base + (static_cast<std::int64_t>(P) < Extra);
+    Bindings Part = B; // shares every other slot
+    if (Src.DoubleData)
+      Part.bindPointArray(PartitionSlot, Src.DoubleData + Pos * Src.Dim,
+                          Len, Src.Dim);
+    else
+      Part.bindInt64Array(PartitionSlot, Src.Int64Data + Pos, Len);
+    Out.push_back(std::move(Part));
+    Pos += Len;
+  }
+  return Out;
+}
+
+DistributedQuery DistributedQuery::compile(const query::Query &Q,
+                                           const DistOptions &Options) {
+  quil::Chain Chain = quil::lower(Q);
+  if (auto Err = quil::validate(Chain))
+    support::fatalError("invalid distributed query '" + Options.Name +
+                        "': " + *Err);
+  if (Options.Specialize)
+    Chain = quil::specializeGroupByAggregate(Chain);
+
+  std::string WhyNot;
+  std::optional<ParallelPlan> Plan = planParallel(Chain, &WhyNot);
+  if (!Plan)
+    support::fatalError("query '" + Options.Name +
+                        "' cannot be parallelized: " + WhyNot);
+
+  CompileOptions VertexOptions;
+  VertexOptions.Exec = Options.Exec;
+  VertexOptions.Name = Options.Name + "_vertex";
+  VertexOptions.SpecializeGroupByAggregate = false; // already applied
+
+  DistributedQuery DQ;
+  DQ.Vertex = compileChain(Plan->VertexChain, VertexOptions);
+  DQ.Plan = std::move(*Plan);
+  return DQ;
+}
+
+namespace {
+
+/// Applies a 1- or 2-ary lambda to values (top-level combine stage).
+Value apply(const expr::Lambda &L, std::vector<Value> Args) {
+  expr::Env Env;
+  return expr::applyLambda(L, Args, Env);
+}
+
+/// The Agg* stage runs once per key per partition, which for dense
+/// GroupByAggregate sinks is O(P x keys) — interpreting the combiner
+/// lambda there would dominate high-key-count jobs. DryadLINQ generates
+/// the combine vertex like any other; we approximate that by compiling
+/// the common associative shapes to native closures and falling back to
+/// the interpreter otherwise.
+using Combiner2 = std::function<Value(const Value &, const Value &)>;
+
+Combiner2 compileCombiner(const expr::Lambda &L) {
+  using expr::BinaryOp;
+  using expr::ExprKind;
+  const std::string &A = L.param(0).Name;
+  const std::string &B = L.param(1).Name;
+  const expr::Expr &Body = *L.body();
+
+  auto isParam = [](const expr::ExprRef &E, const std::string &Name) {
+    return E->kind() == ExprKind::Param && E->paramName() == Name;
+  };
+
+  if (Body.kind() == ExprKind::Binary &&
+      Body.binaryOp() == BinaryOp::Add &&
+      isParam(Body.operand(0), A) && isParam(Body.operand(1), B)) {
+    if (Body.type()->isDouble())
+      return [](const Value &X, const Value &Y) {
+        return Value(X.asDouble() + Y.asDouble());
+      };
+    if (Body.type()->isInt64())
+      return [](const Value &X, const Value &Y) {
+        return Value(X.asInt64() + Y.asInt64());
+      };
+  }
+
+  // Generic fallback: interpret, but reuse one environment.
+  auto Env = std::make_shared<expr::Env>();
+  return [L, Env](const Value &X, const Value &Y) {
+    Env->bind(L.param(0).Name, X);
+    Env->bind(L.param(1).Name, Y);
+    Value Out = expr::evalExpr(*L.body(), *Env);
+    Env->pop();
+    Env->pop();
+    return Out;
+  };
+}
+
+/// Re-homes every Vec payload (including inside pairs) into \p Arena so
+/// combined rows outlive the per-partition results.
+Value rehome(const Value &V, std::deque<std::vector<double>> &Arena) {
+  switch (V.kind()) {
+  case expr::TypeKind::Vec: {
+    expr::VecView View = V.asVec();
+    Arena.emplace_back(View.Data, View.Data + View.Len);
+    return Value(expr::VecView{
+        Arena.back().data(),
+        static_cast<std::int64_t>(Arena.back().size())});
+  }
+  case expr::TypeKind::Pair:
+    return Value::makePair(rehome(V.first(), Arena),
+                           rehome(V.second(), Arena));
+  default:
+    return V;
+  }
+}
+
+} // namespace
+
+QueryResult
+DistributedQuery::run(ThreadPool &Pool,
+                      const std::vector<Bindings> &PartitionBindings) const {
+  assert(!PartitionBindings.empty() && "no partitions to run on");
+
+  // Stage 1: one vertex per partition (Src_i ... Agg_i of Figure 12),
+  // scheduled as a Dryad job graph.
+  std::vector<QueryResult> Partials(PartitionBindings.size());
+  JobGraph Graph;
+  std::vector<JobGraph::VertexId> Stage1;
+  Stage1.reserve(PartitionBindings.size());
+  for (std::size_t P = 0; P != PartitionBindings.size(); ++P) {
+    Stage1.push_back(Graph.addVertex(
+        "part" + std::to_string(P),
+        [this, &Partials, &PartitionBindings, P] {
+          Partials[P] = Vertex.run(PartitionBindings[P]);
+        }));
+  }
+  // Stage 2 placeholder: the combine below runs after graph completion;
+  // register it as a vertex so the graph shape matches Figure 12.
+  bool CombineRan = false;
+  Graph.addVertex(
+      "combine", [&CombineRan] { CombineRan = true; }, Stage1);
+  Graph.run(Pool);
+  assert(CombineRan && "combine vertex did not run");
+
+  // Stage 2: Agg* — merge the partial results.
+  switch (Plan.Kind) {
+  case CombineKind::Concat: {
+    // Rows may reference the per-partition arenas; re-home them into the
+    // combined result's arena.
+    std::vector<Value> Rows;
+    auto Arena = std::make_shared<std::deque<std::vector<double>>>();
+    for (QueryResult &Part : Partials)
+      for (const Value &V : Part.rows())
+        Rows.push_back(rehome(V, *Arena));
+    return QueryResult(false, std::move(Rows), std::move(Arena));
+  }
+
+  case CombineKind::Fold: {
+    // acc = combine(acc, partial_i); then the final result selector.
+    assert(!Partials.empty());
+    Value Acc = Partials.front().scalarValue();
+    for (std::size_t P = 1; P != Partials.size(); ++P)
+      Acc = apply(Plan.Combiner, {Acc, Partials[P].scalarValue()});
+    if (Plan.FinalResult.valid())
+      Acc = apply(Plan.FinalResult, {Acc});
+    auto Arena = std::make_shared<std::deque<std::vector<double>>>();
+    std::vector<Value> Rows = {rehome(Acc, *Arena)};
+    return QueryResult(true, std::move(Rows), std::move(Arena));
+  }
+
+  case CombineKind::MergeSorted: {
+    // K-way merge of per-partition sorted runs by the OrderBy key.
+    // Stable across partitions: ties resolve to the earlier partition,
+    // matching the sequential stable sort over concatenated input.
+    struct Run {
+      const std::vector<Value> *Rows;
+      std::size_t Pos;
+      std::size_t PartIdx;
+    };
+    std::vector<Run> Runs;
+    std::size_t Total = 0;
+    for (std::size_t P = 0; P != Partials.size(); ++P) {
+      Runs.push_back(Run{&Partials[P].rows(), 0, P});
+      Total += Partials[P].rows().size();
+    }
+    expr::Env KeyEnv;
+    const std::string &KeyParam = Plan.SortKey.param(0).Name;
+    auto keyOf = [&](const Value &V) {
+      KeyEnv.bind(KeyParam, V);
+      double Key =
+          expr::evalExpr(*Plan.SortKey.body(), KeyEnv).asNumericDouble();
+      KeyEnv.pop();
+      return Key;
+    };
+    std::vector<Value> Rows;
+    Rows.reserve(Total);
+    while (Rows.size() != Total) {
+      Run *Best = nullptr;
+      double BestKey = 0;
+      for (Run &R : Runs) {
+        if (R.Pos >= R.Rows->size())
+          continue;
+        double Key = keyOf((*R.Rows)[R.Pos]);
+        if (!Best || Key < BestKey) {
+          Best = &R;
+          BestKey = Key;
+        }
+      }
+      assert(Best && "merge ran dry early");
+      Rows.push_back((*Best->Rows)[Best->Pos++]);
+    }
+    auto Arena = std::make_shared<std::deque<std::vector<double>>>();
+    for (Value &V : Rows)
+      V = rehome(V, *Arena);
+    return QueryResult(false, std::move(Rows), std::move(Arena));
+  }
+
+  case CombineKind::MergeByKey: {
+    // Merge per-key partials in first-appearance order, then apply the
+    // result selector — the distributed GroupBy-Aggregate of §4.3/§6.
+    Combiner2 Combine = compileCombiner(Plan.Combiner);
+    std::vector<std::pair<std::int64_t, Value>> Entries;
+    std::unordered_map<std::int64_t, std::size_t> Index;
+    bool UseIndex = false; // built lazily, only if key orders diverge
+    for (const QueryResult &Part : Partials) {
+      const std::vector<Value> &Rows = Part.rows();
+      if (Entries.empty() && !UseIndex) {
+        Entries.reserve(Rows.size());
+        for (const Value &Row : Rows)
+          Entries.emplace_back(Row.first().asInt64(), Row.second());
+        continue;
+      }
+      // Fast path: dense sinks give every partition the same ordered key
+      // sequence, so partials combine positionally.
+      if (!UseIndex && Rows.size() == Entries.size()) {
+        bool Aligned = true;
+        for (std::size_t I = 0; I != Rows.size(); ++I) {
+          if (Rows[I].first().asInt64() != Entries[I].first) {
+            Aligned = false;
+            break;
+          }
+        }
+        if (Aligned) {
+          for (std::size_t I = 0; I != Rows.size(); ++I)
+            Entries[I].second =
+                Combine(Entries[I].second, Rows[I].second());
+          continue;
+        }
+      }
+      if (!UseIndex) {
+        for (std::size_t I = 0; I != Entries.size(); ++I)
+          Index.emplace(Entries[I].first, I);
+        UseIndex = true;
+      }
+      for (const Value &Row : Rows) {
+        std::int64_t Key = Row.first().asInt64();
+        auto It = Index.find(Key);
+        if (It == Index.end()) {
+          Index.emplace(Key, Entries.size());
+          Entries.emplace_back(Key, Row.second());
+          continue;
+        }
+        Entries[It->second].second =
+            Combine(Entries[It->second].second, Row.second());
+      }
+    }
+    std::vector<Value> Rows;
+    Rows.reserve(Entries.size());
+    for (const auto &[Key, Acc] : Entries) {
+      if (Plan.FinalResult.valid())
+        Rows.push_back(apply(Plan.FinalResult, {Value(Key), Acc}));
+      else
+        Rows.push_back(Value::makePair(Value(Key), Acc));
+    }
+    auto Arena = std::make_shared<std::deque<std::vector<double>>>();
+    for (Value &V : Rows)
+      V = rehome(V, *Arena);
+    return QueryResult(false, std::move(Rows), std::move(Arena));
+  }
+  }
+  stenoUnreachable("bad CombineKind");
+}
+
+QueryResult DistributedQuery::runParallel(ThreadPool &Pool,
+                                          const Bindings &B,
+                                          unsigned PartitionSlot) const {
+  return run(Pool,
+             partitionBindings(B, Pool.workerCount(), PartitionSlot));
+}

@@ -1,0 +1,87 @@
+//===- dryad/Dist.h - Distributed query execution (§6) ---------*- C++ -*-===//
+///
+/// \file
+/// The DryadLINQ-analogue engine: takes a declarative query and a set of
+/// per-partition bindings, plans the homomorphic split (Plan.h), compiles
+/// ONE Steno-optimized vertex program shared by all partitions, executes
+/// the partition vertices on a Dryad-style job graph, and merges partials
+/// in the Agg* stage. The engine measures phase timings so the Figure 14
+/// benchmark can report per-iteration costs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STENO_DRYAD_DIST_H
+#define STENO_DRYAD_DIST_H
+
+#include "dryad/Plan.h"
+#include "dryad/ThreadPool.h"
+#include "query/Query.h"
+#include "steno/Bindings.h"
+#include "steno/Result.h"
+#include "steno/Steno.h"
+
+#include <string>
+#include <vector>
+
+namespace steno {
+namespace dryad {
+
+/// Options for distributed execution.
+struct DistOptions {
+  /// Vertex backend: Native is Steno-optimized vertices; Interp walks the
+  /// generated AST (slow; for testing without a compiler).
+  steno::Backend Exec = steno::Backend::Native;
+  /// Apply the §4.3 specialization before planning.
+  bool Specialize = true;
+  std::string Name = "dist_query";
+};
+
+/// PLINQ-style partitioner (paper §6): splits one set of bindings into
+/// \p Parts per-partition bindings by VIEW-partitioning the source buffer
+/// at \p PartitionSlot — no data is copied; each partition's binding
+/// points into a contiguous range of the original buffer (whole points
+/// for strided sources). Every other slot is shared as-is.
+std::vector<Bindings> partitionBindings(const Bindings &B, unsigned Parts,
+                                        unsigned PartitionSlot = 0);
+
+/// A query compiled for partition-parallel execution. Reusable across
+/// invocations with different partition bindings (so the one-off JIT cost
+/// amortizes across iterations, as in the paper's k-means job).
+class DistributedQuery {
+public:
+  /// Plans and compiles \p Q. Aborts if the query cannot be parallelized
+  /// by the §6 planner (the reason is included in the diagnostic).
+  static DistributedQuery compile(const query::Query &Q,
+                                  const DistOptions &Options = DistOptions());
+
+  /// Executes one vertex per element of \p PartitionBindings on \p Pool,
+  /// then runs the combining stage.
+  QueryResult run(ThreadPool &Pool,
+                  const std::vector<Bindings> &PartitionBindings) const;
+
+  /// The multi-core PLINQ path of §6: view-partitions \p B's source slot
+  /// \p PartitionSlot across the pool's workers and runs the plan — one
+  /// indirect call per *partition*, like the HomomorphicApply operator,
+  /// instead of PLINQ's per-element iterator composition.
+  QueryResult runParallel(ThreadPool &Pool, const Bindings &B,
+                          unsigned PartitionSlot = 0) const;
+
+  /// One-off compile cost of the vertex program (ms).
+  double compileMillis() const { return Vertex.compileMillis(); }
+  /// The generated vertex source.
+  const std::string &vertexSource() const {
+    return Vertex.generatedSource();
+  }
+  const ParallelPlan &plan() const { return Plan; }
+
+private:
+  DistributedQuery() = default;
+
+  ParallelPlan Plan;
+  CompiledQuery Vertex;
+};
+
+} // namespace dryad
+} // namespace steno
+
+#endif // STENO_DRYAD_DIST_H

@@ -1,0 +1,39 @@
+//===- dryad/HomomorphicApply.h - Partition-parallel map -------*- C++ -*-===//
+///
+/// \file
+/// The HomomorphicApply operator of paper §6: "maps a function across
+/// partitions in parallel (as opposed to each element), and returns a new
+/// set of partitions". This is how a compiled (fused) query body is run
+/// over every partition with one indirect call per *partition* instead of
+/// PLINQ's iterator-based per-element composition.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STENO_DRYAD_HOMOMORPHICAPPLY_H
+#define STENO_DRYAD_HOMOMORPHICAPPLY_H
+
+#include "dryad/ThreadPool.h"
+
+#include <type_traits>
+#include <vector>
+
+namespace steno {
+namespace dryad {
+
+/// Applies \p Fn to every partition in parallel on \p Pool; result i is
+/// Fn(Parts[i]). \p Fn must be safe to call concurrently.
+template <typename In, typename F>
+auto homomorphicApply(ThreadPool &Pool, const std::vector<In> &Parts,
+                      F Fn) {
+  using Out = std::invoke_result_t<F, const In &>;
+  std::vector<Out> Results(Parts.size());
+  for (std::size_t I = 0; I != Parts.size(); ++I)
+    Pool.submit([&Results, &Parts, &Fn, I] { Results[I] = Fn(Parts[I]); });
+  Pool.wait();
+  return Results;
+}
+
+} // namespace dryad
+} // namespace steno
+
+#endif // STENO_DRYAD_HOMOMORPHICAPPLY_H

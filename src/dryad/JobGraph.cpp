@@ -1,0 +1,67 @@
+//===- dryad/JobGraph.cpp -------------------------------------*- C++ -*-===//
+
+#include "dryad/JobGraph.h"
+
+#include <atomic>
+#include <cassert>
+#include <condition_variable>
+#include <mutex>
+
+using namespace steno;
+using namespace steno::dryad;
+
+JobGraph::VertexId JobGraph::addVertex(std::string Name,
+                                       std::function<void()> Work,
+                                       std::vector<VertexId> Deps) {
+  VertexId Id = Vertices.size();
+  Vertex V;
+  V.Name = std::move(Name);
+  V.Work = std::move(Work);
+  V.UnmetDeps = static_cast<unsigned>(Deps.size());
+  Vertices.push_back(std::move(V));
+  for (VertexId Dep : Deps) {
+    assert(Dep < Id && "dependency on a not-yet-added vertex");
+    Vertices[Dep].Dependents.push_back(Id);
+  }
+  return Id;
+}
+
+void JobGraph::run(ThreadPool &Pool) {
+  if (Vertices.empty())
+    return;
+
+  std::mutex Mutex;
+  std::condition_variable Done;
+  std::size_t Remaining = Vertices.size();
+
+  // The scheduler: when a vertex completes, decrement its dependents'
+  // unmet-dependency counters and submit any that become ready.
+  std::function<void(VertexId)> Schedule = [&](VertexId Id) {
+    Pool.submit([&, Id] {
+      Vertices[Id].Work();
+      std::vector<VertexId> NowReady;
+      {
+        std::unique_lock<std::mutex> Lock(Mutex);
+        for (VertexId Dep : Vertices[Id].Dependents)
+          if (--Vertices[Dep].UnmetDeps == 0)
+            NowReady.push_back(Dep);
+        if (--Remaining == 0)
+          Done.notify_all();
+      }
+      for (VertexId Ready : NowReady)
+        Schedule(Ready);
+    });
+  };
+
+  std::vector<VertexId> Roots;
+  for (VertexId Id = 0; Id != Vertices.size(); ++Id)
+    if (Vertices[Id].UnmetDeps == 0)
+      Roots.push_back(Id);
+  assert(!Roots.empty() && "job graph has no root vertices");
+
+  for (VertexId Id : Roots)
+    Schedule(Id);
+
+  std::unique_lock<std::mutex> Lock(Mutex);
+  Done.wait(Lock, [&] { return Remaining == 0; });
+}

@@ -1,0 +1,56 @@
+//===- dryad/JobGraph.h - Task dependency graph ----------------*- C++ -*-===//
+///
+/// \file
+/// The Dryad substrate (Isard et al., EuroSys 2007, as used by paper §1 and
+/// §6): a directed acyclic graph of vertices, each executing a unit of
+/// work on a partition of the data, scheduled onto a worker pool once all
+/// of its dependencies have completed. DryadLINQ compiles queries into
+/// such graphs; dryad::runDistributed in this repo does the same with
+/// Steno-optimized vertex programs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STENO_DRYAD_JOBGRAPH_H
+#define STENO_DRYAD_JOBGRAPH_H
+
+#include "dryad/ThreadPool.h"
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace steno {
+namespace dryad {
+
+/// A DAG of named work items. Build with addVertex, then run once.
+class JobGraph {
+public:
+  using VertexId = std::size_t;
+
+  /// Adds a vertex executing \p Work after every vertex in \p Deps has
+  /// finished. Returns its id for use in later Deps lists.
+  VertexId addVertex(std::string Name, std::function<void()> Work,
+                     std::vector<VertexId> Deps = {});
+
+  std::size_t vertexCount() const { return Vertices.size(); }
+
+  /// Executes the whole graph on \p Pool; returns when every vertex has
+  /// completed. The graph must be acyclic (guaranteed by construction:
+  /// Deps reference existing vertices only) and may be run only once.
+  void run(ThreadPool &Pool);
+
+private:
+  struct Vertex {
+    std::string Name;
+    std::function<void()> Work;
+    std::vector<VertexId> Dependents;
+    unsigned UnmetDeps = 0;
+  };
+
+  std::vector<Vertex> Vertices;
+};
+
+} // namespace dryad
+} // namespace steno
+
+#endif // STENO_DRYAD_JOBGRAPH_H

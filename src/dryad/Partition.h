@@ -1,0 +1,76 @@
+//===- dryad/Partition.h - Partitioned datasets ----------------*- C++ -*-===//
+///
+/// \file
+/// Partitioning of flat buffers across vertices ("divide the data set into
+/// partitions, and execute the query in parallel on each partition",
+/// paper §6). Partitions hold owned copies so vertices can run with no
+/// shared mutable state, mirroring a cluster where each machine holds its
+/// partition on local disk.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STENO_DRYAD_PARTITION_H
+#define STENO_DRYAD_PARTITION_H
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace steno {
+namespace dryad {
+
+/// One partition of a flat double dataset (optionally strided points).
+struct DoublePartition {
+  std::vector<double> Data;
+  std::int64_t Dim = 1;
+
+  std::int64_t count() const {
+    return static_cast<std::int64_t>(Data.size()) / Dim;
+  }
+};
+
+/// Splits \p Flat (Count doubles) into \p NumParts near-equal contiguous
+/// partitions.
+inline std::vector<DoublePartition>
+partitionDoubles(const std::vector<double> &Flat, unsigned NumParts) {
+  assert(NumParts > 0 && "need at least one partition");
+  std::vector<DoublePartition> Out(NumParts);
+  std::size_t N = Flat.size();
+  std::size_t Base = N / NumParts;
+  std::size_t Extra = N % NumParts;
+  std::size_t Pos = 0;
+  for (unsigned P = 0; P != NumParts; ++P) {
+    std::size_t Len = Base + (P < Extra ? 1 : 0);
+    Out[P].Data.assign(Flat.begin() + Pos, Flat.begin() + Pos + Len);
+    Pos += Len;
+  }
+  return Out;
+}
+
+/// Splits \p Flat (Count x Dim doubles) into \p NumParts partitions along
+/// the point axis (points are never split across partitions).
+inline std::vector<DoublePartition>
+partitionPoints(const std::vector<double> &Flat, std::int64_t Dim,
+                unsigned NumParts) {
+  assert(NumParts > 0 && "need at least one partition");
+  assert(Dim > 0 && Flat.size() % static_cast<std::size_t>(Dim) == 0 &&
+         "flat buffer is not a whole number of points");
+  std::int64_t Count = static_cast<std::int64_t>(Flat.size()) / Dim;
+  std::vector<DoublePartition> Out(NumParts);
+  std::int64_t Base = Count / NumParts;
+  std::int64_t Extra = Count % NumParts;
+  std::int64_t Pos = 0;
+  for (unsigned P = 0; P != NumParts; ++P) {
+    std::int64_t Len = Base + (static_cast<std::int64_t>(P) < Extra ? 1 : 0);
+    Out[P].Dim = Dim;
+    Out[P].Data.assign(Flat.begin() + Pos * Dim,
+                       Flat.begin() + (Pos + Len) * Dim);
+    Pos += Len;
+  }
+  return Out;
+}
+
+} // namespace dryad
+} // namespace steno
+
+#endif // STENO_DRYAD_PARTITION_H

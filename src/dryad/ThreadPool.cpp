@@ -1,0 +1,62 @@
+//===- dryad/ThreadPool.cpp -----------------------------------*- C++ -*-===//
+
+#include "dryad/ThreadPool.h"
+
+#include <cassert>
+
+using namespace steno;
+using namespace steno::dryad;
+
+ThreadPool::ThreadPool(unsigned Workers)
+    : Workers(Workers == 0 ? 1 : Workers) {
+  Threads.reserve(this->Workers);
+  for (unsigned I = 0; I != this->Workers; ++I)
+    Threads.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> Lock(Mutex);
+    ShuttingDown = true;
+  }
+  WorkReady.notify_all();
+  for (std::thread &T : Threads)
+    T.join();
+}
+
+void ThreadPool::submit(std::function<void()> Task) {
+  {
+    std::unique_lock<std::mutex> Lock(Mutex);
+    assert(!ShuttingDown && "submit after shutdown");
+    Queue.push_back(std::move(Task));
+    ++Pending;
+  }
+  WorkReady.notify_one();
+}
+
+void ThreadPool::wait() {
+  std::unique_lock<std::mutex> Lock(Mutex);
+  AllDone.wait(Lock, [this] { return Pending == 0; });
+}
+
+void ThreadPool::workerLoop() {
+  for (;;) {
+    std::function<void()> Task;
+    {
+      std::unique_lock<std::mutex> Lock(Mutex);
+      WorkReady.wait(Lock,
+                     [this] { return ShuttingDown || !Queue.empty(); });
+      if (Queue.empty())
+        return; // shutting down
+      Task = std::move(Queue.front());
+      Queue.pop_front();
+    }
+    Task();
+    {
+      std::unique_lock<std::mutex> Lock(Mutex);
+      --Pending;
+      if (Pending == 0)
+        AllDone.notify_all();
+    }
+  }
+}

@@ -1,0 +1,58 @@
+//===- dryad/ThreadPool.h - Worker pool for the job scheduler --*- C++ -*-===//
+///
+/// \file
+/// A fixed-size worker pool. Stands in for the machines of the paper's
+/// 100-node research cluster and for the PLINQ thread pool of §6; on this
+/// box it provides the execution substrate for dryad::JobGraph and
+/// dryad::homomorphicApply.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STENO_DRYAD_THREADPOOL_H
+#define STENO_DRYAD_THREADPOOL_H
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace steno {
+namespace dryad {
+
+/// Fixed pool of worker threads draining a FIFO task queue.
+class ThreadPool {
+public:
+  /// Spawns \p Workers threads (at least one).
+  explicit ThreadPool(unsigned Workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  unsigned workerCount() const { return Workers; }
+
+  /// Enqueues \p Task for execution. Tasks must not throw.
+  void submit(std::function<void()> Task);
+
+  /// Blocks until every submitted task has finished.
+  void wait();
+
+private:
+  void workerLoop();
+
+  unsigned Workers;
+  std::vector<std::thread> Threads;
+  std::deque<std::function<void()>> Queue;
+  std::mutex Mutex;
+  std::condition_variable WorkReady;
+  std::condition_variable AllDone;
+  unsigned Pending = 0;
+  bool ShuttingDown = false;
+};
+
+} // namespace dryad
+} // namespace steno
+
+#endif // STENO_DRYAD_THREADPOOL_H

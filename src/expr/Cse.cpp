@@ -1,0 +1,167 @@
+//===- expr/Cse.cpp -------------------------------------------*- C++ -*-===//
+
+#include "expr/Cse.h"
+#include "expr/Analysis.h"
+#include "support/Error.h"
+
+#include <cassert>
+#include <unordered_map>
+
+using namespace steno;
+using namespace steno::expr;
+
+namespace {
+
+/// Subtrees worth hoisting: anything that performs work. Leaves and bare
+/// conversions of leaves are cheaper than the local they'd become.
+bool isNonTrivial(const Expr &E) {
+  switch (E.kind()) {
+  case ExprKind::Const:
+  case ExprKind::Param:
+  case ExprKind::Capture:
+  case ExprKind::SourceLen:
+    return false;
+  case ExprKind::Convert:
+  case ExprKind::PairFirst:
+  case ExprKind::PairSecond:
+    return isNonTrivial(*E.operand(0));
+  default:
+    return true;
+  }
+}
+
+struct Occurrences {
+  /// Structural-equality buckets under a structural hash.
+  std::unordered_map<std::uint64_t,
+                     std::vector<std::pair<const Expr *, unsigned>>>
+      Buckets;
+
+  unsigned &countOf(const Expr &E) {
+    auto &Bucket = Buckets[hashExpr(E)];
+    for (auto &[Node, Count] : Bucket)
+      if (equalExprs(*Node, E))
+        return Count;
+    Bucket.emplace_back(&E, 0);
+    return Bucket.back().second;
+  }
+
+  unsigned lookup(const Expr &E) {
+    auto It = Buckets.find(hashExpr(E));
+    if (It == Buckets.end())
+      return 0;
+    for (auto &[Node, Count] : It->second)
+      if (equalExprs(*Node, E))
+        return Count;
+    return 0;
+  }
+};
+
+/// Counts strict-position occurrences. Lazy positions (Cond arms, the
+/// right operand of And/Or) are not counted and not descended into with
+/// strictness — their inner repetitions must not justify hoisting.
+void countStrict(const Expr &E, Occurrences &Occ) {
+  if (isNonTrivial(E))
+    ++Occ.countOf(E);
+  if (E.kind() == ExprKind::Cond) {
+    countStrict(*E.operand(0), Occ);
+    return; // arms are lazy
+  }
+  if (E.kind() == ExprKind::Binary &&
+      (E.binaryOp() == BinaryOp::And || E.binaryOp() == BinaryOp::Or)) {
+    countStrict(*E.operand(0), Occ);
+    return; // rhs is lazy
+  }
+  for (const ExprRef &Op : E.operands())
+    countStrict(*Op, Occ);
+}
+
+class Rewriter {
+public:
+  Rewriter(Occurrences &Occ, const std::function<std::string()> &FreshName)
+      : Occ(Occ), FreshName(FreshName) {}
+
+  ExprRef rewrite(const ExprRef &E) {
+    if (isNonTrivial(*E) && Occ.lookup(*E) >= 2) {
+      // Maximal repeated subtree: bind it once, reference it everywhere
+      // (including lazy positions — both strict occurrences force it).
+      std::uint64_t H = hashExpr(*E);
+      auto &Bucket = Named[H];
+      for (auto &[Node, Name] : Bucket)
+        if (equalExprs(*Node, *E))
+          return Expr::param(Name, E->type());
+      std::string Name = FreshName();
+      Bucket.emplace_back(E, Name);
+      Lets.emplace_back(Name, E);
+      return Expr::param(Name, E->type());
+    }
+    if (E->operands().empty())
+      return E;
+    std::vector<ExprRef> Ops;
+    Ops.reserve(E->operands().size());
+    bool Changed = false;
+    for (const ExprRef &Op : E->operands()) {
+      ExprRef NewOp = rewrite(Op);
+      Changed |= NewOp != Op;
+      Ops.push_back(std::move(NewOp));
+    }
+    if (!Changed)
+      return E;
+    return rebuildWith(E, std::move(Ops));
+  }
+
+  std::vector<std::pair<std::string, ExprRef>> takeLets() {
+    return std::move(Lets);
+  }
+
+private:
+  static ExprRef rebuildWith(const ExprRef &E, std::vector<ExprRef> Ops) {
+    switch (E->kind()) {
+    case ExprKind::Convert:
+      return Expr::convert(Ops[0], E->type());
+    case ExprKind::Unary:
+      return Expr::unary(E->unaryOp(), Ops[0]);
+    case ExprKind::Binary:
+      return Expr::binary(E->binaryOp(), Ops[0], Ops[1]);
+    case ExprKind::Call:
+      return Expr::call(E->builtin(), std::move(Ops));
+    case ExprKind::Cond:
+      return Expr::cond(Ops[0], Ops[1], Ops[2]);
+    case ExprKind::PairNew:
+      return Expr::pairNew(Ops[0], Ops[1]);
+    case ExprKind::PairFirst:
+      return Expr::pairFirst(Ops[0]);
+    case ExprKind::PairSecond:
+      return Expr::pairSecond(Ops[0]);
+    case ExprKind::VecLen:
+      return Expr::vecLen(Ops[0]);
+    case ExprKind::VecIndex:
+      return Expr::vecIndex(Ops[0], Ops[1]);
+    case ExprKind::BufferSlice:
+      return Expr::bufferSlice(E->sourceSlot(), Ops[0], Ops[1]);
+    default:
+      stenoUnreachable("leaf with operands");
+    }
+  }
+
+  Occurrences &Occ;
+  const std::function<std::string()> &FreshName;
+  std::unordered_map<std::uint64_t,
+                     std::vector<std::pair<ExprRef, std::string>>>
+      Named;
+  std::vector<std::pair<std::string, ExprRef>> Lets;
+};
+
+} // namespace
+
+CseResult
+expr::eliminateCommonSubexprs(const ExprRef &E,
+                              const std::function<std::string()> &FreshName) {
+  assert(E && "CSE of a null expression");
+  Occurrences Occ;
+  countStrict(*E, Occ);
+  Rewriter R(Occ, FreshName);
+  CseResult Out;
+  Out.Rewritten = R.rewrite(E);
+  Out.Lets = R.takeLets();
+  return Out;
+}

@@ -1,0 +1,53 @@
+//===- expr/Cse.h - Common-subexpression elimination (§9) ------*- C++ -*-===//
+//
+// Part of the Steno/C++ reproduction of Murray, Isard & Yu,
+// "Steno: Automatic Optimization of Declarative Queries" (PLDI 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's §9: "we can apply such optimizations as common
+/// subexpression elimination only if it is possible to prove that the
+/// subexpression has no side effects". Expressions in this language are
+/// pure, so CSE is sound with one caveat: conditional contexts evaluate
+/// lazily (the arms of Cond, the right operands of And/Or), so a
+/// subexpression is hoisted only when it occurs at least twice in
+/// *strict* positions — guaranteeing the hoisted computation would have
+/// run anyway (division guards like `x != 0 && 10/x > 1` stay guarded).
+///
+/// The code generator applies this per emitted statement: repeated
+/// non-trivial subtrees become local declarations ahead of the statement.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STENO_EXPR_CSE_H
+#define STENO_EXPR_CSE_H
+
+#include "expr/Expr.h"
+
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace steno {
+namespace expr {
+
+/// Result of one CSE pass: the hoisted (name, subexpression) bindings in
+/// dependency order, plus the rewritten expression referencing them as
+/// parameters.
+struct CseResult {
+  std::vector<std::pair<std::string, ExprRef>> Lets;
+  ExprRef Rewritten;
+};
+
+/// Hoists maximal subtrees that occur at least twice in strict positions
+/// of \p E. \p FreshName supplies local variable names. Returns the
+/// original expression unchanged (no lets) when nothing qualifies.
+CseResult eliminateCommonSubexprs(const ExprRef &E,
+                                  const std::function<std::string()> &FreshName);
+
+} // namespace expr
+} // namespace steno
+
+#endif // STENO_EXPR_CSE_H

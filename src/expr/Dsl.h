@@ -1,0 +1,169 @@
+//===- expr/Dsl.h - Fluent builders for expression trees -------*- C++ -*-===//
+///
+/// \file
+/// Operator-overloading sugar for constructing Expr trees, standing in for
+/// C#'s query-comprehension/lambda syntax. Example (the paper's running
+/// even-squares query):
+/// \code
+///   using namespace steno::expr::dsl;
+///   auto X = param("x", Type::int64Ty());
+///   Lambda Pred = lambda({X}, X % 2 == 0);
+///   Lambda Square = lambda({X}, X * X);
+/// \endcode
+/// Note that `&&`/`||` here *build nodes*; short-circuiting happens when the
+/// tree is evaluated or in the generated C++, not while building.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STENO_EXPR_DSL_H
+#define STENO_EXPR_DSL_H
+
+#include "expr/Expr.h"
+#include "expr/Lambda.h"
+
+#include <cassert>
+#include <utility>
+#include <vector>
+
+namespace steno {
+namespace expr {
+namespace dsl {
+
+/// Value-semantics handle around an ExprRef with operator sugar.
+class E {
+public:
+  E(ExprRef Node) : Node(std::move(Node)) {
+    assert(this->Node && "null expression handle");
+  }
+  E(bool V) : Node(Expr::constBool(V)) {}
+  E(int V) : Node(Expr::constInt64(V)) {}
+  E(std::int64_t V) : Node(Expr::constInt64(V)) {}
+  E(double V) : Node(Expr::constDouble(V)) {}
+
+  const ExprRef &node() const { return Node; }
+  const TypeRef &type() const { return Node->type(); }
+
+  /// Vec indexing: V[I].
+  E operator[](const E &Index) const {
+    return E(Expr::vecIndex(Node, Index.node()));
+  }
+
+  /// Pair projections.
+  E first() const { return E(Expr::pairFirst(Node)); }
+  E second() const { return E(Expr::pairSecond(Node)); }
+
+private:
+  ExprRef Node;
+};
+
+inline E operator+(const E &L, const E &R) {
+  return E(Expr::binary(BinaryOp::Add, L.node(), R.node()));
+}
+inline E operator-(const E &L, const E &R) {
+  return E(Expr::binary(BinaryOp::Sub, L.node(), R.node()));
+}
+inline E operator*(const E &L, const E &R) {
+  return E(Expr::binary(BinaryOp::Mul, L.node(), R.node()));
+}
+inline E operator/(const E &L, const E &R) {
+  return E(Expr::binary(BinaryOp::Div, L.node(), R.node()));
+}
+inline E operator%(const E &L, const E &R) {
+  return E(Expr::binary(BinaryOp::Mod, L.node(), R.node()));
+}
+inline E operator==(const E &L, const E &R) {
+  return E(Expr::binary(BinaryOp::Eq, L.node(), R.node()));
+}
+inline E operator!=(const E &L, const E &R) {
+  return E(Expr::binary(BinaryOp::Ne, L.node(), R.node()));
+}
+inline E operator<(const E &L, const E &R) {
+  return E(Expr::binary(BinaryOp::Lt, L.node(), R.node()));
+}
+inline E operator<=(const E &L, const E &R) {
+  return E(Expr::binary(BinaryOp::Le, L.node(), R.node()));
+}
+inline E operator>(const E &L, const E &R) {
+  return E(Expr::binary(BinaryOp::Gt, L.node(), R.node()));
+}
+inline E operator>=(const E &L, const E &R) {
+  return E(Expr::binary(BinaryOp::Ge, L.node(), R.node()));
+}
+inline E operator&&(const E &L, const E &R) {
+  return E(Expr::binary(BinaryOp::And, L.node(), R.node()));
+}
+inline E operator||(const E &L, const E &R) {
+  return E(Expr::binary(BinaryOp::Or, L.node(), R.node()));
+}
+inline E operator-(const E &X) {
+  return E(Expr::unary(UnaryOp::Neg, X.node()));
+}
+inline E operator!(const E &X) {
+  return E(Expr::unary(UnaryOp::Not, X.node()));
+}
+
+/// Named, typed lambda parameter.
+inline E param(const std::string &Name, TypeRef Ty) {
+  return E(Expr::param(Name, std::move(Ty)));
+}
+
+/// Captured-variable slot reference (bound at invocation, paper §3.3).
+inline E capture(unsigned Slot, TypeRef Ty) {
+  return E(Expr::capture(Slot, std::move(Ty)));
+}
+
+inline E sqrt(const E &X) { return E(Expr::call(Builtin::Sqrt, {X.node()})); }
+inline E abs(const E &X) { return E(Expr::call(Builtin::Abs, {X.node()})); }
+inline E floor(const E &X) {
+  return E(Expr::call(Builtin::Floor, {X.node()}));
+}
+inline E ceil(const E &X) { return E(Expr::call(Builtin::Ceil, {X.node()})); }
+inline E exp(const E &X) { return E(Expr::call(Builtin::Exp, {X.node()})); }
+inline E log(const E &X) { return E(Expr::call(Builtin::Log, {X.node()})); }
+inline E min(const E &L, const E &R) {
+  return E(Expr::call(Builtin::Min, {L.node(), R.node()}));
+}
+inline E max(const E &L, const E &R) {
+  return E(Expr::call(Builtin::Max, {L.node(), R.node()}));
+}
+inline E pow(const E &L, const E &R) {
+  return E(Expr::call(Builtin::Pow, {L.node(), R.node()}));
+}
+inline E cond(const E &C, const E &T, const E &F) {
+  return E(Expr::cond(C.node(), T.node(), F.node()));
+}
+inline E pair(const E &A, const E &B) {
+  return E(Expr::pairNew(A.node(), B.node()));
+}
+inline E len(const E &V) { return E(Expr::vecLen(V.node())); }
+inline E slice(unsigned SourceSlot, const E &Start, const E &Len) {
+  return E(Expr::bufferSlice(SourceSlot, Start.node(), Len.node()));
+}
+inline E sourceLen(unsigned SourceSlot) {
+  return E(Expr::sourceLen(SourceSlot));
+}
+inline E toDouble(const E &X) {
+  return E(Expr::convert(X.node(), Type::doubleTy()));
+}
+inline E toInt64(const E &X) {
+  return E(Expr::convert(X.node(), Type::int64Ty()));
+}
+
+/// Builds a Lambda whose parameters are the Param nodes listed in
+/// \p Params (each must be an ExprKind::Param handle).
+inline Lambda lambda(std::vector<E> Params, const E &Body) {
+  std::vector<LambdaParam> Formals;
+  Formals.reserve(Params.size());
+  for (const E &P : Params) {
+    assert(P.node()->kind() == ExprKind::Param &&
+           "lambda formals must be param() handles");
+    Formals.push_back({P.node()->paramName(), P.node()->type()});
+  }
+  return Lambda(std::move(Formals), Body.node());
+}
+
+} // namespace dsl
+} // namespace expr
+} // namespace steno
+
+#endif // STENO_EXPR_DSL_H

@@ -1,0 +1,141 @@
+//===- expr/Fold.cpp ------------------------------------------*- C++ -*-===//
+
+#include "expr/Fold.h"
+#include "expr/Eval.h"
+#include "support/Error.h"
+
+#include <cassert>
+
+using namespace steno;
+using namespace steno::expr;
+
+namespace {
+
+bool isConst(const ExprRef &E) { return E->kind() == ExprKind::Const; }
+
+bool isZeroInt(const ExprRef &E) {
+  return isConst(E) &&
+         std::holds_alternative<std::int64_t>(E->constValue()) &&
+         std::get<std::int64_t>(E->constValue()) == 0;
+}
+
+bool boolConst(const ExprRef &E) {
+  return std::get<bool>(E->constValue());
+}
+
+/// Turns an evaluated Value back into a literal of the node's type.
+ExprRef literalize(const Value &V) {
+  switch (V.kind()) {
+  case TypeKind::Bool:
+    return Expr::constBool(V.asBool());
+  case TypeKind::Int64:
+    return Expr::constInt64(V.asInt64());
+  case TypeKind::Double:
+    return Expr::constDouble(V.asDouble());
+  default:
+    return nullptr; // pairs/vecs are not literal-izable
+  }
+}
+
+/// Evaluates a closed scalar expression (every operand already a Const).
+ExprRef evalToLiteral(const ExprRef &E) {
+  if (!E->type()->isScalar())
+    return nullptr;
+  Env Environment;
+  return literalize(evalExpr(*E, Environment));
+}
+
+ExprRef rebuildWith(const ExprRef &E, std::vector<ExprRef> Ops) {
+  switch (E->kind()) {
+  case ExprKind::Convert:
+    return Expr::convert(Ops[0], E->type());
+  case ExprKind::Unary:
+    return Expr::unary(E->unaryOp(), Ops[0]);
+  case ExprKind::Binary:
+    return Expr::binary(E->binaryOp(), Ops[0], Ops[1]);
+  case ExprKind::Call:
+    return Expr::call(E->builtin(), std::move(Ops));
+  case ExprKind::Cond:
+    return Expr::cond(Ops[0], Ops[1], Ops[2]);
+  case ExprKind::PairNew:
+    return Expr::pairNew(Ops[0], Ops[1]);
+  case ExprKind::PairFirst:
+    return Expr::pairFirst(Ops[0]);
+  case ExprKind::PairSecond:
+    return Expr::pairSecond(Ops[0]);
+  case ExprKind::VecLen:
+    return Expr::vecLen(Ops[0]);
+  case ExprKind::VecIndex:
+    return Expr::vecIndex(Ops[0], Ops[1]);
+  case ExprKind::BufferSlice:
+    return Expr::bufferSlice(E->sourceSlot(), Ops[0], Ops[1]);
+  default:
+    stenoUnreachable("leaf with operands");
+  }
+}
+
+} // namespace
+
+ExprRef expr::foldConstants(const ExprRef &E) {
+  assert(E && "folding a null expression");
+  if (E->operands().empty())
+    return E;
+
+  std::vector<ExprRef> Ops;
+  Ops.reserve(E->operands().size());
+  bool Changed = false;
+  bool AllConst = true;
+  for (const ExprRef &Op : E->operands()) {
+    ExprRef Folded = foldConstants(Op);
+    Changed |= Folded != Op;
+    AllConst &= isConst(Folded);
+    Ops.push_back(std::move(Folded));
+  }
+
+  // Identities with a constant condition / operand.
+  if (E->kind() == ExprKind::Cond && isConst(Ops[0]))
+    return boolConst(Ops[0]) ? Ops[1] : Ops[2];
+  if (E->kind() == ExprKind::Binary) {
+    BinaryOp Op = E->binaryOp();
+    if (Op == BinaryOp::And && isConst(Ops[0]))
+      return boolConst(Ops[0]) ? Ops[1] : Expr::constBool(false);
+    if (Op == BinaryOp::Or && isConst(Ops[0]))
+      return boolConst(Ops[0]) ? Expr::constBool(true) : Ops[1];
+    // Projection of a freshly built pair.
+  }
+  if ((E->kind() == ExprKind::PairFirst ||
+       E->kind() == ExprKind::PairSecond) &&
+      Ops[0]->kind() == ExprKind::PairNew)
+    return E->kind() == ExprKind::PairFirst ? Ops[0]->operand(0)
+                                            : Ops[0]->operand(1);
+
+  if (AllConst) {
+    bool Foldable = true;
+    switch (E->kind()) {
+    case ExprKind::Binary: {
+      BinaryOp Op = E->binaryOp();
+      // Keep the trap behavior of integer division by a literal zero.
+      if ((Op == BinaryOp::Div || Op == BinaryOp::Mod) &&
+          E->type()->isInt64() && isZeroInt(Ops[1]))
+        Foldable = false;
+      break;
+    }
+    case ExprKind::PairNew:
+    case ExprKind::VecLen:
+    case ExprKind::VecIndex:
+    case ExprKind::BufferSlice:
+      Foldable = false; // non-scalar or environment-dependent
+      break;
+    default:
+      break;
+    }
+    if (Foldable) {
+      ExprRef Candidate = Changed ? rebuildWith(E, Ops) : E;
+      if (ExprRef Lit = evalToLiteral(Candidate))
+        return Lit;
+      return Candidate;
+    }
+  }
+
+  return Changed ? rebuildWith(E, std::move(Ops)) : E;
+}

@@ -1,0 +1,31 @@
+//===- expr/Fold.h - Constant folding --------------------------*- C++ -*-===//
+///
+/// \file
+/// Constant folding over expression trees: operator applications whose
+/// operands are literals are evaluated at optimization time, and the
+/// boolean/conditional identities (true && e, cond(true, a, b), ...) are
+/// simplified. Runs before CSE in the code generator so that, e.g., range
+/// bounds synthesized from literals collapse into single constants in the
+/// generated code. Folding is semantics-preserving for this pure
+/// expression language with one carve-out: integer division/modulo by a
+/// literal zero is left unfolded (the generated code keeps the trap
+/// behavior of the original program point).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STENO_EXPR_FOLD_H
+#define STENO_EXPR_FOLD_H
+
+#include "expr/Expr.h"
+
+namespace steno {
+namespace expr {
+
+/// Returns a constant-folded equivalent of \p E (possibly \p E itself
+/// when nothing folds).
+ExprRef foldConstants(const ExprRef &E);
+
+} // namespace expr
+} // namespace steno
+
+#endif // STENO_EXPR_FOLD_H

@@ -1,0 +1,78 @@
+//===- expr/Lambda.h - First-class lambda values ---------------*- C++ -*-===//
+///
+/// \file
+/// A Lambda packages named, typed parameters with an expression body. Query
+/// operators (Select, Where, Aggregate, ...) are parameterized with Lambdas,
+/// exactly as LINQ operators are parameterized with lambda expressions
+/// (paper §2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STENO_EXPR_LAMBDA_H
+#define STENO_EXPR_LAMBDA_H
+
+#include "expr/Expr.h"
+
+#include <cassert>
+#include <string>
+#include <vector>
+
+namespace steno {
+namespace expr {
+
+/// One formal parameter of a Lambda.
+struct LambdaParam {
+  std::string Name;
+  TypeRef Ty;
+};
+
+/// An anonymous function value: parameters plus a body expression.
+class Lambda {
+public:
+  Lambda() = default;
+
+  Lambda(std::vector<LambdaParam> Params, ExprRef Body)
+      : Params(std::move(Params)), Body(std::move(Body)) {
+    assert(this->Body && "lambda must have a body");
+  }
+
+  bool valid() const { return Body != nullptr; }
+  size_t arity() const { return Params.size(); }
+
+  const std::vector<LambdaParam> &params() const { return Params; }
+
+  const LambdaParam &param(size_t I) const {
+    assert(I < Params.size() && "parameter index out of range");
+    return Params[I];
+  }
+
+  const ExprRef &body() const { return Body; }
+
+  /// Result type of the lambda.
+  const TypeRef &resultType() const {
+    assert(Body && "resultType of invalid lambda");
+    return Body->type();
+  }
+
+  /// Debug rendering, e.g. "(x) => ((x % 2) == 0)".
+  std::string str() const {
+    std::string Out = "(";
+    for (size_t I = 0; I != Params.size(); ++I) {
+      if (I)
+        Out += ", ";
+      Out += Params[I].Name;
+    }
+    Out += ") => ";
+    Out += Body ? Body->str() : std::string("<invalid>");
+    return Out;
+  }
+
+private:
+  std::vector<LambdaParam> Params;
+  ExprRef Body;
+};
+
+} // namespace expr
+} // namespace steno
+
+#endif // STENO_EXPR_LAMBDA_H

@@ -1,0 +1,160 @@
+//===- expr/Value.h - Runtime values for interpretation --------*- C++ -*-===//
+///
+/// \file
+/// The dynamic value domain matching expr::Type: bool, int64, double, Vec
+/// views and pairs. Used by the expression evaluator and the generated-code
+/// interpreter backend. Values are small and copyable; pairs share their
+/// storage.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STENO_EXPR_VALUE_H
+#define STENO_EXPR_VALUE_H
+
+#include "expr/Type.h"
+
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <variant>
+
+namespace steno {
+namespace expr {
+
+/// Borrowed view of a contiguous double[Len] — the runtime representation
+/// of Type::vecTy(). The viewed buffer must outlive the view (it lives in a
+/// bound source array or in interpreter-owned scratch storage).
+struct VecView {
+  const double *Data = nullptr;
+  std::int64_t Len = 0;
+
+  double operator[](std::int64_t I) const {
+    assert(I >= 0 && I < Len && "vec index out of range");
+    return Data[I];
+  }
+
+  bool operator==(const VecView &O) const {
+    if (Len != O.Len)
+      return false;
+    for (std::int64_t I = 0; I != Len; ++I)
+      if (Data[I] != O.Data[I])
+        return false;
+    return true;
+  }
+};
+
+/// A bound source buffer: either a flat double array (optionally viewed as
+/// Count points of Dim doubles each) or an int64 array. The query pipeline
+/// binds one of these per source slot at invocation time (paper §3.3's
+/// reflection-based capture binding).
+struct SourceBuffer {
+  const double *DoubleData = nullptr;
+  const std::int64_t *Int64Data = nullptr;
+  /// Number of elements (points, for strided point sources).
+  std::int64_t Count = 0;
+  /// Doubles per element for point sources; 1 for scalar sources.
+  std::int64_t Dim = 1;
+};
+
+/// A dynamically typed value.
+class Value {
+public:
+  Value() : Storage(false) {}
+  Value(bool V) : Storage(V) {}
+  Value(std::int64_t V) : Storage(V) {}
+  Value(int V) : Storage(static_cast<std::int64_t>(V)) {}
+  Value(double V) : Storage(V) {}
+  Value(VecView V) : Storage(V) {}
+
+  static Value makePair(Value First, Value Second) {
+    Value V;
+    V.Storage = std::make_shared<const std::pair<Value, Value>>(
+        std::move(First), std::move(Second));
+    return V;
+  }
+
+  TypeKind kind() const {
+    switch (Storage.index()) {
+    case 0:
+      return TypeKind::Bool;
+    case 1:
+      return TypeKind::Int64;
+    case 2:
+      return TypeKind::Double;
+    case 3:
+      return TypeKind::Vec;
+    default:
+      return TypeKind::Pair;
+    }
+  }
+
+  bool isBool() const { return kind() == TypeKind::Bool; }
+  bool isInt64() const { return kind() == TypeKind::Int64; }
+  bool isDouble() const { return kind() == TypeKind::Double; }
+  bool isVec() const { return kind() == TypeKind::Vec; }
+  bool isPair() const { return kind() == TypeKind::Pair; }
+
+  bool asBool() const {
+    assert(isBool() && "value is not a bool");
+    return std::get<bool>(Storage);
+  }
+
+  std::int64_t asInt64() const {
+    assert(isInt64() && "value is not an int64");
+    return std::get<std::int64_t>(Storage);
+  }
+
+  double asDouble() const {
+    assert(isDouble() && "value is not a double");
+    return std::get<double>(Storage);
+  }
+
+  /// Numeric coercion used by promoted arithmetic.
+  double asNumericDouble() const {
+    return isDouble() ? asDouble() : static_cast<double>(asInt64());
+  }
+
+  VecView asVec() const {
+    assert(isVec() && "value is not a vec");
+    return std::get<VecView>(Storage);
+  }
+
+  const Value &first() const {
+    assert(isPair() && "value is not a pair");
+    return std::get<PairStorage>(Storage)->first;
+  }
+
+  const Value &second() const {
+    assert(isPair() && "value is not a pair");
+    return std::get<PairStorage>(Storage)->second;
+  }
+
+  /// Structural equality (pairs recurse, vecs compare element-wise).
+  bool operator==(const Value &O) const {
+    if (kind() != O.kind())
+      return false;
+    switch (kind()) {
+    case TypeKind::Bool:
+      return asBool() == O.asBool();
+    case TypeKind::Int64:
+      return asInt64() == O.asInt64();
+    case TypeKind::Double:
+      return asDouble() == O.asDouble();
+    case TypeKind::Vec:
+      return asVec() == O.asVec();
+    case TypeKind::Pair:
+      return first() == O.first() && second() == O.second();
+    }
+    return false;
+  }
+
+private:
+  using PairStorage = std::shared_ptr<const std::pair<Value, Value>>;
+  std::variant<bool, std::int64_t, double, VecView, PairStorage> Storage;
+};
+
+} // namespace expr
+} // namespace steno
+
+#endif // STENO_EXPR_VALUE_H

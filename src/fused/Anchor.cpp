@@ -1,0 +1,19 @@
+//===- fused/Anchor.cpp ---------------------------------------*- C++ -*-===//
+//
+// The fused library is header-only; this file anchors the static library
+// target and sanity-instantiates a pipeline at library-build time.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fused/Fused.h"
+
+namespace steno {
+namespace fused {
+
+/// Build-time instantiation check.
+double anchorSumOfSquares(const double *Data, std::size_t N) {
+  return from(Data, N) | select([](double X) { return X * X; }) | sum();
+}
+
+} // namespace fused
+} // namespace steno

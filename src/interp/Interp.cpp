@@ -1,0 +1,382 @@
+//===- interp/Interp.cpp --------------------------------------*- C++ -*-===//
+
+#include "interp/Interp.h"
+#include "expr/Eval.h"
+#include "support/Error.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+
+using namespace steno;
+using namespace steno::interp;
+using cpptree::LoopInfo;
+using cpptree::LoopKind;
+using cpptree::SinkKind;
+using cpptree::Stmt;
+using cpptree::StmtKind;
+using cpptree::StmtList;
+using expr::Value;
+using expr::VecView;
+
+namespace {
+
+/// Interpreter-side sink objects, mirroring steno::rt's sinks.
+struct GroupSinkI {
+  std::vector<std::pair<std::int64_t, std::vector<double>>> Buckets;
+  std::unordered_map<std::int64_t, std::size_t> Index;
+
+  void put(std::int64_t Key, double V) {
+    auto It = Index.find(Key);
+    std::size_t Slot;
+    if (It == Index.end()) {
+      Slot = Buckets.size();
+      Index.emplace(Key, Slot);
+      Buckets.emplace_back(Key, std::vector<double>());
+    } else {
+      Slot = It->second;
+    }
+    Buckets[Slot].second.push_back(V);
+  }
+};
+
+struct GroupAggSinkI {
+  std::vector<std::pair<std::int64_t, Value>> Entries;
+  std::unordered_map<std::int64_t, std::size_t> Index;
+  /// Dense variant (§4.3's O(1)-keys sink): pre-seeded slot array; key I
+  /// lives at Entries-free DenseSlots[I].
+  bool Dense = false;
+  std::vector<Value> DenseSlots;
+
+  std::size_t slot(std::int64_t Key, const Value &Seed) {
+    assert(!Dense && "hash path used on a dense sink");
+    auto It = Index.find(Key);
+    if (It != Index.end())
+      return It->second;
+    std::size_t Slot = Entries.size();
+    Index.emplace(Key, Slot);
+    Entries.emplace_back(Key, Seed);
+    return Slot;
+  }
+};
+
+struct VecSinkI {
+  std::vector<Value> Elems;
+  /// Backing store for DeclareSinkView (built on demand).
+  std::vector<double> FlatCopy;
+};
+
+struct SinkObj {
+  SinkKind Kind = SinkKind::Vec;
+  GroupSinkI Group;
+  GroupAggSinkI GroupAgg;
+  VecSinkI Vec;
+};
+
+enum class Flow { Normal, Continue, Break };
+
+class Executor {
+public:
+  Executor(const cpptree::Program &P, const RunInput &In) : P(P) {
+    Arena = std::make_shared<std::deque<std::vector<double>>>();
+    if (In.Values)
+      Environment.setCaptures(In.Values);
+    if (In.Sources) {
+      Environment.setSources(In.Sources);
+      Sources = In.Sources;
+    }
+    Environment.setFallback([this](const std::string &Name) {
+      auto It = Locals.find(Name);
+      return It == Locals.end() ? nullptr : &It->second;
+    });
+  }
+
+  RunOutput run() {
+    Flow F = execList(P.Body);
+    assert(F == Flow::Normal && "control escaped the program");
+    (void)F;
+    RunOutput Out;
+    Out.Rows = std::move(Rows);
+    Out.Arena = Arena;
+    return Out;
+  }
+
+private:
+  Value eval(const expr::ExprRef &E) {
+    assert(E && "evaluating a null expression");
+    return expr::evalExpr(*E, Environment);
+  }
+
+  const expr::SourceBuffer &sourceAt(unsigned Slot) {
+    if (!Sources || Slot >= Sources->size())
+      support::fatalError("source slot " + std::to_string(Slot) +
+                          " is not bound");
+    return (*Sources)[Slot];
+  }
+
+  /// Deep-copies Vec payloads into the arena so emitted rows outlive the
+  /// program's sinks and temporaries.
+  Value deepCopy(const Value &V) {
+    switch (V.kind()) {
+    case expr::TypeKind::Vec: {
+      VecView View = V.asVec();
+      Arena->emplace_back(View.Data, View.Data + View.Len);
+      const std::vector<double> &Stored = Arena->back();
+      return Value(VecView{Stored.data(),
+                           static_cast<std::int64_t>(Stored.size())});
+    }
+    case expr::TypeKind::Pair:
+      return Value::makePair(deepCopy(V.first()), deepCopy(V.second()));
+    default:
+      return V;
+    }
+  }
+
+  Flow execList(const StmtList &Stmts) {
+    for (const cpptree::StmtRef &S : Stmts) {
+      Flow F = exec(*S);
+      if (F != Flow::Normal)
+        return F;
+    }
+    return Flow::Normal;
+  }
+
+  Flow exec(const Stmt &S) {
+    switch (S.K) {
+    case StmtKind::Region:
+      return execList(S.Body);
+    case StmtKind::DeclareLocal:
+    case StmtKind::Assign:
+      Locals[S.Name] = eval(S.E);
+      return Flow::Normal;
+    case StmtKind::DeclareSinkView: {
+      SinkObj &Sink = sink(S.SlotVar);
+      assert(Sink.Kind == SinkKind::Vec &&
+             "sink view over a non-vector sink");
+      Sink.Vec.FlatCopy.clear();
+      Sink.Vec.FlatCopy.reserve(Sink.Vec.Elems.size());
+      for (const Value &V : Sink.Vec.Elems)
+        Sink.Vec.FlatCopy.push_back(V.asDouble());
+      Locals[S.Name] = Value(VecView{
+          Sink.Vec.FlatCopy.data(),
+          static_cast<std::int64_t>(Sink.Vec.FlatCopy.size())});
+      return Flow::Normal;
+    }
+    case StmtKind::If:
+      if (eval(S.E).asBool())
+        return execList(S.Body);
+      return Flow::Normal;
+    case StmtKind::Continue:
+      return Flow::Continue;
+    case StmtKind::Break:
+      return Flow::Break;
+    case StmtKind::Loop:
+      return execLoop(S);
+    case StmtKind::DeclareSink: {
+      SinkObj Obj;
+      Obj.Kind = S.Sink.Kind;
+      if (S.Sink.isDense()) {
+        Obj.GroupAgg.Dense = true;
+        std::int64_t N = eval(S.Sink.DenseKeys).asInt64();
+        Obj.GroupAgg.DenseSlots.assign(
+            static_cast<std::size_t>(N < 0 ? 0 : N),
+            eval(S.Sink.DenseSeed));
+      }
+      Sinks[S.Name] = std::move(Obj);
+      return Flow::Normal;
+    }
+    case StmtKind::SinkGroupPut:
+      sink(S.Name).Group.put(eval(S.E).asInt64(), eval(S.E2).asDouble());
+      return Flow::Normal;
+    case StmtKind::SinkGroupAggUpdate: {
+      SinkObj &Sink = sink(S.Name);
+      std::int64_t Key = eval(S.E).asInt64();
+      if (Sink.GroupAgg.Dense) {
+        std::vector<Value> &Slots = Sink.GroupAgg.DenseSlots;
+        assert(Key >= 0 &&
+               static_cast<std::size_t>(Key) < Slots.size() &&
+               "dense sink key out of range");
+        Locals[S.SlotVar] = Slots[static_cast<std::size_t>(Key)];
+        Slots[static_cast<std::size_t>(Key)] = eval(S.E3);
+        return Flow::Normal;
+      }
+      std::size_t Slot = Sink.GroupAgg.slot(Key, eval(S.E2));
+      Locals[S.SlotVar] = Sink.GroupAgg.Entries[Slot].second;
+      Sink.GroupAgg.Entries[Slot].second = eval(S.E3);
+      return Flow::Normal;
+    }
+    case StmtKind::SinkVecPush:
+      sink(S.Name).Vec.Elems.push_back(eval(S.E));
+      return Flow::Normal;
+    case StmtKind::SortSinkVec: {
+      SinkObj &Sink = sink(S.Name);
+      const std::string &Param = S.KeyFn.param(0).Name;
+      std::vector<Value> &Elems = Sink.Vec.Elems;
+      // Decorate-sort-undecorate keeps key evaluation linear and the sort
+      // stable.
+      std::vector<std::pair<double, std::size_t>> Keys;
+      Keys.reserve(Elems.size());
+      for (std::size_t I = 0; I != Elems.size(); ++I) {
+        Environment.bind(Param, Elems[I]);
+        Keys.emplace_back(eval(S.KeyFn.body()).asNumericDouble(), I);
+        Environment.pop();
+      }
+      bool Desc = S.Descending;
+      std::stable_sort(Keys.begin(), Keys.end(),
+                       [Desc](const auto &A, const auto &B) {
+                         return Desc ? B.first < A.first
+                                     : A.first < B.first;
+                       });
+      std::vector<Value> Sorted;
+      Sorted.reserve(Elems.size());
+      for (const auto &[Key, Idx] : Keys)
+        Sorted.push_back(std::move(Elems[Idx]));
+      Elems = std::move(Sorted);
+      return Flow::Normal;
+    }
+    case StmtKind::Emit:
+      Rows.push_back(deepCopy(eval(S.E)));
+      return Flow::Normal;
+    }
+    stenoUnreachable("bad StmtKind");
+  }
+
+  Flow execLoop(const Stmt &S) {
+    const LoopInfo &L = S.Loop;
+    switch (L.Kind) {
+    case LoopKind::Source:
+      return execSourceLoop(S);
+    case LoopKind::GroupSink: {
+      GroupSinkI &G = sink(L.SinkName).Group;
+      std::size_t N = G.Buckets.size();
+      for (std::size_t I = 0; I != N; ++I) {
+        const auto &Bucket = G.Buckets[I];
+        Value Elem = Value::makePair(
+            Value(Bucket.first),
+            Value(VecView{Bucket.second.data(),
+                          static_cast<std::int64_t>(
+                              Bucket.second.size())}));
+        Locals[L.ElemVar] = std::move(Elem);
+        Flow F = execList(S.Body);
+        if (F == Flow::Break)
+          break;
+      }
+      return Flow::Normal;
+    }
+    case LoopKind::GroupAggSink: {
+      GroupAggSinkI &G = sink(L.SinkName).GroupAgg;
+      if (G.Dense) {
+        std::size_t N = G.DenseSlots.size();
+        for (std::size_t I = 0; I != N; ++I) {
+          Locals[L.KeyVar] = Value(static_cast<std::int64_t>(I));
+          Locals[L.AccVar] = G.DenseSlots[I];
+          Flow F = execList(S.Body);
+          if (F == Flow::Break)
+            break;
+        }
+        return Flow::Normal;
+      }
+      std::size_t N = G.Entries.size();
+      for (std::size_t I = 0; I != N; ++I) {
+        Locals[L.KeyVar] = Value(G.Entries[I].first);
+        Locals[L.AccVar] = G.Entries[I].second;
+        Flow F = execList(S.Body);
+        if (F == Flow::Break)
+          break;
+      }
+      return Flow::Normal;
+    }
+    case LoopKind::VecSink: {
+      VecSinkI &V = sink(L.SinkName).Vec;
+      std::size_t N = V.Elems.size();
+      for (std::size_t I = 0; I != N; ++I) {
+        Locals[L.ElemVar] = V.Elems[I];
+        Flow F = execList(S.Body);
+        if (F == Flow::Break)
+          break;
+      }
+      return Flow::Normal;
+    }
+    }
+    stenoUnreachable("bad LoopKind");
+  }
+
+  Flow execSourceLoop(const Stmt &S) {
+    const LoopInfo &L = S.Loop;
+    const query::SourceDesc &Src = L.Src;
+    switch (Src.Kind) {
+    case query::SourceKind::DoubleArray: {
+      const expr::SourceBuffer &Buf = sourceAt(Src.Slot);
+      assert(Buf.DoubleData && "double source not bound to doubles");
+      for (std::int64_t I = 0; I != Buf.Count; ++I) {
+        Locals[L.ElemVar] = Value(Buf.DoubleData[I]);
+        if (execList(S.Body) == Flow::Break)
+          break;
+      }
+      return Flow::Normal;
+    }
+    case query::SourceKind::Int64Array: {
+      const expr::SourceBuffer &Buf = sourceAt(Src.Slot);
+      assert(Buf.Int64Data && "int64 source not bound to int64s");
+      for (std::int64_t I = 0; I != Buf.Count; ++I) {
+        Locals[L.ElemVar] = Value(Buf.Int64Data[I]);
+        if (execList(S.Body) == Flow::Break)
+          break;
+      }
+      return Flow::Normal;
+    }
+    case query::SourceKind::PointArray: {
+      const expr::SourceBuffer &Buf = sourceAt(Src.Slot);
+      assert(Buf.DoubleData && "point source not bound to doubles");
+      for (std::int64_t I = 0; I != Buf.Count; ++I) {
+        Locals[L.ElemVar] =
+            Value(VecView{Buf.DoubleData + I * Buf.Dim, Buf.Dim});
+        if (execList(S.Body) == Flow::Break)
+          break;
+      }
+      return Flow::Normal;
+    }
+    case query::SourceKind::Range: {
+      std::int64_t Start = eval(Src.Start).asInt64();
+      std::int64_t Count = eval(Src.CountE).asInt64();
+      for (std::int64_t I = 0; I < Count; ++I) {
+        Locals[L.ElemVar] = Value(Start + I);
+        if (execList(S.Body) == Flow::Break)
+          break;
+      }
+      return Flow::Normal;
+    }
+    case query::SourceKind::VecExpr: {
+      VecView V = eval(Src.Vec).asVec();
+      for (std::int64_t I = 0; I != V.Len; ++I) {
+        Locals[L.ElemVar] = Value(V.Data[I]);
+        if (execList(S.Body) == Flow::Break)
+          break;
+      }
+      return Flow::Normal;
+    }
+    }
+    stenoUnreachable("bad SourceKind");
+  }
+
+  SinkObj &sink(const std::string &Name) {
+    auto It = Sinks.find(Name);
+    if (It == Sinks.end())
+      support::fatalError("undeclared sink '" + Name + "'");
+    return It->second;
+  }
+
+  const cpptree::Program &P;
+  expr::Env Environment;
+  const std::vector<expr::SourceBuffer> *Sources = nullptr;
+  std::unordered_map<std::string, Value> Locals;
+  std::unordered_map<std::string, SinkObj> Sinks;
+  std::vector<Value> Rows;
+  std::shared_ptr<std::deque<std::vector<double>>> Arena;
+};
+
+} // namespace
+
+RunOutput interp::execute(const cpptree::Program &P, const RunInput &In) {
+  return Executor(P, In).run();
+}

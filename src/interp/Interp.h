@@ -1,0 +1,53 @@
+//===- interp/Interp.h - Execute generated loop code directly --*- C++ -*-===//
+//
+// Part of the Steno/C++ reproduction of Murray, Isard & Yu,
+// "Steno: Automatic Optimization of Declarative Queries" (PLDI 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A tree-walking executor for cpptree::Program — the generated fused loop
+/// code — against bound sources and captures. The paper compiles the
+/// generated AST with the production compiler; this module instead runs
+/// the same AST directly. It exists for two reasons: it is the portable
+/// backend (no compiler or dlopen needed), and it lets the test suite
+/// validate the code generator's output semantics without paying the JIT's
+/// one-off compilation cost.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STENO_INTERP_INTERP_H
+#define STENO_INTERP_INTERP_H
+
+#include "cpptree/Tree.h"
+#include "expr/Value.h"
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+namespace steno {
+namespace interp {
+
+/// Bound inputs for one program execution.
+struct RunInput {
+  const std::vector<expr::SourceBuffer> *Sources = nullptr;
+  const std::vector<expr::Value> *Values = nullptr;
+};
+
+/// Execution result. Emitted rows are deep copies: Vec payloads are
+/// duplicated into Arena so they outlive the program's internal sinks.
+struct RunOutput {
+  std::vector<expr::Value> Rows;
+  /// Owns the double buffers behind any Vec views in Rows (deque for
+  /// pointer stability).
+  std::shared_ptr<std::deque<std::vector<double>>> Arena;
+};
+
+/// Executes \p P against \p In and collects the emitted rows.
+RunOutput execute(const cpptree::Program &P, const RunInput &In);
+
+} // namespace interp
+} // namespace steno
+
+#endif // STENO_INTERP_INTERP_H

@@ -1,0 +1,19 @@
+//===- linq/Anchor.cpp ----------------------------------------*- C++ -*-===//
+//
+// The linq library is header-only templates; this file anchors the static
+// library target and instantiates a few common specializations to catch
+// template errors at library-build time.
+//
+//===----------------------------------------------------------------------===//
+
+#include "linq/Linq.h"
+
+namespace steno {
+namespace linq {
+
+template class Seq<double>;
+template class Seq<std::int64_t>;
+template class Lookup<std::int64_t, double>;
+
+} // namespace linq
+} // namespace steno

@@ -1,0 +1,18 @@
+//===- linq/Linq.h - Umbrella header for the baseline library --*- C++ -*-===//
+///
+/// \file
+/// Convenience umbrella for steno::linq, the iterator-based LINQ baseline.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STENO_LINQ_LINQ_H
+#define STENO_LINQ_LINQ_H
+
+#include "linq/Enumerator.h" // IWYU pragma: export
+#include "linq/Lookup.h"     // IWYU pragma: export
+#include "linq/Seq.h"        // IWYU pragma: export
+#include "linq/Sinks.h"      // IWYU pragma: export
+#include "linq/Sources.h"    // IWYU pragma: export
+#include "linq/Transforms.h" // IWYU pragma: export
+
+#endif // STENO_LINQ_LINQ_H

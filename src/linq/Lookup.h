@@ -1,0 +1,92 @@
+//===- linq/Lookup.h - Key/value multi-map sink collection -----*- C++ -*-===//
+///
+/// \file
+/// The Lookup<K, T> utility of paper Figure 7(b): a key-value multi-map that
+/// preserves first-insertion key order (matching LINQ GroupBy's documented
+/// ordering), enumerable as a sequence of Grouping<K, T>. GroupBy sinks in
+/// both the baseline library and the generated code build one of these.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STENO_LINQ_LOOKUP_H
+#define STENO_LINQ_LOOKUP_H
+
+#include <cassert>
+#include <memory>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace steno {
+namespace linq {
+
+/// One key together with the bag of elements that mapped to it.
+template <typename K, typename T> class Grouping {
+public:
+  Grouping() = default;
+  Grouping(K Key, std::shared_ptr<const std::vector<T>> Values)
+      : GroupKey(std::move(Key)), GroupValues(std::move(Values)) {}
+
+  const K &key() const { return GroupKey; }
+
+  const std::vector<T> &values() const {
+    assert(GroupValues && "empty grouping handle");
+    return *GroupValues;
+  }
+
+private:
+  K GroupKey{};
+  std::shared_ptr<const std::vector<T>> GroupValues;
+};
+
+/// Key-value multi-map preserving first-insertion key order. put() appends
+/// an element to its key's bag, creating the bag on first sight of the key.
+template <typename K, typename T> class Lookup {
+public:
+  /// Appends \p Value under \p Key.
+  void put(const K &Key, T Value) {
+    auto It = Index.find(Key);
+    if (It == Index.end()) {
+      Index.emplace(Key, Buckets.size());
+      Buckets.emplace_back(Key, std::make_shared<std::vector<T>>());
+    }
+    size_t Slot = Index.at(Key);
+    Buckets[Slot].second->push_back(std::move(Value));
+  }
+
+  /// Number of distinct keys.
+  size_t size() const { return Buckets.size(); }
+
+  bool contains(const K &Key) const { return Index.count(Key) != 0; }
+
+  /// The bag for \p Key; asserts that the key is present.
+  const std::vector<T> &at(const K &Key) const {
+    auto It = Index.find(Key);
+    assert(It != Index.end() && "lookup key not present");
+    return *Buckets[It->second].second;
+  }
+
+  /// Group at insertion position \p I.
+  Grouping<K, T> group(size_t I) const {
+    assert(I < Buckets.size() && "group index out of range");
+    return Grouping<K, T>(Buckets[I].first, Buckets[I].second);
+  }
+
+  /// Materializes all groups in key-first-insertion order.
+  std::vector<Grouping<K, T>> groups() const {
+    std::vector<Grouping<K, T>> Out;
+    Out.reserve(Buckets.size());
+    for (size_t I = 0; I != Buckets.size(); ++I)
+      Out.push_back(group(I));
+    return Out;
+  }
+
+private:
+  std::vector<std::pair<K, std::shared_ptr<std::vector<T>>>> Buckets;
+  std::unordered_map<K, size_t> Index;
+};
+
+} // namespace linq
+} // namespace steno
+
+#endif // STENO_LINQ_LOOKUP_H

@@ -1,0 +1,286 @@
+//===- linq/Sinks.h - Sink operator enumerables ----------------*- C++ -*-===//
+///
+/// \file
+/// Sink operators (paper Table 1): GroupBy, OrderBy and Join transform the
+/// input into an intermediate collection that is then enumerated. As in
+/// LINQ, the sink is built lazily on the first moveNext() of the resulting
+/// enumerator.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STENO_LINQ_SINKS_H
+#define STENO_LINQ_SINKS_H
+
+#include "linq/Enumerator.h"
+#include "linq/Lookup.h"
+
+#include <algorithm>
+#include <functional>
+#include <memory>
+#include <vector>
+
+namespace steno {
+namespace linq {
+
+/// GroupBy(keySelector): yields one Grouping<K, T> per distinct key, keys in
+/// first-appearance order.
+template <typename T, typename K>
+class GroupByEnumerable final : public Enumerable<Grouping<K, T>> {
+public:
+  GroupByEnumerable(std::shared_ptr<const Enumerable<T>> Upstream,
+                    std::function<K(T)> KeySel)
+      : Upstream(std::move(Upstream)), KeySel(std::move(KeySel)) {}
+
+  std::unique_ptr<Enumerator<Grouping<K, T>>> getEnumerator() const override {
+    return std::make_unique<Iter>(Upstream, KeySel);
+  }
+
+private:
+  class Iter final : public Enumerator<Grouping<K, T>> {
+  public:
+    Iter(std::shared_ptr<const Enumerable<T>> Source,
+         std::function<K(T)> KeySel)
+        : Source(std::move(Source)), KeySel(std::move(KeySel)) {}
+
+    bool moveNext() override {
+      if (!Built) {
+        std::unique_ptr<Enumerator<T>> Up = Source->getEnumerator();
+        while (Up->moveNext()) {
+          T Elem = Up->current();
+          Sink.put(KeySel(Elem), std::move(Elem));
+        }
+        Built = true;
+      }
+      if (Next >= Sink.size())
+        return false;
+      Pos = Next++;
+      return true;
+    }
+
+    Grouping<K, T> current() const override { return Sink.group(Pos); }
+
+  private:
+    std::shared_ptr<const Enumerable<T>> Source;
+    std::function<K(T)> KeySel;
+    Lookup<K, T> Sink;
+    size_t Next = 0;
+    size_t Pos = 0;
+    bool Built = false;
+  };
+
+  std::shared_ptr<const Enumerable<T>> Upstream;
+  std::function<K(T)> KeySel;
+};
+
+/// GroupBy(keySelector, resultSelector): applies the result selector to each
+/// (key, bag) pair — the GroupBy overload whose aggregating result selector
+/// Steno specializes into GroupByAggregate (paper §4.3).
+template <typename T, typename K, typename R>
+class GroupByResultEnumerable final : public Enumerable<R> {
+public:
+  using ResultFn = std::function<R(K, const std::vector<T> &)>;
+
+  GroupByResultEnumerable(std::shared_ptr<const Enumerable<T>> Upstream,
+                          std::function<K(T)> KeySel, ResultFn Result)
+      : Upstream(std::move(Upstream)), KeySel(std::move(KeySel)),
+        Result(std::move(Result)) {}
+
+  std::unique_ptr<Enumerator<R>> getEnumerator() const override {
+    return std::make_unique<Iter>(Upstream, KeySel, Result);
+  }
+
+private:
+  class Iter final : public Enumerator<R> {
+  public:
+    Iter(std::shared_ptr<const Enumerable<T>> Source,
+         std::function<K(T)> KeySel, ResultFn Result)
+        : Source(std::move(Source)), KeySel(std::move(KeySel)),
+          Result(std::move(Result)) {}
+
+    bool moveNext() override {
+      if (!Built) {
+        std::unique_ptr<Enumerator<T>> Up = Source->getEnumerator();
+        while (Up->moveNext()) {
+          T Elem = Up->current();
+          Sink.put(KeySel(Elem), std::move(Elem));
+        }
+        Built = true;
+      }
+      if (Next >= Sink.size())
+        return false;
+      Grouping<K, T> G = Sink.group(Next++);
+      Value = Result(G.key(), G.values());
+      return true;
+    }
+
+    R current() const override { return Value; }
+
+  private:
+    std::shared_ptr<const Enumerable<T>> Source;
+    std::function<K(T)> KeySel;
+    ResultFn Result;
+    Lookup<K, T> Sink;
+    size_t Next = 0;
+    R Value{};
+    bool Built = false;
+  };
+
+  std::shared_ptr<const Enumerable<T>> Upstream;
+  std::function<K(T)> KeySel;
+  ResultFn Result;
+};
+
+/// OrderBy(keySelector): stable sort by key, materialized on first
+/// moveNext().
+template <typename T, typename K>
+class OrderByEnumerable final : public Enumerable<T> {
+public:
+  OrderByEnumerable(std::shared_ptr<const Enumerable<T>> Upstream,
+                    std::function<K(T)> KeySel, bool Descending)
+      : Upstream(std::move(Upstream)), KeySel(std::move(KeySel)),
+        Descending(Descending) {}
+
+  std::unique_ptr<Enumerator<T>> getEnumerator() const override {
+    return std::make_unique<Iter>(Upstream, KeySel, Descending);
+  }
+
+private:
+  class Iter final : public Enumerator<T> {
+  public:
+    Iter(std::shared_ptr<const Enumerable<T>> Source,
+         std::function<K(T)> KeySel, bool Descending)
+        : Source(std::move(Source)), KeySel(std::move(KeySel)),
+          Descending(Descending) {}
+
+    bool moveNext() override {
+      if (!Built) {
+        std::unique_ptr<Enumerator<T>> Up = Source->getEnumerator();
+        while (Up->moveNext())
+          Buffer.push_back(Up->current());
+        std::vector<K> Keys;
+        Keys.reserve(Buffer.size());
+        for (const T &Elem : Buffer)
+          Keys.push_back(KeySel(Elem));
+        std::vector<size_t> Order(Buffer.size());
+        for (size_t I = 0; I != Order.size(); ++I)
+          Order[I] = I;
+        bool Desc = Descending;
+        std::stable_sort(Order.begin(), Order.end(),
+                         [&Keys, Desc](size_t A, size_t B) {
+                           return Desc ? Keys[B] < Keys[A] : Keys[A] < Keys[B];
+                         });
+        std::vector<T> Sorted;
+        Sorted.reserve(Buffer.size());
+        for (size_t I : Order)
+          Sorted.push_back(std::move(Buffer[I]));
+        Buffer = std::move(Sorted);
+        Built = true;
+      }
+      if (Next >= Buffer.size())
+        return false;
+      Pos = Next++;
+      return true;
+    }
+
+    T current() const override { return Buffer[Pos]; }
+
+  private:
+    std::shared_ptr<const Enumerable<T>> Source;
+    std::function<K(T)> KeySel;
+    std::vector<T> Buffer;
+    size_t Next = 0;
+    size_t Pos = 0;
+    bool Descending;
+    bool Built = false;
+  };
+
+  std::shared_ptr<const Enumerable<T>> Upstream;
+  std::function<K(T)> KeySel;
+  bool Descending;
+};
+
+/// Join(inner, outerKey, innerKey, result): equi-join implemented as a hash
+/// join — the inner side is built into a Lookup on first moveNext(), and
+/// each outer element probes it.
+template <typename TOuter, typename TInner, typename K, typename R>
+class JoinEnumerable final : public Enumerable<R> {
+public:
+  JoinEnumerable(std::shared_ptr<const Enumerable<TOuter>> Outer,
+                 std::shared_ptr<const Enumerable<TInner>> Inner,
+                 std::function<K(TOuter)> OuterKey,
+                 std::function<K(TInner)> InnerKey,
+                 std::function<R(TOuter, TInner)> Result)
+      : Outer(std::move(Outer)), Inner(std::move(Inner)),
+        OuterKey(std::move(OuterKey)), InnerKey(std::move(InnerKey)),
+        Result(std::move(Result)) {}
+
+  std::unique_ptr<Enumerator<R>> getEnumerator() const override {
+    return std::make_unique<Iter>(Outer, Inner, OuterKey, InnerKey, Result);
+  }
+
+private:
+  class Iter final : public Enumerator<R> {
+  public:
+    Iter(std::shared_ptr<const Enumerable<TOuter>> Outer,
+         std::shared_ptr<const Enumerable<TInner>> Inner,
+         std::function<K(TOuter)> OuterKey, std::function<K(TInner)> InnerKey,
+         std::function<R(TOuter, TInner)> Result)
+        : Outer(std::move(Outer)), Inner(std::move(Inner)),
+          OuterKey(std::move(OuterKey)), InnerKey(std::move(InnerKey)),
+          Result(std::move(Result)) {}
+
+    bool moveNext() override {
+      if (!Built) {
+        std::unique_ptr<Enumerator<TInner>> In = Inner->getEnumerator();
+        while (In->moveNext()) {
+          TInner Elem = In->current();
+          Sink.put(InnerKey(Elem), std::move(Elem));
+        }
+        OuterIter = Outer->getEnumerator();
+        Built = true;
+      }
+      for (;;) {
+        if (Matches && MatchPos < Matches->size()) {
+          Value = Result(OuterElem, (*Matches)[MatchPos++]);
+          return true;
+        }
+        Matches = nullptr;
+        if (!OuterIter->moveNext())
+          return false;
+        OuterElem = OuterIter->current();
+        K Key = OuterKey(OuterElem);
+        if (Sink.contains(Key)) {
+          Matches = &Sink.at(Key);
+          MatchPos = 0;
+        }
+      }
+    }
+
+    R current() const override { return Value; }
+
+  private:
+    std::shared_ptr<const Enumerable<TOuter>> Outer;
+    std::shared_ptr<const Enumerable<TInner>> Inner;
+    std::function<K(TOuter)> OuterKey;
+    std::function<K(TInner)> InnerKey;
+    std::function<R(TOuter, TInner)> Result;
+    Lookup<K, TInner> Sink;
+    std::unique_ptr<Enumerator<TOuter>> OuterIter;
+    TOuter OuterElem{};
+    const std::vector<TInner> *Matches = nullptr;
+    size_t MatchPos = 0;
+    R Value{};
+    bool Built = false;
+  };
+
+  std::shared_ptr<const Enumerable<TOuter>> Outer;
+  std::shared_ptr<const Enumerable<TInner>> Inner;
+  std::function<K(TOuter)> OuterKey;
+  std::function<K(TInner)> InnerKey;
+  std::function<R(TOuter, TInner)> Result;
+};
+
+} // namespace linq
+} // namespace steno
+
+#endif // STENO_LINQ_SINKS_H

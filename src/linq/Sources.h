@@ -1,0 +1,168 @@
+//===- linq/Sources.h - Source enumerables (Src operators) -----*- C++ -*-===//
+///
+/// \file
+/// Source-collection enumerables: in-memory vectors, Range and Repeat (the
+/// LINQ collection generators classified as Src in paper Table 1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STENO_LINQ_SOURCES_H
+#define STENO_LINQ_SOURCES_H
+
+#include "linq/Enumerator.h"
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace steno {
+namespace linq {
+
+/// Enumerates a shared immutable vector. The enumerator is the canonical
+/// state machine: a cursor that starts before the first element.
+template <typename T> class VectorEnumerable final : public Enumerable<T> {
+public:
+  explicit VectorEnumerable(std::shared_ptr<const std::vector<T>> Data)
+      : Data(std::move(Data)) {}
+
+  std::unique_ptr<Enumerator<T>> getEnumerator() const override {
+    return std::make_unique<Iter>(Data);
+  }
+
+  const std::vector<T> &data() const { return *Data; }
+
+private:
+  class Iter final : public Enumerator<T> {
+  public:
+    explicit Iter(std::shared_ptr<const std::vector<T>> Data)
+        : Data(std::move(Data)) {}
+
+    bool moveNext() override {
+      if (Next >= Data->size())
+        return false;
+      Pos = Next++;
+      return true;
+    }
+
+    T current() const override { return (*Data)[Pos]; }
+
+  private:
+    std::shared_ptr<const std::vector<T>> Data;
+    size_t Next = 0;
+    size_t Pos = 0;
+  };
+
+  std::shared_ptr<const std::vector<T>> Data;
+};
+
+/// Enumerable over a borrowed [Begin, End) buffer. The caller must keep the
+/// buffer alive for the lifetime of the enumerable; used to expose raw
+/// benchmark arrays without copying.
+template <typename T> class SpanEnumerable final : public Enumerable<T> {
+public:
+  SpanEnumerable(const T *Begin, size_t Count) : Begin(Begin), Count(Count) {}
+
+  std::unique_ptr<Enumerator<T>> getEnumerator() const override {
+    return std::make_unique<Iter>(Begin, Count);
+  }
+
+private:
+  class Iter final : public Enumerator<T> {
+  public:
+    Iter(const T *Begin, size_t Count) : Begin(Begin), Count(Count) {}
+
+    bool moveNext() override {
+      if (Next >= Count)
+        return false;
+      Pos = Next++;
+      return true;
+    }
+
+    T current() const override { return Begin[Pos]; }
+
+  private:
+    const T *Begin;
+    size_t Count;
+    size_t Next = 0;
+    size_t Pos = 0;
+  };
+
+  const T *Begin;
+  size_t Count;
+};
+
+/// Enumerable.Range(Start, Count): yields Start, Start+1, ...
+class RangeEnumerable final : public Enumerable<std::int64_t> {
+public:
+  RangeEnumerable(std::int64_t Start, std::int64_t Count)
+      : Start(Start), Count(Count < 0 ? 0 : Count) {}
+
+  std::unique_ptr<Enumerator<std::int64_t>> getEnumerator() const override {
+    return std::make_unique<Iter>(Start, Count);
+  }
+
+private:
+  class Iter final : public Enumerator<std::int64_t> {
+  public:
+    Iter(std::int64_t Start, std::int64_t Count)
+        : Next(Start), Remaining(Count) {}
+
+    bool moveNext() override {
+      if (Remaining == 0)
+        return false;
+      Value = Next;
+      ++Next;
+      --Remaining;
+      return true;
+    }
+
+    std::int64_t current() const override { return Value; }
+
+  private:
+    std::int64_t Next;
+    std::int64_t Remaining;
+    std::int64_t Value = 0;
+  };
+
+  std::int64_t Start;
+  std::int64_t Count;
+};
+
+/// Enumerable.Repeat(Value, Count).
+template <typename T> class RepeatEnumerable final : public Enumerable<T> {
+public:
+  RepeatEnumerable(T Value, std::int64_t Count)
+      : Value(std::move(Value)), Count(Count < 0 ? 0 : Count) {}
+
+  std::unique_ptr<Enumerator<T>> getEnumerator() const override {
+    return std::make_unique<Iter>(Value, Count);
+  }
+
+private:
+  class Iter final : public Enumerator<T> {
+  public:
+    Iter(T Value, std::int64_t Count)
+        : Value(std::move(Value)), Remaining(Count) {}
+
+    bool moveNext() override {
+      if (Remaining == 0)
+        return false;
+      --Remaining;
+      return true;
+    }
+
+    T current() const override { return Value; }
+
+  private:
+    T Value;
+    std::int64_t Remaining;
+  };
+
+  T Value;
+  std::int64_t Count;
+};
+
+} // namespace linq
+} // namespace steno
+
+#endif // STENO_LINQ_SOURCES_H

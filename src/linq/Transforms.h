@@ -1,0 +1,477 @@
+//===- linq/Transforms.h - Composable operator enumerators -----*- C++ -*-===//
+///
+/// \file
+/// The composable LINQ operators (paper §2, Figure 2): each consumes
+/// elements from an upstream Enumerator through virtual calls and yields
+/// (possibly transformed) elements downstream. User functions are held in
+/// std::function, costing one more indirect call per element, and the
+/// stateful operators (Take, Skip, SelectMany, Concat, ...) carry explicit
+/// state-machine fields — the coroutine-simulation logic whose per-element
+/// cost Steno eliminates.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STENO_LINQ_TRANSFORMS_H
+#define STENO_LINQ_TRANSFORMS_H
+
+#include "linq/Enumerator.h"
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+namespace steno {
+namespace linq {
+
+/// Select(f): element-wise transformation.
+template <typename TIn, typename TOut>
+class SelectEnumerable final : public Enumerable<TOut> {
+public:
+  SelectEnumerable(std::shared_ptr<const Enumerable<TIn>> Upstream,
+                   std::function<TOut(TIn)> Fn)
+      : Upstream(std::move(Upstream)), Fn(std::move(Fn)) {}
+
+  std::unique_ptr<Enumerator<TOut>> getEnumerator() const override {
+    return std::make_unique<Iter>(Upstream->getEnumerator(), Fn);
+  }
+
+private:
+  class Iter final : public Enumerator<TOut> {
+  public:
+    Iter(std::unique_ptr<Enumerator<TIn>> Up, std::function<TOut(TIn)> Fn)
+        : Up(std::move(Up)), Fn(std::move(Fn)) {}
+
+    bool moveNext() override {
+      if (!Up->moveNext())
+        return false;
+      Value = Fn(Up->current());
+      return true;
+    }
+
+    TOut current() const override { return Value; }
+
+  private:
+    std::unique_ptr<Enumerator<TIn>> Up;
+    std::function<TOut(TIn)> Fn;
+    TOut Value{};
+  };
+
+  std::shared_ptr<const Enumerable<TIn>> Upstream;
+  std::function<TOut(TIn)> Fn;
+};
+
+/// Where(p): keeps only elements matching the predicate.
+template <typename T> class WhereEnumerable final : public Enumerable<T> {
+public:
+  WhereEnumerable(std::shared_ptr<const Enumerable<T>> Upstream,
+                  std::function<bool(T)> Pred)
+      : Upstream(std::move(Upstream)), Pred(std::move(Pred)) {}
+
+  std::unique_ptr<Enumerator<T>> getEnumerator() const override {
+    return std::make_unique<Iter>(Upstream->getEnumerator(), Pred);
+  }
+
+private:
+  class Iter final : public Enumerator<T> {
+  public:
+    Iter(std::unique_ptr<Enumerator<T>> Up, std::function<bool(T)> Pred)
+        : Up(std::move(Up)), Pred(std::move(Pred)) {}
+
+    bool moveNext() override {
+      while (Up->moveNext()) {
+        T Candidate = Up->current();
+        if (Pred(Candidate)) {
+          Value = std::move(Candidate);
+          return true;
+        }
+      }
+      return false;
+    }
+
+    T current() const override { return Value; }
+
+  private:
+    std::unique_ptr<Enumerator<T>> Up;
+    std::function<bool(T)> Pred;
+    T Value{};
+  };
+
+  std::shared_ptr<const Enumerable<T>> Upstream;
+  std::function<bool(T)> Pred;
+};
+
+/// Take(n): yields at most the first n elements.
+template <typename T> class TakeEnumerable final : public Enumerable<T> {
+public:
+  TakeEnumerable(std::shared_ptr<const Enumerable<T>> Upstream,
+                 std::int64_t Count)
+      : Upstream(std::move(Upstream)), Count(Count < 0 ? 0 : Count) {}
+
+  std::unique_ptr<Enumerator<T>> getEnumerator() const override {
+    return std::make_unique<Iter>(Upstream->getEnumerator(), Count);
+  }
+
+private:
+  class Iter final : public Enumerator<T> {
+  public:
+    Iter(std::unique_ptr<Enumerator<T>> Up, std::int64_t Count)
+        : Up(std::move(Up)), Remaining(Count) {}
+
+    bool moveNext() override {
+      if (Remaining == 0)
+        return false;
+      if (!Up->moveNext()) {
+        Remaining = 0;
+        return false;
+      }
+      --Remaining;
+      return true;
+    }
+
+    T current() const override { return Up->current(); }
+
+  private:
+    std::unique_ptr<Enumerator<T>> Up;
+    std::int64_t Remaining;
+  };
+
+  std::shared_ptr<const Enumerable<T>> Upstream;
+  std::int64_t Count;
+};
+
+/// Skip(n): discards the first n elements.
+template <typename T> class SkipEnumerable final : public Enumerable<T> {
+public:
+  SkipEnumerable(std::shared_ptr<const Enumerable<T>> Upstream,
+                 std::int64_t Count)
+      : Upstream(std::move(Upstream)), Count(Count < 0 ? 0 : Count) {}
+
+  std::unique_ptr<Enumerator<T>> getEnumerator() const override {
+    return std::make_unique<Iter>(Upstream->getEnumerator(), Count);
+  }
+
+private:
+  class Iter final : public Enumerator<T> {
+  public:
+    Iter(std::unique_ptr<Enumerator<T>> Up, std::int64_t Count)
+        : Up(std::move(Up)), ToSkip(Count) {}
+
+    bool moveNext() override {
+      while (ToSkip > 0) {
+        if (!Up->moveNext()) {
+          ToSkip = 0;
+          return false;
+        }
+        --ToSkip;
+      }
+      return Up->moveNext();
+    }
+
+    T current() const override { return Up->current(); }
+
+  private:
+    std::unique_ptr<Enumerator<T>> Up;
+    std::int64_t ToSkip;
+  };
+
+  std::shared_ptr<const Enumerable<T>> Upstream;
+  std::int64_t Count;
+};
+
+/// TakeWhile(p): yields elements until the predicate first fails.
+template <typename T> class TakeWhileEnumerable final : public Enumerable<T> {
+public:
+  TakeWhileEnumerable(std::shared_ptr<const Enumerable<T>> Upstream,
+                      std::function<bool(T)> Pred)
+      : Upstream(std::move(Upstream)), Pred(std::move(Pred)) {}
+
+  std::unique_ptr<Enumerator<T>> getEnumerator() const override {
+    return std::make_unique<Iter>(Upstream->getEnumerator(), Pred);
+  }
+
+private:
+  class Iter final : public Enumerator<T> {
+  public:
+    Iter(std::unique_ptr<Enumerator<T>> Up, std::function<bool(T)> Pred)
+        : Up(std::move(Up)), Pred(std::move(Pred)) {}
+
+    bool moveNext() override {
+      if (Done || !Up->moveNext())
+        return false;
+      Value = Up->current();
+      if (!Pred(Value)) {
+        Done = true;
+        return false;
+      }
+      return true;
+    }
+
+    T current() const override { return Value; }
+
+  private:
+    std::unique_ptr<Enumerator<T>> Up;
+    std::function<bool(T)> Pred;
+    T Value{};
+    bool Done = false;
+  };
+
+  std::shared_ptr<const Enumerable<T>> Upstream;
+  std::function<bool(T)> Pred;
+};
+
+/// SkipWhile(p): discards the longest matching prefix.
+template <typename T> class SkipWhileEnumerable final : public Enumerable<T> {
+public:
+  SkipWhileEnumerable(std::shared_ptr<const Enumerable<T>> Upstream,
+                      std::function<bool(T)> Pred)
+      : Upstream(std::move(Upstream)), Pred(std::move(Pred)) {}
+
+  std::unique_ptr<Enumerator<T>> getEnumerator() const override {
+    return std::make_unique<Iter>(Upstream->getEnumerator(), Pred);
+  }
+
+private:
+  class Iter final : public Enumerator<T> {
+  public:
+    Iter(std::unique_ptr<Enumerator<T>> Up, std::function<bool(T)> Pred)
+        : Up(std::move(Up)), Pred(std::move(Pred)) {}
+
+    bool moveNext() override {
+      if (!Skipping)
+        return Up->moveNext();
+      while (Up->moveNext()) {
+        if (!Pred(Up->current())) {
+          Skipping = false;
+          return true;
+        }
+      }
+      Skipping = false;
+      return false;
+    }
+
+    T current() const override { return Up->current(); }
+
+  private:
+    std::unique_ptr<Enumerator<T>> Up;
+    std::function<bool(T)> Pred;
+    bool Skipping = true;
+  };
+
+  std::shared_ptr<const Enumerable<T>> Upstream;
+  std::function<bool(T)> Pred;
+};
+
+/// SelectMany(f): flattens the per-element sub-sequences produced by f.
+/// This is the nested-iterator pattern of paper §5: every inner element
+/// crosses two iterator boundaries.
+template <typename TIn, typename TOut>
+class SelectManyEnumerable final : public Enumerable<TOut> {
+public:
+  using CollectionFn =
+      std::function<std::shared_ptr<const Enumerable<TOut>>(TIn)>;
+
+  SelectManyEnumerable(std::shared_ptr<const Enumerable<TIn>> Upstream,
+                       CollectionFn Fn)
+      : Upstream(std::move(Upstream)), Fn(std::move(Fn)) {}
+
+  std::unique_ptr<Enumerator<TOut>> getEnumerator() const override {
+    return std::make_unique<Iter>(Upstream->getEnumerator(), Fn);
+  }
+
+private:
+  class Iter final : public Enumerator<TOut> {
+  public:
+    Iter(std::unique_ptr<Enumerator<TIn>> Up, CollectionFn Fn)
+        : Up(std::move(Up)), Fn(std::move(Fn)) {}
+
+    bool moveNext() override {
+      for (;;) {
+        if (Inner) {
+          if (Inner->moveNext())
+            return true;
+          Inner.reset();
+        }
+        if (!Up->moveNext())
+          return false;
+        std::shared_ptr<const Enumerable<TOut>> Sub = Fn(Up->current());
+        InnerOwner = Sub;
+        Inner = Sub->getEnumerator();
+      }
+    }
+
+    TOut current() const override { return Inner->current(); }
+
+  private:
+    std::unique_ptr<Enumerator<TIn>> Up;
+    CollectionFn Fn;
+    std::shared_ptr<const Enumerable<TOut>> InnerOwner;
+    std::unique_ptr<Enumerator<TOut>> Inner;
+  };
+
+  std::shared_ptr<const Enumerable<TIn>> Upstream;
+  CollectionFn Fn;
+};
+
+/// Concat: yields all of First, then all of Second.
+template <typename T> class ConcatEnumerable final : public Enumerable<T> {
+public:
+  ConcatEnumerable(std::shared_ptr<const Enumerable<T>> First,
+                   std::shared_ptr<const Enumerable<T>> Second)
+      : First(std::move(First)), Second(std::move(Second)) {}
+
+  std::unique_ptr<Enumerator<T>> getEnumerator() const override {
+    return std::make_unique<Iter>(First->getEnumerator(),
+                                  Second->getEnumerator());
+  }
+
+private:
+  class Iter final : public Enumerator<T> {
+  public:
+    Iter(std::unique_ptr<Enumerator<T>> A, std::unique_ptr<Enumerator<T>> B)
+        : A(std::move(A)), B(std::move(B)) {}
+
+    bool moveNext() override {
+      if (OnFirst) {
+        if (A->moveNext())
+          return true;
+        OnFirst = false;
+      }
+      return B->moveNext();
+    }
+
+    T current() const override {
+      return OnFirst ? A->current() : B->current();
+    }
+
+  private:
+    std::unique_ptr<Enumerator<T>> A;
+    std::unique_ptr<Enumerator<T>> B;
+    bool OnFirst = true;
+  };
+
+  std::shared_ptr<const Enumerable<T>> First;
+  std::shared_ptr<const Enumerable<T>> Second;
+};
+
+/// Zip: pairs elements positionally, stopping at the shorter input.
+template <typename A, typename B>
+class ZipEnumerable final : public Enumerable<std::pair<A, B>> {
+public:
+  ZipEnumerable(std::shared_ptr<const Enumerable<A>> First,
+                std::shared_ptr<const Enumerable<B>> Second)
+      : First(std::move(First)), Second(std::move(Second)) {}
+
+  std::unique_ptr<Enumerator<std::pair<A, B>>>
+  getEnumerator() const override {
+    return std::make_unique<Iter>(First->getEnumerator(),
+                                  Second->getEnumerator());
+  }
+
+private:
+  class Iter final : public Enumerator<std::pair<A, B>> {
+  public:
+    Iter(std::unique_ptr<Enumerator<A>> EA, std::unique_ptr<Enumerator<B>> EB)
+        : EA(std::move(EA)), EB(std::move(EB)) {}
+
+    bool moveNext() override { return EA->moveNext() && EB->moveNext(); }
+
+    std::pair<A, B> current() const override {
+      return {EA->current(), EB->current()};
+    }
+
+  private:
+    std::unique_ptr<Enumerator<A>> EA;
+    std::unique_ptr<Enumerator<B>> EB;
+  };
+
+  std::shared_ptr<const Enumerable<A>> First;
+  std::shared_ptr<const Enumerable<B>> Second;
+};
+
+/// Distinct: suppresses duplicates (first occurrence wins). Requires
+/// std::hash<T> and operator==.
+template <typename T> class DistinctEnumerable final : public Enumerable<T> {
+public:
+  explicit DistinctEnumerable(std::shared_ptr<const Enumerable<T>> Upstream)
+      : Upstream(std::move(Upstream)) {}
+
+  std::unique_ptr<Enumerator<T>> getEnumerator() const override {
+    return std::make_unique<Iter>(Upstream->getEnumerator());
+  }
+
+private:
+  class Iter final : public Enumerator<T> {
+  public:
+    explicit Iter(std::unique_ptr<Enumerator<T>> Up) : Up(std::move(Up)) {}
+
+    bool moveNext() override {
+      while (Up->moveNext()) {
+        T Candidate = Up->current();
+        if (Seen.insert(Candidate).second) {
+          Value = std::move(Candidate);
+          return true;
+        }
+      }
+      return false;
+    }
+
+    T current() const override { return Value; }
+
+  private:
+    std::unique_ptr<Enumerator<T>> Up;
+    std::unordered_set<T> Seen;
+    T Value{};
+  };
+
+  std::shared_ptr<const Enumerable<T>> Upstream;
+};
+
+/// Reverse: a sink that materializes the input on first moveNext and yields
+/// it back to front.
+template <typename T> class ReverseEnumerable final : public Enumerable<T> {
+public:
+  explicit ReverseEnumerable(std::shared_ptr<const Enumerable<T>> Upstream)
+      : Upstream(std::move(Upstream)) {}
+
+  std::unique_ptr<Enumerator<T>> getEnumerator() const override {
+    return std::make_unique<Iter>(Upstream);
+  }
+
+private:
+  class Iter final : public Enumerator<T> {
+  public:
+    explicit Iter(std::shared_ptr<const Enumerable<T>> Source)
+        : Source(std::move(Source)) {}
+
+    bool moveNext() override {
+      if (!Materialized) {
+        std::unique_ptr<Enumerator<T>> Up = Source->getEnumerator();
+        while (Up->moveNext())
+          Buffer.push_back(Up->current());
+        Pos = Buffer.size();
+        Materialized = true;
+      }
+      if (Pos == 0)
+        return false;
+      --Pos;
+      return true;
+    }
+
+    T current() const override { return Buffer[Pos]; }
+
+  private:
+    std::shared_ptr<const Enumerable<T>> Source;
+    std::vector<T> Buffer;
+    size_t Pos = 0;
+    bool Materialized = false;
+  };
+
+  std::shared_ptr<const Enumerable<T>> Upstream;
+};
+
+} // namespace linq
+} // namespace steno
+
+#endif // STENO_LINQ_TRANSFORMS_H

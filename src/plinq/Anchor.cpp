@@ -1,0 +1,20 @@
+//===- plinq/Anchor.cpp ---------------------------------------*- C++ -*-===//
+//
+// The plinq library is header-only; this file anchors the static library
+// target and sanity-instantiates the common specialization.
+//
+//===----------------------------------------------------------------------===//
+
+#include "plinq/Plinq.h"
+
+namespace steno {
+namespace plinq {
+
+/// Build-time instantiation check.
+double anchorParallelSum(dryad::ThreadPool &Pool, const double *Data,
+                         std::size_t N) {
+  return ParSeq<double>::fromSpan(Pool, Data, N).sum();
+}
+
+} // namespace plinq
+} // namespace steno

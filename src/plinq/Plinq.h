@@ -1,0 +1,171 @@
+//===- plinq/Plinq.h - Parallel LINQ over iterator chains ------*- C++ -*-===//
+//
+// Part of the Steno/C++ reproduction of Murray, Isard & Yu,
+// "Steno: Automatic Optimization of Declarative Queries" (PLDI 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The PLINQ analogue of paper §6: "PLINQ provides the same operators as
+/// LINQ, but operates on a ParallelEnumerable collection, which uses a
+/// Partitioner object to assign elements to each thread. PLINQ uses
+/// iterators to compose query operators, and therefore suffers from
+/// similar virtual call overheads to sequential LINQ."
+///
+/// ParSeq<T> is exactly that: a Partitioner chunks the source across the
+/// worker pool, each worker evaluates a *lazy iterator chain* (the linq
+/// baseline) over its chunk, and aggregates combine per-partition
+/// partials. It parallelizes the work but keeps the two-virtual-calls-
+/// per-element-per-operator cost — which is why the modified DryadLINQ
+/// of §6 replaces it with HomomorphicApply over Steno-compiled bodies
+/// (see dryad/HomomorphicApply.h and bench/abl_plinq).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STENO_PLINQ_PLINQ_H
+#define STENO_PLINQ_PLINQ_H
+
+#include "dryad/HomomorphicApply.h"
+#include "dryad/ThreadPool.h"
+#include "linq/Seq.h"
+
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace steno {
+namespace plinq {
+
+/// The Partitioner: chunks [Data, Data+Count) into near-equal contiguous
+/// ranges, one per worker.
+template <typename T>
+std::vector<linq::Seq<T>> partitionSpan(const T *Data, std::size_t Count,
+                                        unsigned Parts) {
+  assert(Parts > 0 && "need at least one partition");
+  std::vector<linq::Seq<T>> Out;
+  Out.reserve(Parts);
+  std::size_t Base = Count / Parts;
+  std::size_t Extra = Count % Parts;
+  std::size_t Pos = 0;
+  for (unsigned P = 0; P != Parts; ++P) {
+    std::size_t Len = Base + (P < Extra ? 1 : 0);
+    Out.push_back(linq::fromSpan(Data + Pos, Len));
+    Pos += Len;
+  }
+  return Out;
+}
+
+/// ParallelEnumerable<T>: a set of per-partition lazy sequences plus the
+/// pool they evaluate on. Composable operators extend every partition's
+/// iterator chain; aggregates evaluate the chains in parallel and merge.
+template <typename T> class ParSeq {
+public:
+  ParSeq(dryad::ThreadPool &Pool, std::vector<linq::Seq<T>> Partitions)
+      : Pool(&Pool), Partitions(std::move(Partitions)) {}
+
+  /// AsParallel() over a borrowed buffer: one partition per pool worker.
+  static ParSeq fromSpan(dryad::ThreadPool &Pool, const T *Data,
+                         std::size_t Count) {
+    return ParSeq(Pool, partitionSpan(Data, Count, Pool.workerCount()));
+  }
+
+  unsigned partitionCount() const {
+    return static_cast<unsigned>(Partitions.size());
+  }
+
+  //===--------------------------------------------------------------===//
+  // Composable operators (homomorphic, so they lift partition-wise)
+  //===--------------------------------------------------------------===//
+
+  template <typename F> auto select(F Fn) const {
+    using U = std::invoke_result_t<F, T>;
+    std::vector<linq::Seq<U>> Out;
+    Out.reserve(Partitions.size());
+    for (const linq::Seq<T> &Part : Partitions)
+      Out.push_back(Part.select(Fn));
+    return ParSeq<U>(*Pool, std::move(Out));
+  }
+
+  template <typename F> ParSeq<T> where(F Pred) const {
+    std::vector<linq::Seq<T>> Out;
+    Out.reserve(Partitions.size());
+    for (const linq::Seq<T> &Part : Partitions)
+      Out.push_back(Part.where(Pred));
+    return ParSeq<T>(*Pool, std::move(Out));
+  }
+
+  template <typename F> auto selectMany(F Fn) const {
+    using U = typename std::invoke_result_t<F, T>::value_type;
+    std::vector<linq::Seq<U>> Out;
+    Out.reserve(Partitions.size());
+    for (const linq::Seq<T> &Part : Partitions)
+      Out.push_back(Part.selectMany(Fn));
+    return ParSeq<U>(*Pool, std::move(Out));
+  }
+
+  //===--------------------------------------------------------------===//
+  // Aggregates (parallel partials + combine, the Figure 12 shape)
+  //===--------------------------------------------------------------===//
+
+  T sum() const {
+    std::vector<T> Partials = dryad::homomorphicApply(
+        *Pool, Partitions,
+        [](const linq::Seq<T> &Part) { return Part.sum(); });
+    T Total{};
+    for (const T &V : Partials)
+      Total = Total + V;
+    return Total;
+  }
+
+  std::int64_t count() const {
+    std::vector<std::int64_t> Partials = dryad::homomorphicApply(
+        *Pool, Partitions,
+        [](const linq::Seq<T> &Part) { return Part.count(); });
+    std::int64_t Total = 0;
+    for (std::int64_t V : Partials)
+      Total += V;
+    return Total;
+  }
+
+  /// Aggregate with an explicit associative combiner (the distributed-
+  /// aggregation interface of the paper's [33]).
+  template <typename U, typename FStep, typename FCombine>
+  U aggregate(U Seed, FStep Step, FCombine Combine) const {
+    std::vector<U> Partials = dryad::homomorphicApply(
+        *Pool, Partitions, [&Seed, &Step](const linq::Seq<T> &Part) {
+          return Part.aggregate(Seed, Step);
+        });
+    U Total = std::move(Seed);
+    for (U &V : Partials)
+      Total = Combine(std::move(Total), std::move(V));
+    return Total;
+  }
+
+  /// Materializes in partition order (PLINQ's AsOrdered semantics).
+  std::vector<T> toVector() const {
+    std::vector<std::vector<T>> Chunks = dryad::homomorphicApply(
+        *Pool, Partitions,
+        [](const linq::Seq<T> &Part) { return Part.toVector(); });
+    std::vector<T> Out;
+    for (std::vector<T> &Chunk : Chunks)
+      for (T &V : Chunk)
+        Out.push_back(std::move(V));
+    return Out;
+  }
+
+private:
+  dryad::ThreadPool *Pool;
+  std::vector<linq::Seq<T>> Partitions;
+};
+
+/// Convenience: xs.AsParallel() over a vector.
+template <typename T>
+ParSeq<T> asParallel(dryad::ThreadPool &Pool, const std::vector<T> &Data) {
+  return ParSeq<T>::fromSpan(Pool, Data.data(), Data.size());
+}
+
+} // namespace plinq
+} // namespace steno
+
+#endif // STENO_PLINQ_PLINQ_H

@@ -1,0 +1,346 @@
+//===- quil/Lower.cpp - Query AST -> QUIL lowering -------------*- C++ -*-===//
+///
+/// \file
+/// Implements Table 1 of the paper: each LINQ-level operator yields one
+/// QUIL symbol (nested operators yield a Nested op wrapping a recursively
+/// lowered chain). Aggregate sugar is expanded here: Sum, Min, Max, Count
+/// and Average are all left folds (Haskell foldl in Table 1), so they lower
+/// to Agg ops with synthesized seed/step/result lambdas.
+///
+//===----------------------------------------------------------------------===//
+
+#include "quil/Quil.h"
+#include "expr/Analysis.h"
+#include "support/Error.h"
+
+#include <cassert>
+#include <limits>
+
+using namespace steno;
+using namespace steno::quil;
+using expr::Expr;
+using expr::ExprRef;
+using expr::Lambda;
+using expr::Type;
+using expr::TypeRef;
+using query::OpKind;
+using query::QueryNodeRef;
+
+namespace {
+
+/// Parameter names for synthesized fold lambdas. They never leak into
+/// generated code (the code generator renames every parameter to a
+/// generated local), and the evaluator's innermost-binding-wins lookup
+/// keeps nested synthesized folds lexically correct.
+constexpr const char *AccName = "__acc";
+constexpr const char *ElemName = "__x";
+
+Lambda sumStep(const TypeRef &Elem) {
+  ExprRef Acc = Expr::param(AccName, Elem);
+  ExprRef X = Expr::param(ElemName, Elem);
+  return Lambda({{AccName, Elem}, {ElemName, Elem}},
+                Expr::binary(expr::BinaryOp::Add, Acc, X));
+}
+
+/// Combiner parameter names for synthesized Agg* lambdas.
+constexpr const char *AccAName = "__a";
+constexpr const char *AccBName = "__b";
+
+Lambda addCombiner(const TypeRef &Acc) {
+  ExprRef A = Expr::param(AccAName, Acc);
+  ExprRef B = Expr::param(AccBName, Acc);
+  return Lambda({{AccAName, Acc}, {AccBName, Acc}},
+                Expr::binary(expr::BinaryOp::Add, A, B));
+}
+
+Lambda extremeCombiner(const TypeRef &Acc, bool IsMin) {
+  ExprRef A = Expr::param(AccAName, Acc);
+  ExprRef B = Expr::param(AccBName, Acc);
+  ExprRef Better = Expr::binary(
+      IsMin ? expr::BinaryOp::Lt : expr::BinaryOp::Gt, B, A);
+  return Lambda({{AccAName, Acc}, {AccBName, Acc}},
+                Expr::cond(Better, B, A));
+}
+
+ExprRef zeroOf(const TypeRef &Ty) {
+  return Ty->isDouble() ? Expr::constDouble(0.0)
+                        : Expr::constInt64(0);
+}
+
+/// Lowers one aggregate-sugar operator into (Seed, Step, Result[, Stop]).
+void lowerAggSugar(const QueryNodeRef &N, const TypeRef &Elem, Op &Out) {
+  OpKind K = N->kind();
+  switch (K) {
+  case OpKind::Sum:
+    Out.Seed = zeroOf(Elem);
+    Out.Fn2 = sumStep(Elem);
+    Out.Combine = addCombiner(Elem);
+    return;
+  case OpKind::Min:
+  case OpKind::Max: {
+    bool IsMin = K == OpKind::Min;
+    // Identity element: the type's extreme value. (LINQ's Min/Max throw on
+    // empty input; a fold needs an identity, so empty input yields the
+    // sentinel. Documented deviation; see DESIGN.md.)
+    ExprRef Seed;
+    if (Elem->isDouble())
+      Seed = Expr::constDouble(IsMin
+                                   ? std::numeric_limits<double>::infinity()
+                                   : -std::numeric_limits<double>::infinity());
+    else
+      Seed = Expr::constInt64(IsMin ? std::numeric_limits<std::int64_t>::max()
+                                    : std::numeric_limits<std::int64_t>::min());
+    ExprRef Acc = Expr::param(AccName, Elem);
+    ExprRef X = Expr::param(ElemName, Elem);
+    ExprRef Better = Expr::binary(IsMin ? expr::BinaryOp::Lt
+                                        : expr::BinaryOp::Gt,
+                                  X, Acc);
+    Out.Seed = std::move(Seed);
+    Out.Fn2 = Lambda({{AccName, Elem}, {ElemName, Elem}},
+                     Expr::cond(Better, X, Acc));
+    Out.Combine = extremeCombiner(Elem, IsMin);
+    return;
+  }
+  case OpKind::Count: {
+    TypeRef I64 = Type::int64Ty();
+    ExprRef Acc = Expr::param(AccName, I64);
+    Out.Seed = Expr::constInt64(0);
+    Out.Fn2 = Lambda({{AccName, I64}, {ElemName, Elem}},
+                     Expr::binary(expr::BinaryOp::Add, Acc,
+                                  Expr::constInt64(1)));
+    Out.Combine = addCombiner(I64);
+    return;
+  }
+  case OpKind::Any: {
+    TypeRef B = Type::boolTy();
+    Out.Seed = Expr::constBool(false);
+    Out.Fn2 = Lambda({{AccName, B}, {ElemName, Elem}},
+                     Expr::constBool(true));
+    Out.StopWhen = Lambda({{AccName, B}}, Expr::param(AccName, B));
+    return;
+  }
+  case OpKind::All: {
+    // foldl true (a, x) -> a && p(x); stop once false.
+    TypeRef B = Type::boolTy();
+    ExprRef Acc = Expr::param(AccName, B);
+    ExprRef PredApplied = expr::substituteParams(
+        N->fn().body(),
+        {{N->fn().param(0).Name, Expr::param(ElemName, Elem)}});
+    Out.Seed = Expr::constBool(true);
+    Out.Fn2 = Lambda({{AccName, B}, {ElemName, Elem}},
+                     Expr::binary(expr::BinaryOp::And, Acc, PredApplied));
+    Out.StopWhen = Lambda({{AccName, B}},
+                          Expr::unary(expr::UnaryOp::Not, Acc));
+    return;
+  }
+  case OpKind::FirstOrDefault: {
+    // acc = (found, value); take the first element, then stop.
+    TypeRef B = Type::boolTy();
+    TypeRef AccTy = Type::pairTy(B, Elem);
+    ExprRef Acc = Expr::param(AccName, AccTy);
+    ExprRef X = Expr::param(ElemName, Elem);
+    Out.Seed = Expr::pairNew(Expr::constBool(false), N->arg());
+    Out.Fn2 = Lambda({{AccName, AccTy}, {ElemName, Elem}},
+                     Expr::cond(Expr::pairFirst(Acc), Acc,
+                                Expr::pairNew(Expr::constBool(true), X)));
+    Out.StopWhen = Lambda({{AccName, AccTy}}, Expr::pairFirst(Acc));
+    ExprRef RAcc = Expr::param(AccName, AccTy);
+    Out.Fn3 = Lambda({{AccName, AccTy}}, Expr::pairSecond(RAcc));
+    return;
+  }
+  case OpKind::Contains: {
+    TypeRef B = Type::boolTy();
+    ExprRef Acc = Expr::param(AccName, B);
+    ExprRef X = Expr::param(ElemName, Elem);
+    Out.Seed = Expr::constBool(false);
+    Out.Fn2 =
+        Lambda({{AccName, B}, {ElemName, Elem}},
+               Expr::binary(expr::BinaryOp::Or, Acc,
+                            Expr::binary(expr::BinaryOp::Eq, X, N->arg())));
+    Out.StopWhen = Lambda({{AccName, B}}, Acc);
+    return;
+  }
+  case OpKind::Average: {
+    // foldl over (sum, n), then sum / n — expressible because the
+    // accumulator may be a pair.
+    TypeRef D = Type::doubleTy();
+    TypeRef I64 = Type::int64Ty();
+    TypeRef AccTy = Type::pairTy(D, I64);
+    ExprRef Acc = Expr::param(AccName, AccTy);
+    ExprRef X = Expr::param(ElemName, Elem);
+    ExprRef NewSum = Expr::binary(expr::BinaryOp::Add, Expr::pairFirst(Acc),
+                                  Expr::convert(X, D));
+    ExprRef NewN = Expr::binary(expr::BinaryOp::Add, Expr::pairSecond(Acc),
+                                Expr::constInt64(1));
+    Out.Seed = Expr::pairNew(Expr::constDouble(0.0), Expr::constInt64(0));
+    Out.Fn2 = Lambda({{AccName, AccTy}, {ElemName, Elem}},
+                     Expr::pairNew(NewSum, NewN));
+    ExprRef RAcc = Expr::param(AccName, AccTy);
+    Out.Fn3 = Lambda({{AccName, AccTy}},
+                     Expr::binary(expr::BinaryOp::Div, Expr::pairFirst(RAcc),
+                                  Expr::convert(Expr::pairSecond(RAcc), D)));
+    // Pairwise (sum, count) addition is associative.
+    ExprRef A = Expr::param(AccAName, AccTy);
+    ExprRef B = Expr::param(AccBName, AccTy);
+    Out.Combine = Lambda(
+        {{AccAName, AccTy}, {AccBName, AccTy}},
+        Expr::pairNew(Expr::binary(expr::BinaryOp::Add, Expr::pairFirst(A),
+                                   Expr::pairFirst(B)),
+                      Expr::binary(expr::BinaryOp::Add,
+                                   Expr::pairSecond(A),
+                                   Expr::pairSecond(B))));
+    return;
+  }
+  default:
+    stenoUnreachable("not an aggregate-sugar operator");
+  }
+}
+
+Chain lowerChain(const query::Query &Q);
+
+Op lowerNode(const QueryNodeRef &N, const TypeRef &InElem) {
+  Op Out;
+  Out.InElem = InElem;
+  Out.OutElem = N->resultType();
+  switch (N->kind()) {
+  case OpKind::Source:
+    Out.S = Sym::Src;
+    Out.Src = N->source();
+    return Out;
+  case OpKind::Select:
+    Out.S = Sym::Trans;
+    Out.Fn = N->fn();
+    return Out;
+  case OpKind::Where:
+    Out.S = Sym::Pred;
+    Out.P = PredOp::Where;
+    Out.Fn = N->fn();
+    return Out;
+  case OpKind::Take:
+  case OpKind::Skip:
+    Out.S = Sym::Pred;
+    Out.P = N->kind() == OpKind::Take ? PredOp::Take : PredOp::Skip;
+    Out.Seed = N->arg();
+    return Out;
+  case OpKind::TakeWhile:
+  case OpKind::SkipWhile:
+    Out.S = Sym::Pred;
+    Out.P = N->kind() == OpKind::TakeWhile ? PredOp::TakeWhile
+                                           : PredOp::SkipWhile;
+    Out.Fn = N->fn();
+    return Out;
+  case OpKind::SelectNested:
+  case OpKind::WhereNested:
+  case OpKind::SelectMany: {
+    Out.S = Sym::Nested;
+    Out.Role = N->kind() == OpKind::SelectNested ? NestedRole::Trans
+               : N->kind() == OpKind::WhereNested ? NestedRole::Pred
+                                                  : NestedRole::Flatten;
+    Out.NestedChain =
+        std::make_shared<const Chain>(lowerChain(query::Query(N->nested())));
+    Out.OuterParam = N->outerParam();
+    Out.OuterParamTy = N->outerParamType();
+    return Out;
+  }
+  case OpKind::GroupBy:
+    Out.S = Sym::Sink;
+    Out.K = SinkOp::GroupBy;
+    Out.Fn = N->fn();
+    return Out;
+  case OpKind::GroupByAggregate:
+    Out.S = Sym::Sink;
+    Out.K = SinkOp::GroupByAggregate;
+    Out.Fn = N->fn();
+    Out.Fn2 = N->fn2();
+    Out.Fn3 = N->fn3();
+    Out.Combine = N->combiner();
+    Out.Seed = N->arg();
+    Out.DenseKeys = N->denseKeys();
+    return Out;
+  case OpKind::OrderBy:
+    Out.S = Sym::Sink;
+    Out.K = SinkOp::OrderBy;
+    Out.Fn = N->fn();
+    return Out;
+  case OpKind::ToArray:
+    Out.S = Sym::Sink;
+    Out.K = SinkOp::ToArray;
+    return Out;
+  case OpKind::Aggregate:
+    Out.S = Sym::Agg;
+    Out.Fn2 = N->fn();
+    Out.Fn3 = N->fn2();
+    Out.Combine = N->combiner();
+    Out.Seed = N->arg();
+    return Out;
+  case OpKind::Sum:
+  case OpKind::Min:
+  case OpKind::Max:
+  case OpKind::Count:
+  case OpKind::Average:
+  case OpKind::Any:
+  case OpKind::All:
+  case OpKind::FirstOrDefault:
+  case OpKind::Contains:
+    Out.S = Sym::Agg;
+    lowerAggSugar(N, InElem, Out);
+    return Out;
+  }
+  stenoUnreachable("bad OpKind");
+}
+
+Chain lowerChain(const query::Query &Q) {
+  assert(Q.valid() && "lowering an invalid query");
+  Chain C;
+  TypeRef Elem; // element type flowing into the next operator
+  for (const QueryNodeRef &N : Q.chain()) {
+    C.Ops.push_back(lowerNode(N, Elem));
+    Elem = C.Ops.back().OutElem;
+  }
+  Op Ret;
+  Ret.S = Sym::Ret;
+  Ret.InElem = Elem;
+  Ret.OutElem = Elem;
+  C.Ops.push_back(std::move(Ret));
+  C.Result = Q.resultType();
+  C.Scalar = Q.scalarResult();
+  return C;
+}
+
+} // namespace
+
+Chain quil::lower(const query::Query &Q) { return lowerChain(Q); }
+
+const char *quil::symName(Sym S) {
+  switch (S) {
+  case Sym::Src:
+    return "Src";
+  case Sym::Trans:
+    return "Trans";
+  case Sym::Pred:
+    return "Pred";
+  case Sym::Sink:
+    return "Sink";
+  case Sym::Agg:
+    return "Agg";
+  case Sym::Ret:
+    return "Ret";
+  case Sym::Nested:
+    return "Nested";
+  }
+  stenoUnreachable("bad Sym");
+}
+
+std::string Chain::symbols() const {
+  std::string Out;
+  for (const Op &O : Ops) {
+    if (!Out.empty())
+      Out += " ";
+    if (O.S == Sym::Nested) {
+      Out += "(" + O.NestedChain->symbols() + ")";
+      continue;
+    }
+    Out += symName(O.S);
+  }
+  return Out;
+}

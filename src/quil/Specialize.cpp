@@ -1,0 +1,250 @@
+//===- quil/Specialize.cpp - GroupBy-Aggregate fusion (§4.3) ---*- C++ -*-===//
+///
+/// \file
+/// Operator specialization (paper §4.3): a GroupBy sink whose groups are
+/// immediately reduced by a per-group aggregation — the reduce() pattern of
+/// MapReduce — is rewritten into a fused GroupByAggregate sink that keeps
+/// one partial accumulator per key instead of materializing every group's
+/// bag. The recognized shape is
+///
+///   ... Sink(GroupBy key) Nested[Trans, g](
+///         Src(VecExpr = g.second) Trans* Pred(Where)* Agg(seed, step
+///         [, result]) Ret ) ...
+///
+/// i.e. "group, then for each group fold its bag" with the group's bag used
+/// only as the nested source and the group's key used only as g.first. The
+/// rewrite composes the bag-side Trans/Where operators into the fold step
+/// and re-targets the result selector onto (key, acc).
+///
+//===----------------------------------------------------------------------===//
+
+#include "quil/Quil.h"
+#include "expr/Analysis.h"
+#include "support/Error.h"
+
+#include <cassert>
+
+using namespace steno;
+using namespace steno::quil;
+using expr::Expr;
+using expr::ExprKind;
+using expr::ExprRef;
+using expr::Lambda;
+using expr::Type;
+using expr::TypeRef;
+
+namespace {
+
+constexpr const char *FusedAcc = "__gacc";
+constexpr const char *FusedElem = "__gx";
+constexpr const char *FusedKey = "__gkey";
+
+/// True if \p E is exactly PairSecond(Param(\p Name)).
+bool isBagOfParam(const Expr &E, const std::string &Name) {
+  return E.kind() == ExprKind::PairSecond &&
+         E.operand(0)->kind() == ExprKind::Param &&
+         E.operand(0)->paramName() == Name;
+}
+
+/// Checks that every use of the group parameter \p Name inside \p E is of
+/// the form PairFirst(g) — i.e. only the key is consumed, never the bag
+/// and never the whole group value.
+bool usesOnlyKeyOf(const Expr &E, const std::string &Name) {
+  if (E.kind() == ExprKind::PairFirst &&
+      E.operand(0)->kind() == ExprKind::Param &&
+      E.operand(0)->paramName() == Name)
+    return true; // g.first is fine; do not descend into the Param itself.
+  if (E.kind() == ExprKind::Param && E.paramName() == Name)
+    return false; // bare g (or g.second via the caller's walk) — not fusable
+  for (const ExprRef &Op : E.operands())
+    if (!usesOnlyKeyOf(*Op, Name))
+      return false;
+  return true;
+}
+
+/// Rewrites PairFirst(Param(g)) -> Replacement within \p E.
+ExprRef replaceKeyOf(const ExprRef &E, const std::string &Name,
+                     const ExprRef &Replacement) {
+  if (E->kind() == ExprKind::PairFirst &&
+      E->operand(0)->kind() == ExprKind::Param &&
+      E->operand(0)->paramName() == Name)
+    return Replacement;
+  if (E->operands().empty())
+    return E;
+  // Rebuild through substituteParams-style recursion: reuse Analysis by
+  // temporarily substituting via a unique param is more code than a direct
+  // rebuild, so rebuild manually through the factories.
+  std::vector<ExprRef> Ops;
+  Ops.reserve(E->operands().size());
+  bool Changed = false;
+  for (const ExprRef &Op : E->operands()) {
+    ExprRef NewOp = replaceKeyOf(Op, Name, Replacement);
+    Changed |= NewOp != Op;
+    Ops.push_back(std::move(NewOp));
+  }
+  if (!Changed)
+    return E;
+  switch (E->kind()) {
+  case ExprKind::Convert:
+    return Expr::convert(Ops[0], E->type());
+  case ExprKind::Unary:
+    return Expr::unary(E->unaryOp(), Ops[0]);
+  case ExprKind::Binary:
+    return Expr::binary(E->binaryOp(), Ops[0], Ops[1]);
+  case ExprKind::Call:
+    return Expr::call(E->builtin(), std::move(Ops));
+  case ExprKind::Cond:
+    return Expr::cond(Ops[0], Ops[1], Ops[2]);
+  case ExprKind::PairNew:
+    return Expr::pairNew(Ops[0], Ops[1]);
+  case ExprKind::PairFirst:
+    return Expr::pairFirst(Ops[0]);
+  case ExprKind::PairSecond:
+    return Expr::pairSecond(Ops[0]);
+  case ExprKind::VecLen:
+    return Expr::vecLen(Ops[0]);
+  case ExprKind::VecIndex:
+    return Expr::vecIndex(Ops[0], Ops[1]);
+  case ExprKind::BufferSlice:
+    return Expr::bufferSlice(E->sourceSlot(), Ops[0], Ops[1]);
+  default:
+    stenoUnreachable("leaf with operands");
+  }
+}
+
+/// Attempts to build the fused GroupByAggregate op for GroupBy op \p G
+/// followed by nested-Trans op \p N. Returns std::nullopt if the shape
+/// does not match.
+std::optional<Op> tryFuse(const Op &G, const Op &N) {
+  if (G.S != Sym::Sink || G.K != SinkOp::GroupBy)
+    return std::nullopt;
+  if (N.S != Sym::Nested || N.Role != NestedRole::Trans)
+    return std::nullopt;
+
+  const Chain &Inner = *N.NestedChain;
+  const std::string &GName = N.OuterParam;
+
+  // The nested source must be exactly the group's bag.
+  const Op &Src = Inner.Ops.front();
+  if (Src.S != Sym::Src || Src.Src.Kind != query::SourceKind::VecExpr ||
+      !isBagOfParam(*Src.Src.Vec, GName))
+    return std::nullopt;
+
+  // Middle operators: only Trans and stateless Where may fuse into the
+  // fold step; the chain must end Agg Ret.
+  if (Inner.Ops.size() < 3)
+    return std::nullopt;
+  const Op &Agg = Inner.Ops[Inner.Ops.size() - 2];
+  if (Agg.S != Sym::Agg)
+    return std::nullopt;
+  for (size_t I = 1; I + 2 < Inner.Ops.size(); ++I) {
+    const Op &Mid = Inner.Ops[I];
+    if (Mid.S == Sym::Trans)
+      continue;
+    if (Mid.S == Sym::Pred && Mid.P == PredOp::Where)
+      continue;
+    return std::nullopt;
+  }
+
+  // The bag may only be consumed by the source; the key may be used
+  // anywhere (as g.first).
+  auto usesGSafely = [&GName](const Lambda &L) {
+    return !L.valid() || usesOnlyKeyOf(*L.body(), GName);
+  };
+  if (!usesGSafely(Agg.Fn2) || !usesGSafely(Agg.Fn3))
+    return std::nullopt;
+  for (size_t I = 1; I + 2 < Inner.Ops.size(); ++I)
+    if (!usesGSafely(Inner.Ops[I].Fn))
+      return std::nullopt;
+  if (Agg.Seed && !expr::freeParams(*Agg.Seed).empty())
+    return std::nullopt; // seed must be closed (it runs once per key)
+
+  TypeRef ElemTy = G.InElem; // the pre-GroupBy element (double)
+  TypeRef AccTy = Agg.Seed->type();
+  ExprRef KeyParam = Expr::param(FusedKey, Type::int64Ty());
+  ExprRef AccParam = Expr::param(FusedAcc, AccTy);
+  ExprRef ElemParam = Expr::param(FusedElem, ElemTy);
+
+  // Thread the bag member through the fused Trans/Where prefix.
+  ExprRef Val = ElemParam;
+  ExprRef Cond; // null = always true
+  for (size_t I = 1; I + 2 < Inner.Ops.size(); ++I) {
+    const Op &Mid = Inner.Ops[I];
+    ExprRef Body = replaceKeyOf(Mid.Fn.body(), GName, KeyParam);
+    Body = expr::substituteParams(Body, {{Mid.Fn.param(0).Name, Val}});
+    if (Mid.S == Sym::Trans) {
+      Val = std::move(Body);
+      continue;
+    }
+    Cond = Cond ? Expr::binary(expr::BinaryOp::And, Cond, Body)
+                : std::move(Body);
+  }
+
+  // Fused step: acc' = step(acc, val) under the composed condition.
+  ExprRef StepBody = replaceKeyOf(Agg.Fn2.body(), GName, KeyParam);
+  StepBody = expr::substituteParams(
+      StepBody,
+      {{Agg.Fn2.param(0).Name, AccParam}, {Agg.Fn2.param(1).Name, Val}});
+  if (Cond)
+    StepBody = Expr::cond(Cond, StepBody, AccParam);
+
+  Op Fused;
+  Fused.S = Sym::Sink;
+  Fused.K = SinkOp::GroupByAggregate;
+  Fused.Fn = G.Fn; // original key selector over the raw element
+  Fused.Fn2 = Lambda({{FusedAcc, AccTy}, {FusedElem, ElemTy}}, StepBody);
+  Fused.Combine = Agg.Combine;
+  Fused.Seed = Agg.Seed;
+  Fused.InElem = ElemTy;
+  Fused.OutElem = N.OutElem;
+
+  // Result selector over (key, acc).
+  ExprRef ResultBody;
+  if (Agg.Fn3.valid()) {
+    ResultBody = replaceKeyOf(Agg.Fn3.body(), GName, KeyParam);
+    ResultBody = expr::substituteParams(
+        ResultBody, {{Agg.Fn3.param(0).Name, AccParam}});
+  } else {
+    ResultBody = AccParam;
+  }
+  Fused.Fn3 = Lambda(
+      {{FusedKey, Type::int64Ty()}, {FusedAcc, AccTy}}, ResultBody);
+  return Fused;
+}
+
+Chain specializeChain(const Chain &C, bool &Applied) {
+  Chain Out;
+  Out.Result = C.Result;
+  Out.Scalar = C.Scalar;
+  for (size_t I = 0; I != C.Ops.size(); ++I) {
+    // Recurse into nested chains first.
+    Op Cur = C.Ops[I];
+    if (Cur.S == Sym::Nested) {
+      bool InnerApplied = false;
+      Chain NewInner = specializeChain(*Cur.NestedChain, InnerApplied);
+      if (InnerApplied)
+        Cur.NestedChain = std::make_shared<const Chain>(std::move(NewInner));
+      Applied |= InnerApplied;
+    }
+    if (I + 1 < C.Ops.size()) {
+      if (std::optional<Op> Fused = tryFuse(Cur, C.Ops[I + 1])) {
+        Out.Ops.push_back(std::move(*Fused));
+        ++I; // consume the nested-Trans op as well
+        Applied = true;
+        continue;
+      }
+    }
+    Out.Ops.push_back(std::move(Cur));
+  }
+  return Out;
+}
+
+} // namespace
+
+Chain quil::specializeGroupByAggregate(const Chain &C, bool *AppliedOut) {
+  bool Applied = false;
+  Chain Out = specializeChain(C, Applied);
+  if (AppliedOut)
+    *AppliedOut = Applied;
+  return Out;
+}

@@ -1,0 +1,129 @@
+//===- quil/Validate.cpp - QUIL grammar state machine ----------*- C++ -*-===//
+///
+/// \file
+/// The Figure 4 finite state machine, used here as a grammar validator:
+///
+///        Trans,Pred            Trans,Pred
+///       +---------+          +----------+
+///       v         |          v          |
+///   START --Src--> ITERATING --Sink--> SINKING
+///                     |  \               |  |
+///                     |   +--Agg--+      |  +--Agg--+
+///                     |           v      |          v
+///                     +--Ret-> RETURNING <---Ret-- AGGREGATING
+///
+/// Nested queries (Sym::Nested) stand in for Trans or Pred and are
+/// validated recursively — the full language is context-free and the code
+/// generator is the corresponding pushdown automaton (§5.1); this validator
+/// simply recurses instead of carrying an explicit stack.
+///
+//===----------------------------------------------------------------------===//
+
+#include "quil/Quil.h"
+#include "support/StringUtil.h"
+
+using namespace steno;
+using namespace steno::quil;
+
+namespace {
+
+enum class State { Start, Iterating, Sinking, Aggregating, Returning };
+
+std::optional<std::string> validateChain(const Chain &C, bool IsNested,
+                                         NestedRole Role) {
+  if (C.Ops.empty())
+    return "empty QUIL chain";
+
+  State S = State::Start;
+  for (size_t I = 0; I != C.Ops.size(); ++I) {
+    const Op &O = C.Ops[I];
+    switch (S) {
+    case State::Start:
+      if (O.S != Sym::Src)
+        return support::strFormat("query must begin with Src (got %s)",
+                                  symName(O.S));
+      S = State::Iterating;
+      break;
+
+    case State::Iterating:
+    case State::Sinking:
+      switch (O.S) {
+      case Sym::Trans:
+        if (!O.Fn.valid())
+          return "Trans operator has no transformation function";
+        S = State::Iterating;
+        break;
+      case Sym::Pred:
+        if (O.P == PredOp::Take || O.P == PredOp::Skip) {
+          if (!O.Seed)
+            return "Take/Skip operator has no count expression";
+        } else if (!O.Fn.valid()) {
+          return "Pred operator has no predicate function";
+        }
+        S = State::Iterating;
+        break;
+      case Sym::Nested: {
+        if (!O.NestedChain)
+          return "Nested operator has no sub-query";
+        if (O.Role == NestedRole::Flatten) {
+          if (O.NestedChain->Scalar)
+            return "SelectMany nested query must produce a collection";
+        } else {
+          if (!O.NestedChain->Scalar)
+            return "nested Trans/Pred query must produce a scalar";
+          if (O.Role == NestedRole::Pred &&
+              !O.NestedChain->Result->isBool())
+            return "nested Pred query must produce a bool";
+        }
+        if (auto Err = validateChain(*O.NestedChain, /*IsNested=*/true,
+                                     O.Role))
+          return "in nested query: " + *Err;
+        S = State::Iterating;
+        break;
+      }
+      case Sym::Sink:
+        if ((O.K == SinkOp::GroupBy || O.K == SinkOp::OrderBy ||
+             O.K == SinkOp::GroupByAggregate) &&
+            !O.Fn.valid())
+          return "Sink operator has no key selector";
+        if (O.K == SinkOp::GroupByAggregate && (!O.Fn2.valid() || !O.Seed))
+          return "GroupByAggregate sink needs a seed and a step";
+        S = State::Sinking;
+        break;
+      case Sym::Agg:
+        if (!O.Fn2.valid() || !O.Seed)
+          return "Agg operator needs a seed and a step function";
+        S = State::Aggregating;
+        break;
+      case Sym::Ret:
+        S = State::Returning;
+        break;
+      case Sym::Src:
+        return "Src may only appear at the start of a query";
+      }
+      break;
+
+    case State::Aggregating:
+      if (O.S != Sym::Ret)
+        return support::strFormat(
+            "Agg may only be followed by Ret (got %s)", symName(O.S));
+      S = State::Returning;
+      break;
+
+    case State::Returning:
+      return support::strFormat("operator %s after Ret", symName(O.S));
+    }
+  }
+
+  if (S != State::Returning)
+    return "query does not end with Ret";
+  (void)IsNested;
+  (void)Role;
+  return std::nullopt;
+}
+
+} // namespace
+
+std::optional<std::string> quil::validate(const Chain &C) {
+  return validateChain(C, /*IsNested=*/false, NestedRole::Trans);
+}

@@ -1,0 +1,81 @@
+//===- steno/Bindings.h - Run-time data binding ----------------*- C++ -*-===//
+///
+/// \file
+/// Bindings supply the data a compiled query runs over: source buffers per
+/// source slot and captured values per capture slot. This is the run-time
+/// half of paper §3.3 — the compiled query object's placeholder fields,
+/// set before invocation (reflection in the paper; a plain struct here).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STENO_STENO_BINDINGS_H
+#define STENO_STENO_BINDINGS_H
+
+#include "expr/Value.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace steno {
+
+/// Per-invocation inputs. Buffers are borrowed; the caller keeps them
+/// alive across run().
+class Bindings {
+public:
+  /// Binds source slot \p Slot to \p Count doubles at \p Data.
+  Bindings &bindDoubleArray(unsigned Slot, const double *Data,
+                            std::int64_t Count) {
+    expr::SourceBuffer Buf;
+    Buf.DoubleData = Data;
+    Buf.Count = Count;
+    slotRef(Slot) = Buf;
+    return *this;
+  }
+
+  /// Binds source slot \p Slot to \p Count int64s at \p Data.
+  Bindings &bindInt64Array(unsigned Slot, const std::int64_t *Data,
+                           std::int64_t Count) {
+    expr::SourceBuffer Buf;
+    Buf.Int64Data = Data;
+    Buf.Count = Count;
+    slotRef(Slot) = Buf;
+    return *this;
+  }
+
+  /// Binds source slot \p Slot to \p Count points of \p Dim doubles each,
+  /// stored flat at \p Data.
+  Bindings &bindPointArray(unsigned Slot, const double *Data,
+                           std::int64_t Count, std::int64_t Dim) {
+    expr::SourceBuffer Buf;
+    Buf.DoubleData = Data;
+    Buf.Count = Count;
+    Buf.Dim = Dim;
+    slotRef(Slot) = Buf;
+    return *this;
+  }
+
+  /// Sets capture slot \p Slot (paper §3.3 captured variable).
+  Bindings &setValue(unsigned Slot, expr::Value V) {
+    if (Slot >= Values.size())
+      Values.resize(Slot + 1);
+    Values[Slot] = std::move(V);
+    return *this;
+  }
+
+  const std::vector<expr::SourceBuffer> &sources() const { return Sources; }
+  const std::vector<expr::Value> &values() const { return Values; }
+
+private:
+  expr::SourceBuffer &slotRef(unsigned Slot) {
+    if (Slot >= Sources.size())
+      Sources.resize(Slot + 1);
+    return Sources[Slot];
+  }
+
+  std::vector<expr::SourceBuffer> Sources;
+  std::vector<expr::Value> Values;
+};
+
+} // namespace steno
+
+#endif // STENO_STENO_BINDINGS_H

@@ -1,0 +1,150 @@
+//===- steno/PersistentCache.cpp ------------------------------*- C++ -*-===//
+
+#include "steno/PersistentCache.h"
+#include "steno/QueryCache.h"
+#include "support/Error.h"
+#include "support/StringUtil.h"
+#include "support/TempFile.h"
+
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+#include <sys/stat.h>
+
+using namespace steno;
+
+namespace {
+
+/// Minimal line-based metadata codec. Format (one key per line):
+///   entry <symbol>
+///   scalar <0|1>
+///   result <type serialization>
+///   srcslots <n...>
+///   valslots <n...>
+std::string encodeMeta(const PersistedQueryArtifact &A) {
+  std::string Out;
+  Out += "entry " + A.EntrySymbol + "\n";
+  Out += std::string("scalar ") + (A.ScalarResult ? "1" : "0") + "\n";
+  Out += "result " + A.ResultType->serialize() + "\n";
+  Out += "srcslots";
+  for (unsigned Slot : A.Slots.SourceSlots)
+    Out += " " + std::to_string(Slot);
+  Out += "\nvalslots";
+  for (unsigned Slot : A.Slots.ValueSlots)
+    Out += " " + std::to_string(Slot);
+  Out += "\n";
+  return Out;
+}
+
+bool decodeMeta(const std::string &Text, PersistedQueryArtifact &A) {
+  std::istringstream In(Text);
+  std::string Line;
+  bool SawEntry = false;
+  bool SawResult = false;
+  while (std::getline(In, Line)) {
+    std::istringstream Fields(Line);
+    std::string Key;
+    Fields >> Key;
+    if (Key == "entry") {
+      Fields >> A.EntrySymbol;
+      SawEntry = !A.EntrySymbol.empty();
+    } else if (Key == "scalar") {
+      int V = 0;
+      Fields >> V;
+      A.ScalarResult = V != 0;
+    } else if (Key == "result") {
+      std::string Ty;
+      Fields >> Ty;
+      A.ResultType = expr::Type::deserialize(Ty);
+      SawResult = A.ResultType != nullptr;
+    } else if (Key == "srcslots") {
+      unsigned Slot;
+      while (Fields >> Slot)
+        A.Slots.SourceSlots.insert(Slot);
+    } else if (Key == "valslots") {
+      unsigned Slot;
+      while (Fields >> Slot)
+        A.Slots.ValueSlots.insert(Slot);
+    }
+  }
+  return SawEntry && SawResult;
+}
+
+void ensureDir(const std::string &Path) {
+  if (::mkdir(Path.c_str(), 0755) != 0 && errno != EEXIST)
+    support::fatalError("cannot create cache directory " + Path + ": " +
+                        std::strerror(errno));
+}
+
+bool fileExists(const std::string &Path) {
+  struct stat St;
+  return ::stat(Path.c_str(), &St) == 0;
+}
+
+/// Copies a file (the compiled .so lives in the JIT temp dir; the cache
+/// keeps its own copy that outlives the process).
+bool copyFile(const std::string &From, const std::string &To) {
+  std::string Data = support::readFileOrEmpty(From);
+  if (Data.empty())
+    return false;
+  support::writeFile(To, Data);
+  return true;
+}
+
+} // namespace
+
+PersistentQueryCache::PersistentQueryCache(std::string Directory)
+    : Dir(std::move(Directory)) {
+  ensureDir(Dir);
+}
+
+std::string
+PersistentQueryCache::entryDir(const query::Query &Q,
+                               const CompileOptions &Options) const {
+  std::uint64_t Key = hashQuery(Q);
+  return support::strFormat("%s/q%016llx_s%d_c%d", Dir.c_str(),
+                            static_cast<unsigned long long>(Key),
+                            Options.SpecializeGroupByAggregate ? 1 : 0,
+                            Options.EnableCse ? 1 : 0);
+}
+
+CompiledQuery
+PersistentQueryCache::getOrCompile(const query::Query &Q,
+                                   const CompileOptions &Options) {
+  if (Options.Exec != Backend::Native)
+    support::fatalError(
+        "the persistent cache stores compiled objects; use the Native "
+        "backend");
+
+  std::lock_guard<std::mutex> Lock(Mutex);
+  std::string Entry = entryDir(Q, Options);
+  std::string MetaPath = Entry + "/meta.txt";
+  std::string SoPath = Entry + "/query.so";
+  std::string SourcePath = Entry + "/query.cpp";
+
+  if (fileExists(MetaPath) && fileExists(SoPath)) {
+    PersistedQueryArtifact A;
+    if (decodeMeta(support::readFileOrEmpty(MetaPath), A)) {
+      A.SharedObjectPath = SoPath;
+      A.Source = support::readFileOrEmpty(SourcePath);
+      std::string Err;
+      CompiledQuery CQ = A.rehydrate(&Err);
+      if (CQ.valid()) {
+        ++Hits;
+        return CQ;
+      }
+    }
+    // Corrupt entry: fall through and recompile over it.
+  }
+
+  CompiledQuery Compiled = compileQuery(Q, Options);
+  ++Misses;
+  PersistedQueryArtifact A = PersistedQueryArtifact::describe(Compiled);
+  ensureDir(Entry);
+  if (!copyFile(A.SharedObjectPath, SoPath))
+    support::fatalError("cannot persist compiled object from " +
+                        A.SharedObjectPath);
+  support::writeFile(SourcePath, A.Source);
+  support::writeFile(MetaPath, encodeMeta(A));
+  return Compiled;
+}

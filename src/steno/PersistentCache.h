@@ -1,0 +1,65 @@
+//===- steno/PersistentCache.h - Nectar-style on-disk cache ----*- C++ -*-===//
+//
+// Part of the Steno/C++ reproduction of Murray, Isard & Yu,
+// "Steno: Automatic Optimization of Declarative Queries" (PLDI 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The cross-process half of §7.1's amortization story, modeled on Nectar
+/// (Gunda et al., OSDI 2010, the paper's [18]): compiled query artifacts
+/// — the shared object plus the metadata needed to rehydrate it — are
+/// stored in a directory keyed by the query's structural fingerprint.
+/// A process that compiles a query it has never seen pays the compiler
+/// once; every later process (or run) with a structurally identical query
+/// dlopens the stored artifact in microseconds.
+///
+/// Only Native-backend queries are persistable. Entries are
+/// content-addressed: the key folds in the query hash and the options
+/// that affect code generation (specialization, CSE).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STENO_STENO_PERSISTENTCACHE_H
+#define STENO_STENO_PERSISTENTCACHE_H
+
+#include "query/Query.h"
+#include "steno/Steno.h"
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+namespace steno {
+
+/// On-disk compiled-query store. Safe for concurrent use within one
+/// process; concurrent *processes* may race to create the same entry,
+/// which is benign (last writer wins, both artifacts are equivalent).
+class PersistentQueryCache {
+public:
+  /// Uses (and creates if needed) \p Directory as the store.
+  explicit PersistentQueryCache(std::string Directory);
+
+  /// Rehydrates a stored artifact for a structurally equal prior query,
+  /// or compiles, persists and returns. Options must request the Native
+  /// backend (aborts otherwise).
+  CompiledQuery getOrCompile(const query::Query &Q,
+                             const CompileOptions &Options = CompileOptions());
+
+  std::uint64_t hits() const { return Hits; }
+  std::uint64_t misses() const { return Misses; }
+  const std::string &directory() const { return Dir; }
+
+private:
+  std::string entryDir(const query::Query &Q,
+                       const CompileOptions &Options) const;
+
+  std::string Dir;
+  std::mutex Mutex;
+  std::uint64_t Hits = 0;
+  std::uint64_t Misses = 0;
+};
+
+} // namespace steno
+
+#endif // STENO_STENO_PERSISTENTCACHE_H

@@ -1,0 +1,79 @@
+//===- steno/QueryCache.h - Compiled-query caching (§7.1/§9) ---*- C++ -*-===//
+//
+// Part of the Steno/C++ reproduction of Murray, Isard & Yu,
+// "Steno: Automatic Optimization of Declarative Queries" (PLDI 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// §7.1: "the optimized query object may be stored and reused in order to
+/// amortize the cost of compilation. In the current implementation, the
+/// user must explicitly instruct Steno to compile a given expression, but
+/// a query caching approach (based on Nectar) could be added." This is
+/// that addition: a cache keyed by the *structure* of the query — two
+/// queries built independently but with identical operator chains,
+/// lambdas, literals and slots share one compiled module, so the one-off
+/// compile cost is paid once per query shape per process.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STENO_STENO_QUERYCACHE_H
+#define STENO_STENO_QUERYCACHE_H
+
+#include "query/Query.h"
+#include "steno/Steno.h"
+
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+namespace steno {
+
+/// Structural fingerprint of a query (chains with equal structure hash
+/// equally; see equalQueries for the equality it approximates).
+std::uint64_t hashQuery(const query::Query &Q);
+
+/// Deep structural equality over query chains: operator kinds, sources,
+/// lambdas, argument expressions and nested queries.
+bool equalQueries(const query::Query &A, const query::Query &B);
+
+/// Thread-safe structural cache of compiled queries. Backend and
+/// optimization options are part of the key.
+class QueryCache {
+public:
+  /// Returns the cached compiled query for a structurally equal prior
+  /// request, or compiles, caches and returns.
+  CompiledQuery getOrCompile(const query::Query &Q,
+                             const CompileOptions &Options = CompileOptions());
+
+  /// Number of distinct compiled entries.
+  std::size_t size() const;
+  /// Monotonic counters for inspection/benchmarks.
+  std::uint64_t hits() const { return Hits; }
+  std::uint64_t misses() const { return Misses; }
+
+  /// Drops every entry (compiled modules stay alive while CompiledQuery
+  /// handles reference them).
+  void clear();
+
+  /// A process-wide cache instance.
+  static QueryCache &global();
+
+private:
+  struct Entry {
+    query::Query Query;
+    Backend Exec;
+    bool Specialize;
+    CompiledQuery Compiled;
+  };
+
+  mutable std::mutex Mutex;
+  std::unordered_map<std::uint64_t, std::vector<Entry>> Buckets;
+  std::uint64_t Hits = 0;
+  std::uint64_t Misses = 0;
+};
+
+} // namespace steno
+
+#endif // STENO_STENO_QUERYCACHE_H

@@ -1,0 +1,26 @@
+//===- steno/RefExec.h - Reference (unoptimized) execution -----*- C++ -*-===//
+///
+/// \file
+/// A direct, eager evaluator for the query AST using the expression
+/// interpreter. It is the semantics oracle: Steno "faithfully reproduce[s]
+/// the semantics of unoptimized LINQ" (paper §9), so every backend's
+/// output is differential-tested against this executor. It makes no
+/// attempt to be fast.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STENO_STENO_REFEXEC_H
+#define STENO_STENO_REFEXEC_H
+
+#include "query/Query.h"
+#include "steno/Bindings.h"
+#include "steno/Result.h"
+
+namespace steno {
+
+/// Evaluates \p Q over \p B without any optimization.
+QueryResult runReference(const query::Query &Q, const Bindings &B);
+
+} // namespace steno
+
+#endif // STENO_STENO_REFEXEC_H

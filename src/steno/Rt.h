@@ -1,0 +1,240 @@
+//===- steno/Rt.h - Runtime support for Steno-generated code ---*- C++ -*-===//
+//
+// Part of the Steno/C++ reproduction of Murray, Isard & Yu,
+// "Steno: Automatic Optimization of Declarative Queries" (PLDI 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Self-contained runtime included by every generated translation unit
+/// (paper §3.3): the capture-block ABI through which the host binds source
+/// buffers and captured variables, the emitter ABI through which the
+/// generated query returns rows, and the sink collections the generated
+/// loops build (the Lookup of Figure 7(b) and the partial-aggregate sink of
+/// §4.3). This header must not include any other steno header — generated
+/// code compiles against it alone.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STENO_STENO_RT_H
+#define STENO_STENO_RT_H
+
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace steno {
+namespace rt {
+
+/// Borrowed view of Len contiguous doubles (a point, or a group's bag).
+struct VecView {
+  const double *Data;
+  std::int64_t Len;
+};
+
+/// The generated representation of pair-typed elements. An aggregate so
+/// that brace-initialization in generated code stays trivial.
+template <typename A, typename B> struct Pair {
+  A First;
+  B Second;
+};
+
+//===------------------------------------------------------------------===//
+// Capture ABI (host -> query)
+//===------------------------------------------------------------------===//
+
+/// One bound source buffer. Exactly one of D/I is non-null; Count is the
+/// element count and Dim the doubles-per-element stride (1 for scalars).
+struct SourceBinding {
+  const double *D = nullptr;
+  const std::int64_t *I = nullptr;
+  std::int64_t Count = 0;
+  std::int64_t Dim = 1;
+};
+
+/// One captured variable (paper §3.3's placeholder instance variables).
+/// A fat struct rather than a union keeps binding code trivial; the
+/// generated accessor reads the one field matching the slot's static type.
+struct CaptureValue {
+  double D = 0;
+  std::int64_t I = 0;
+  bool B = false;
+  const double *VData = nullptr;
+  std::int64_t VLen = 0;
+};
+
+/// The capture block passed to every generated entry point.
+struct Captures {
+  const SourceBinding *Sources = nullptr;
+  std::int64_t NumSources = 0;
+  const CaptureValue *Values = nullptr;
+  std::int64_t NumValues = 0;
+};
+
+//===------------------------------------------------------------------===//
+// Emitter ABI (query -> host)
+//===------------------------------------------------------------------===//
+
+/// One flattened component of a result row. Kind: 0 = bool (in I),
+/// 1 = int64 (in I), 2 = double (in D), 3 = vec (VData/VLen).
+struct Cell {
+  std::int32_t Kind;
+  double D;
+  std::int64_t I;
+  const double *VData;
+  std::int64_t VLen;
+};
+
+/// Host-supplied row callback. Scalar queries emit exactly one row;
+/// collection queries emit one row per element. Vec cells point into
+/// query-local storage and must be copied during the callback.
+struct Emitter {
+  void *Ctx;
+  void (*EmitRow)(void *Ctx, const Cell *Cells, std::int64_t NumCells);
+};
+
+/// Number of cells a statically-typed element flattens into.
+template <typename T> struct CellCount;
+template <> struct CellCount<bool> {
+  static constexpr std::int64_t value = 1;
+};
+template <> struct CellCount<std::int64_t> {
+  static constexpr std::int64_t value = 1;
+};
+template <> struct CellCount<double> {
+  static constexpr std::int64_t value = 1;
+};
+template <> struct CellCount<VecView> {
+  static constexpr std::int64_t value = 1;
+};
+template <typename A, typename B> struct CellCount<Pair<A, B>> {
+  static constexpr std::int64_t value =
+      CellCount<A>::value + CellCount<B>::value;
+};
+
+inline void fillCells(Cell *&P, bool V) {
+  *P++ = Cell{0, 0.0, V ? 1 : 0, nullptr, 0};
+}
+inline void fillCells(Cell *&P, std::int64_t V) {
+  *P++ = Cell{1, 0.0, V, nullptr, 0};
+}
+inline void fillCells(Cell *&P, double V) {
+  *P++ = Cell{2, V, 0, nullptr, 0};
+}
+inline void fillCells(Cell *&P, const VecView &V) {
+  *P++ = Cell{3, 0.0, 0, V.Data, V.Len};
+}
+template <typename A, typename B>
+inline void fillCells(Cell *&P, const Pair<A, B> &V) {
+  fillCells(P, V.First);
+  fillCells(P, V.Second);
+}
+
+/// Flattens \p V into cells (pre-order over pairs) and hands the row to
+/// the emitter.
+template <typename T> inline void emitRow(Emitter *Out, const T &V) {
+  Cell Cells[CellCount<T>::value];
+  Cell *P = Cells;
+  fillCells(P, V);
+  Out->EmitRow(Out->Ctx, Cells, CellCount<T>::value);
+}
+
+//===------------------------------------------------------------------===//
+// Sink collections
+//===------------------------------------------------------------------===//
+
+/// Insertion-ordered int64 -> bag-of-doubles multi-map: the Lookup of
+/// Figure 7(b), built by GroupBy sinks.
+class GroupSink {
+public:
+  void put(std::int64_t Key, double Value) {
+    auto It = Index.find(Key);
+    std::size_t Slot;
+    if (It == Index.end()) {
+      Slot = Buckets.size();
+      Index.emplace(Key, Slot);
+      Buckets.emplace_back(Key, std::vector<double>());
+    } else {
+      Slot = It->second;
+    }
+    Buckets[Slot].second.push_back(Value);
+  }
+
+  std::int64_t size() const {
+    return static_cast<std::int64_t>(Buckets.size());
+  }
+
+  Pair<std::int64_t, VecView> group(std::int64_t I) const {
+    const auto &Bucket = Buckets[static_cast<std::size_t>(I)];
+    return {Bucket.first,
+            VecView{Bucket.second.data(),
+                    static_cast<std::int64_t>(Bucket.second.size())}};
+  }
+
+private:
+  std::vector<std::pair<std::int64_t, std::vector<double>>> Buckets;
+  std::unordered_map<std::int64_t, std::size_t> Index;
+};
+
+/// Insertion-ordered int64 -> partial-accumulator map: the specialized
+/// GroupByAggregate sink of §4.3. slot() returns a mutable reference,
+/// inserting the seed on the key's first appearance.
+template <typename A> class GroupAggSink {
+public:
+  A &slot(std::int64_t Key, const A &Seed) {
+    auto It = Index.find(Key);
+    if (It != Index.end())
+      return Entries[It->second].second;
+    std::size_t Slot = Entries.size();
+    Index.emplace(Key, Slot);
+    Entries.emplace_back(Key, Seed);
+    return Entries[Slot].second;
+  }
+
+  std::int64_t size() const {
+    return static_cast<std::int64_t>(Entries.size());
+  }
+
+  std::int64_t keyAt(std::int64_t I) const {
+    return Entries[static_cast<std::size_t>(I)].first;
+  }
+
+  const A &accAt(std::int64_t I) const {
+    return Entries[static_cast<std::size_t>(I)].second;
+  }
+
+private:
+  std::vector<std::pair<std::int64_t, A>> Entries;
+  std::unordered_map<std::int64_t, std::size_t> Index;
+};
+
+/// Dense-key partial-aggregate sink (the closing optimization of §4.3):
+/// when the keys are known to lie in [0, NumKeys), one flat array of
+/// accumulators replaces the hash table — O(1) access with no hashing.
+/// Every key in range is reported, untouched slots carrying the seed.
+template <typename A> class DenseAggSink {
+public:
+  DenseAggSink(std::int64_t NumKeys, const A &Seed)
+      : Slots(static_cast<std::size_t>(NumKeys < 0 ? 0 : NumKeys), Seed) {}
+
+  A &slot(std::int64_t Key) { return Slots[static_cast<std::size_t>(Key)]; }
+
+  std::int64_t size() const {
+    return static_cast<std::int64_t>(Slots.size());
+  }
+
+  std::int64_t keyAt(std::int64_t I) const { return I; }
+
+  const A &accAt(std::int64_t I) const {
+    return Slots[static_cast<std::size_t>(I)];
+  }
+
+private:
+  std::vector<A> Slots;
+};
+
+} // namespace rt
+} // namespace steno
+
+#endif // STENO_STENO_RT_H

@@ -1,0 +1,186 @@
+//===- steno/Steno.cpp ----------------------------------------*- C++ -*-===//
+
+#include "steno/Steno.h"
+#include "codegen/Generator.h"
+#include "cpptree/Printer.h"
+#include "interp/Interp.h"
+#include "support/Error.h"
+#include "support/StringUtil.h"
+
+#include <atomic>
+
+using namespace steno;
+
+struct CompiledQuery::Impl {
+  quil::Chain Chain;
+  cpptree::Program Program;
+  cpptree::SlotUsage Slots;
+  std::string Source;
+  bool Specialized = false;
+  steno::Backend ExecBackend = Backend::Interp;
+  std::unique_ptr<jit::CompiledModule> Module; // Native backend only
+};
+
+namespace {
+void checkBindingsImpl(const cpptree::SlotUsage &Slots,
+                       const std::string &Name, const Bindings &B) {
+  for (unsigned Slot : Slots.SourceSlots) {
+    if (Slot >= B.sources().size())
+      support::fatalError(support::strFormat(
+          "query '%s' uses source slot %u, which is not bound",
+          Name.c_str(), Slot));
+    const expr::SourceBuffer &Buf = B.sources()[Slot];
+    if (!Buf.DoubleData && !Buf.Int64Data && Buf.Count != 0)
+      support::fatalError(support::strFormat(
+          "query '%s': source slot %u bound to no buffer", Name.c_str(),
+          Slot));
+  }
+  for (unsigned Slot : Slots.ValueSlots)
+    if (Slot >= B.values().size())
+      support::fatalError(support::strFormat(
+          "query '%s' uses capture slot %u, which is not set",
+          Name.c_str(), Slot));
+}
+} // namespace
+
+QueryResult CompiledQuery::run(const Bindings &B) const {
+  if (!I)
+    support::fatalError("running a default-constructed CompiledQuery");
+  checkBindingsImpl(I->Slots, I->Program.Name, B);
+
+  if (I->ExecBackend == Backend::Native) {
+    jit::ExecOutput Out = jit::run(I->Module->entry(), B.sources(),
+                                   B.values(), I->Program.ResultType);
+    if (I->Program.ScalarResult && Out.Rows.size() != 1)
+      support::fatalError("scalar query emitted " +
+                          std::to_string(Out.Rows.size()) + " rows");
+    return QueryResult(I->Program.ScalarResult, std::move(Out.Rows),
+                       std::move(Out.Arena));
+  }
+
+  interp::RunInput In;
+  In.Sources = &B.sources();
+  In.Values = &B.values();
+  interp::RunOutput Out = interp::execute(I->Program, In);
+  if (I->Program.ScalarResult && Out.Rows.size() != 1)
+    support::fatalError("scalar query emitted " +
+                        std::to_string(Out.Rows.size()) + " rows");
+  return QueryResult(I->Program.ScalarResult, std::move(Out.Rows),
+                     std::move(Out.Arena));
+}
+
+const std::string &CompiledQuery::generatedSource() const {
+  return I->Source;
+}
+
+double CompiledQuery::compileMillis() const {
+  return I->Module ? I->Module->compileMillis() : 0.0;
+}
+
+const cpptree::Program &CompiledQuery::program() const { return I->Program; }
+
+const quil::Chain &CompiledQuery::chain() const { return I->Chain; }
+
+bool CompiledQuery::groupBySpecialized() const { return I->Specialized; }
+
+static std::shared_ptr<CompiledQuery::Impl>
+codegenAndLoad(std::shared_ptr<CompiledQuery::Impl> Impl,
+               const CompileOptions &Options) {
+  // 3. Loop-code generation with the pushdown automaton (§4.2, §5).
+  static std::atomic<unsigned> QueryCounter{0};
+  std::string Entry = support::sanitizeIdentifier(Options.Name) + "_" +
+                      std::to_string(QueryCounter++);
+  codegen::GenOptions Gen;
+  Gen.EnableCse = Options.EnableCse;
+  Impl->Program = codegen::generate(Impl->Chain, Entry, Gen);
+  Impl->Slots = cpptree::scanSlots(Impl->Program);
+  Impl->Source = cpptree::printProgram(Impl->Program);
+
+  // 4. Compile, load and bind (§3.3) for the native backend.
+  if (Options.Exec == Backend::Native) {
+    std::string Err;
+    Impl->Module = jit::CompiledModule::compile(Impl->Source, Entry, &Err);
+    if (!Impl->Module)
+      support::fatalError("JIT compilation of query '" + Options.Name +
+                          "' failed: " + Err);
+  }
+  return Impl;
+}
+
+CompiledQuery steno::compileQuery(const query::Query &Q,
+                                  const CompileOptions &Options) {
+  if (!Q.valid())
+    support::fatalError("compiling an invalid query");
+
+  auto Impl = std::make_shared<CompiledQuery::Impl>();
+  Impl->ExecBackend = Options.Exec;
+
+  // 1. Lower to QUIL (§4.1) and check the grammar (Figure 4).
+  Impl->Chain = quil::lower(Q);
+  if (auto Err = quil::validate(Impl->Chain))
+    support::fatalError("invalid query '" + Options.Name + "': " + *Err +
+                        "\n  query: " + Q.str() +
+                        "\n  QUIL:  " + Impl->Chain.symbols());
+
+  // 2. Operator specialization (§4.3).
+  if (Options.SpecializeGroupByAggregate)
+    Impl->Chain =
+        quil::specializeGroupByAggregate(Impl->Chain, &Impl->Specialized);
+
+  CompiledQuery CQ;
+  CQ.I = codegenAndLoad(std::move(Impl), Options);
+  return CQ;
+}
+
+PersistedQueryArtifact
+PersistedQueryArtifact::describe(const CompiledQuery &CQ) {
+  const CompiledQuery::Impl &I = *CQ.I;
+  if (!I.Module)
+    support::fatalError(
+        "only Native-backend queries can be persisted (query '" +
+        I.Program.Name + "')");
+  PersistedQueryArtifact A;
+  A.Name = I.Program.Name;
+  A.EntrySymbol = I.Program.Name;
+  A.SharedObjectPath = I.Module->objectPath();
+  A.Source = I.Source;
+  A.ResultType = I.Program.ResultType;
+  A.ScalarResult = I.Program.ScalarResult;
+  A.Slots = I.Slots;
+  return A;
+}
+
+CompiledQuery PersistedQueryArtifact::rehydrate(std::string *Err) const {
+  std::string LoadErr;
+  std::unique_ptr<jit::CompiledModule> Module =
+      jit::CompiledModule::load(SharedObjectPath, EntrySymbol, &LoadErr);
+  if (!Module) {
+    if (Err)
+      *Err = LoadErr;
+    return CompiledQuery();
+  }
+  auto Impl = std::make_shared<CompiledQuery::Impl>();
+  Impl->ExecBackend = Backend::Native;
+  Impl->Program.Name = EntrySymbol;
+  Impl->Program.ResultType = ResultType;
+  Impl->Program.ScalarResult = ScalarResult;
+  Impl->Slots = Slots;
+  Impl->Source = Source;
+  Impl->Module = std::move(Module);
+  CompiledQuery CQ;
+  CQ.I = std::move(Impl);
+  return CQ;
+}
+
+CompiledQuery steno::compileChain(const quil::Chain &Chain,
+                                  const CompileOptions &Options) {
+  auto Impl = std::make_shared<CompiledQuery::Impl>();
+  Impl->ExecBackend = Options.Exec;
+  Impl->Chain = Chain;
+  if (auto Err = quil::validate(Impl->Chain))
+    support::fatalError("invalid chain '" + Options.Name + "': " + *Err +
+                        "\n  QUIL: " + Impl->Chain.symbols());
+  CompiledQuery CQ;
+  CQ.I = codegenAndLoad(std::move(Impl), Options);
+  return CQ;
+}

@@ -1,0 +1,140 @@
+//===- steno/Steno.h - Public optimizer facade -----------------*- C++ -*-===//
+//
+// Part of the Steno/C++ reproduction of Murray, Isard & Yu,
+// "Steno: Automatic Optimization of Declarative Queries" (PLDI 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The front door: compile a declarative Query into an executable
+/// CompiledQuery, choosing a backend.
+///
+/// \code
+///   using namespace steno;
+///   using namespace steno::expr::dsl;
+///   auto X = param("x", expr::Type::doubleTy());
+///   query::Query Q = query::Query::doubleArray(0)
+///                        .select(lambda({X}, X * X))
+///                        .sum();
+///   CompiledQuery CQ = compileQuery(Q, {});
+///   Bindings B;
+///   B.bindDoubleArray(0, Data.data(), Data.size());
+///   double SumSq = CQ.run(B).scalarValue().asDouble();
+/// \endcode
+///
+/// The pipeline mirrors the paper: lower to QUIL (§4.1), validate the
+/// grammar (Figure 4), specialize GroupBy-Aggregate (§4.3), generate loop
+/// code with the pushdown automaton (§4.2, §5), then either compile and
+/// dynamically load it (Native backend, §3.3) or execute the generated
+/// AST directly (Interp backend). Compiled queries are cacheable objects,
+/// as §7.1 prescribes for amortizing the one-off compilation cost.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STENO_STENO_STENO_H
+#define STENO_STENO_STENO_H
+
+#include "cpptree/Printer.h"
+#include "cpptree/Tree.h"
+#include "jit/Jit.h"
+#include "query/Query.h"
+#include "quil/Quil.h"
+#include "steno/Bindings.h"
+#include "steno/Result.h"
+
+#include <memory>
+#include <string>
+
+namespace steno {
+
+/// Execution strategy for a compiled query.
+enum class Backend {
+  Interp, ///< Walk the generated loop AST (portable; no compiler needed).
+  Native  ///< Compile to a shared object and dlopen it (paper §3.3).
+};
+
+/// Knobs for compileQuery.
+struct CompileOptions {
+  Backend Exec = Backend::Native;
+  /// Apply the §4.3 GroupBy-Aggregate specialization pass.
+  bool SpecializeGroupByAggregate = true;
+  /// Hoist repeated pure subexpressions into locals (§9 CSE).
+  bool EnableCse = true;
+  /// Entry symbol / readable query name.
+  std::string Name = "steno_query";
+};
+
+/// An optimized, executable query. Cheap to copy (shared state); reusable
+/// across any number of run() calls with different bindings.
+class CompiledQuery {
+public:
+  CompiledQuery() = default;
+
+  /// False for default-constructed handles and failed rehydrations.
+  bool valid() const { return I != nullptr; }
+
+  /// Executes against \p B. Aborts with a diagnostic if a slot the query
+  /// uses is unbound or has the wrong buffer kind.
+  QueryResult run(const Bindings &B) const;
+
+  /// The generated C++ source (available for both backends).
+  const std::string &generatedSource() const;
+  /// One-off compile+load cost in ms (0 for the Interp backend).
+  double compileMillis() const;
+  /// The generated loop program.
+  const cpptree::Program &program() const;
+  /// The QUIL chain after optimization passes.
+  const quil::Chain &chain() const;
+  /// Whether the §4.3 specialization fired.
+  bool groupBySpecialized() const;
+
+  /// Opaque shared state (defined in Steno.cpp).
+  struct Impl;
+
+private:
+  friend CompiledQuery compileQuery(const query::Query &,
+                                    const CompileOptions &);
+  friend CompiledQuery compileChain(const quil::Chain &,
+                                    const CompileOptions &);
+  friend struct PersistedQueryArtifact;
+  std::shared_ptr<const Impl> I;
+};
+
+/// Everything needed to rehydrate a Native compiled query without
+/// recompiling: the persistence format of the Nectar-style on-disk cache
+/// (§7.1's "stored and reused"). Interp-backend queries are not
+/// persistable (they carry the full generated AST).
+struct PersistedQueryArtifact {
+  std::string Name;             ///< Readable query name.
+  std::string EntrySymbol;      ///< extern "C" symbol in the object.
+  std::string SharedObjectPath; ///< The compiled artifact on disk.
+  std::string Source;           ///< Generated source (informational).
+  expr::TypeRef ResultType;
+  bool ScalarResult = false;
+  cpptree::SlotUsage Slots;
+
+  /// Describes a Native compiled query for persistence. Aborts if \p CQ
+  /// is not a Native-backend query.
+  static PersistedQueryArtifact describe(const CompiledQuery &CQ);
+
+  /// Loads the artifact's shared object and wraps it as a runnable
+  /// CompiledQuery. Returns an invalid handle and fills \p Err on
+  /// failure (missing/corrupt object, missing symbol).
+  CompiledQuery rehydrate(std::string *Err = nullptr) const;
+};
+
+/// Lowers, validates, optimizes and code-generates \p Q. Aborts with a
+/// diagnostic on grammar violations; returns a runnable query otherwise.
+CompiledQuery compileQuery(const query::Query &Q,
+                           const CompileOptions &Options = CompileOptions());
+
+/// Compiles an already-lowered QUIL chain (used by the distributed planner,
+/// which rewrites chains into per-partition vertex programs before code
+/// generation). Validates the chain; optimization passes are the caller's
+/// responsibility.
+CompiledQuery compileChain(const quil::Chain &Chain,
+                           const CompileOptions &Options = CompileOptions());
+
+} // namespace steno
+
+#endif // STENO_STENO_STENO_H

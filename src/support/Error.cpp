@@ -1,0 +1,22 @@
+//===- support/Error.cpp --------------------------------------*- C++ -*-===//
+
+#include "support/Error.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace steno;
+
+void support::fatalError(const std::string &Message) {
+  std::fprintf(stderr, "steno fatal error: %s\n", Message.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+void support::unreachableInternal(const char *Message, const char *File,
+                                  unsigned Line) {
+  std::fprintf(stderr, "steno unreachable executed at %s:%u: %s\n", File, Line,
+               Message ? Message : "");
+  std::fflush(stderr);
+  std::abort();
+}

@@ -1,0 +1,41 @@
+//===- support/Error.h - Fatal errors and unreachable markers --*- C++ -*-===//
+//
+// Part of the Steno/C++ reproduction of Murray, Isard & Yu,
+// "Steno: Automatic Optimization of Declarative Queries" (PLDI 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Minimal error-reporting helpers. Library code reports broken invariants
+/// with assert/stenoUnreachable and unrecoverable environment failures (a
+/// missing compiler, an unwritable temp directory) with fatalError. There is
+/// no exception-based error path, following the LLVM coding standards.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STENO_SUPPORT_ERROR_H
+#define STENO_SUPPORT_ERROR_H
+
+#include <string>
+
+namespace steno {
+namespace support {
+
+/// Prints "steno fatal error: <Message>" to stderr and aborts the process.
+/// Only for unrecoverable environment failures; broken invariants should use
+/// assert or stenoUnreachable instead.
+[[noreturn]] void fatalError(const std::string &Message);
+
+/// Implementation hook for the stenoUnreachable macro.
+[[noreturn]] void unreachableInternal(const char *Message, const char *File,
+                                      unsigned Line);
+
+} // namespace support
+} // namespace steno
+
+/// Marks a point in the code that must never be executed, printing \p MSG and
+/// the source location before aborting if it ever is.
+#define stenoUnreachable(MSG)                                                  \
+  ::steno::support::unreachableInternal(MSG, __FILE__, __LINE__)
+
+#endif // STENO_SUPPORT_ERROR_H

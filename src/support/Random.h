@@ -1,0 +1,63 @@
+//===- support/Random.h - Deterministic PRNG for workloads -----*- C++ -*-===//
+///
+/// \file
+/// SplitMix64-based pseudo-random generator. All benchmark and test inputs
+/// are produced from explicit seeds so that every run of every harness is
+/// reproducible (DESIGN.md §5, "Determinism").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STENO_SUPPORT_RANDOM_H
+#define STENO_SUPPORT_RANDOM_H
+
+#include <cmath>
+#include <cstdint>
+
+namespace steno {
+namespace support {
+
+/// SplitMix64 generator (Steele, Lea & Flood, OOPSLA 2014). Small, fast and
+/// statistically strong enough for workload synthesis.
+class SplitMix64 {
+public:
+  explicit SplitMix64(std::uint64_t Seed) : State(Seed) {}
+
+  /// Next 64 uniformly distributed bits.
+  std::uint64_t next() {
+    std::uint64_t Z = (State += 0x9e3779b97f4a7c15ULL);
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Uniform double in [0, 1).
+  double nextDouble() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [Lo, Hi).
+  double nextDouble(double Lo, double Hi) {
+    return Lo + (Hi - Lo) * nextDouble();
+  }
+
+  /// Uniform integer in [0, Bound). \p Bound must be nonzero.
+  std::uint64_t nextBelow(std::uint64_t Bound) { return next() % Bound; }
+
+  /// Standard normal variate via Box-Muller. Used by the Group benchmark's
+  /// mixture-of-Gaussians input (paper §7.1).
+  double nextGaussian() {
+    double U1 = nextDouble();
+    double U2 = nextDouble();
+    if (U1 < 1e-300)
+      U1 = 1e-300;
+    return std::sqrt(-2.0 * std::log(U1)) * std::cos(6.283185307179586 * U2);
+  }
+
+private:
+  std::uint64_t State;
+};
+
+} // namespace support
+} // namespace steno
+
+#endif // STENO_SUPPORT_RANDOM_H

@@ -1,0 +1,50 @@
+//===- support/TempFile.cpp -----------------------------------*- C++ -*-===//
+
+#include "support/TempFile.h"
+#include "support/Error.h"
+#include "support/StringUtil.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <sys/stat.h>
+#include <unistd.h>
+
+using namespace steno;
+
+const std::string &support::processTempDir() {
+  static const std::string Dir = [] {
+    const char *Base = ::getenv("TMPDIR");
+    std::string Path = strFormat("%s/steno-jit-%ld", Base ? Base : "/tmp",
+                                 static_cast<long>(::getpid()));
+    if (::mkdir(Path.c_str(), 0700) != 0 && errno != EEXIST)
+      fatalError("cannot create temp directory " + Path + ": " +
+                 std::strerror(errno));
+    return Path;
+  }();
+  return Dir;
+}
+
+void support::writeFile(const std::string &Path, const std::string &Contents) {
+  std::FILE *F = std::fopen(Path.c_str(), "wb");
+  if (!F)
+    fatalError("cannot open " + Path + " for writing: " +
+               std::strerror(errno));
+  size_t Written = std::fwrite(Contents.data(), 1, Contents.size(), F);
+  std::fclose(F);
+  if (Written != Contents.size())
+    fatalError("short write to " + Path);
+}
+
+std::string support::readFileOrEmpty(const std::string &Path) {
+  std::FILE *F = std::fopen(Path.c_str(), "rb");
+  if (!F)
+    return std::string();
+  std::string Out;
+  char Buf[4096];
+  size_t N;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), F)) > 0)
+    Out.append(Buf, N);
+  std::fclose(F);
+  return Out;
+}

@@ -1,0 +1,41 @@
+//===- support/Timing.h - Wall-clock timing helpers ------------*- C++ -*-===//
+///
+/// \file
+/// A tiny monotonic stopwatch used by the benchmark harnesses and by the JIT
+/// backend to report one-off compilation cost (paper §7.1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STENO_SUPPORT_TIMING_H
+#define STENO_SUPPORT_TIMING_H
+
+#include <chrono>
+
+namespace steno {
+namespace support {
+
+/// Monotonic stopwatch. Starts running on construction.
+class WallTimer {
+public:
+  WallTimer() : Start(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void reset() { Start = Clock::now(); }
+
+  /// Elapsed time in seconds since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - Start).count();
+  }
+
+  /// Elapsed time in milliseconds.
+  double millis() const { return seconds() * 1e3; }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Start;
+};
+
+} // namespace support
+} // namespace steno
+
+#endif // STENO_SUPPORT_TIMING_H

@@ -1,0 +1,310 @@
+//===- workloads/Kmeans.h - Distributed k-means (paper §7.2) ---*- C++ -*-===//
+//
+// Part of the Steno/C++ reproduction of Murray, Isard & Yu,
+// "Steno: Automatic Optimization of Declarative Queries" (PLDI 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's real-world distributed workload: k-means clustering. Each
+/// iteration comprises (paper §7.2):
+///
+///   1. In parallel, for each data point (nested Select) compute the
+///      distance to each centroid (Select) and choose the closest
+///      (Aggregate); group by cluster id (GroupBy) and compute partial
+///      sums per cluster (Aggregate).
+///   2. Merge the partial sums across partitions by cluster id and take
+///      the mean to form the new centroids.
+///
+/// Three interchangeable vertex implementations exercise the same
+/// computation:
+///   * linqVertexPartials  — the baseline: lazy iterators + std::function
+///     (the per-element-overhead-bound path Figure 14's "unoptimized"
+///     curve measures);
+///   * handVertexPartials  — hand-optimized nested loops (the bound);
+///   * buildStepQuery      — the declarative query, which Steno compiles
+///     into fused loops and dryad runs per partition with a merge stage.
+///
+/// The partial-sum encoding: per cluster c, slots c*(dim+1)+d hold the
+/// component sums and slot c*(dim+1)+dim holds the member count.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STENO_WORKLOADS_KMEANS_H
+#define STENO_WORKLOADS_KMEANS_H
+
+#include "dryad/Partition.h"
+#include "expr/Dsl.h"
+#include "linq/Linq.h"
+#include "query/Query.h"
+#include "support/Random.h"
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace steno {
+namespace workloads {
+
+/// Synthetic clustered input: K true centers with Gaussian noise.
+struct KmeansData {
+  std::int64_t Dim = 0;
+  std::int64_t K = 0;
+  std::int64_t NumPoints = 0;
+  std::vector<double> Points;    ///< flat, NumPoints x Dim
+  std::vector<double> Centroids; ///< flat, K x Dim (current estimate)
+
+  static KmeansData make(std::int64_t NumPoints, std::int64_t Dim,
+                         std::int64_t K, std::uint64_t Seed) {
+    KmeansData D;
+    D.Dim = Dim;
+    D.K = K;
+    D.NumPoints = NumPoints;
+    support::SplitMix64 Rng(Seed);
+    std::vector<double> TrueCenters(
+        static_cast<size_t>(K * Dim));
+    for (double &V : TrueCenters)
+      V = Rng.nextDouble(-10, 10);
+    D.Points.resize(static_cast<size_t>(NumPoints * Dim));
+    for (std::int64_t I = 0; I != NumPoints; ++I) {
+      std::int64_t C = static_cast<std::int64_t>(Rng.nextBelow(
+          static_cast<std::uint64_t>(K)));
+      for (std::int64_t J = 0; J != Dim; ++J)
+        D.Points[static_cast<size_t>(I * Dim + J)] =
+            TrueCenters[static_cast<size_t>(C * Dim + J)] +
+            Rng.nextGaussian();
+    }
+    // Initial centroids: the first K points.
+    D.Centroids.assign(D.Points.begin(),
+                       D.Points.begin() + static_cast<size_t>(K * Dim));
+    return D;
+  }
+};
+
+/// Number of partial-aggregate slots: K clusters x (Dim sums + 1 count).
+inline std::int64_t numSlots(std::int64_t K, std::int64_t Dim) {
+  return K * (Dim + 1);
+}
+
+//===------------------------------------------------------------------===//
+// Vertex implementation 1: hand-optimized loops (the lower bound)
+//===------------------------------------------------------------------===//
+
+/// Computes the per-cluster partial sums for one partition with plain
+/// loops — the code a careful programmer would write by hand.
+inline std::vector<double>
+handVertexPartials(const dryad::DoublePartition &Part,
+                   const std::vector<double> &Centroids, std::int64_t K,
+                   std::int64_t Dim) {
+  std::vector<double> Slots(static_cast<size_t>(numSlots(K, Dim)), 0.0);
+  const double *Pts = Part.Data.data();
+  const double *Cts = Centroids.data();
+  std::int64_t N = Part.count();
+  for (std::int64_t I = 0; I != N; ++I) {
+    const double *P = Pts + I * Dim;
+    double Best = std::numeric_limits<double>::infinity();
+    std::int64_t BestC = 0;
+    for (std::int64_t C = 0; C != K; ++C) {
+      const double *Ct = Cts + C * Dim;
+      double D2 = 0;
+      for (std::int64_t J = 0; J != Dim; ++J) {
+        double Delta = P[J] - Ct[J];
+        D2 += Delta * Delta;
+      }
+      if (D2 < Best) {
+        Best = D2;
+        BestC = C;
+      }
+    }
+    double *Slot = Slots.data() + BestC * (Dim + 1);
+    for (std::int64_t J = 0; J != Dim; ++J)
+      Slot[J] += P[J];
+    Slot[Dim] += 1.0;
+  }
+  return Slots;
+}
+
+//===------------------------------------------------------------------===//
+// Vertex implementation 2: linq iterators (the unoptimized baseline)
+//===------------------------------------------------------------------===//
+
+/// A borrowed point (what a C# reference-type element would be).
+struct PointRef {
+  const double *Data = nullptr;
+  std::int64_t Dim = 0;
+};
+
+/// The same computation through lazy iterator chains and std::function,
+/// mirroring the DryadLINQ-generated LINQ code the paper measures: nested
+/// Select over centroids, Aggregate to pick the closest, GroupBy-style
+/// accumulation per cluster.
+inline std::vector<double>
+linqVertexPartials(const dryad::DoublePartition &Part,
+                   const std::vector<double> &Centroids, std::int64_t K,
+                   std::int64_t Dim) {
+  const double *Cts = Centroids.data();
+  // Source: the points of this partition.
+  linq::Seq<std::int64_t> Indices = linq::range(0, Part.count());
+  const double *Pts = Part.Data.data();
+
+  linq::Seq<std::pair<std::int64_t, PointRef>> Assigned =
+      Indices.select([Pts, Cts, K, Dim](std::int64_t I) {
+        PointRef P{Pts + I * Dim, Dim};
+        // Distance to each centroid (nested Select) ...
+        auto Distances =
+            linq::range(0, K).select([P, Cts, Dim](std::int64_t C) {
+              // ... itself a nested query over the dimensions.
+              double D2 = linq::range(0, Dim)
+                              .select([P, Cts, C, Dim](std::int64_t J) {
+                                double Delta =
+                                    P.Data[J] - Cts[C * Dim + J];
+                                return Delta * Delta;
+                              })
+                              .sum();
+              return std::make_pair(D2, C);
+            });
+        // ... choose the closest (Aggregate).
+        std::pair<double, std::int64_t> Best = Distances.aggregate(
+            std::make_pair(std::numeric_limits<double>::infinity(),
+                           std::int64_t{0}),
+            [](std::pair<double, std::int64_t> Acc,
+               std::pair<double, std::int64_t> Cand) {
+              return Cand.first < Acc.first ? Cand : Acc;
+            });
+        return std::make_pair(Best.second, P);
+      });
+
+  // Partial sums per cluster (the GroupBy-Aggregate step). The fold walks
+  // the assignment stream through the iterator boundary one element at a
+  // time, exactly like the generated LINQ vertex would.
+  std::vector<double> Slots(static_cast<size_t>(numSlots(K, Dim)), 0.0);
+  auto E = Assigned.getEnumerator();
+  while (E->moveNext()) {
+    std::pair<std::int64_t, PointRef> Row = E->current();
+    double *Slot = Slots.data() + Row.first * (Dim + 1);
+    for (std::int64_t J = 0; J != Dim; ++J)
+      Slot[J] += Row.second.Data[J];
+    Slot[Dim] += 1.0;
+  }
+  return Slots;
+}
+
+//===------------------------------------------------------------------===//
+// Vertex implementation 3: the declarative Steno query
+//===------------------------------------------------------------------===//
+
+/// Builds the step-1 query over source slot 0 (points) and slot 1 (the
+/// centroid table), with an associative combiner so the dryad planner can
+/// split it into per-partition partial aggregation plus an Agg* merge.
+///
+///   points
+///     .Select(p => (argmin_c dist2(p, c), p))        // nested x2
+///     .SelectMany((c, p) => slots of (c, p))          // flatten encoding
+///     .GroupByAggregate(slot, 0.0, (a, v) => a + v)   // partial sums
+inline query::Query buildStepQuery(std::int64_t K, std::int64_t Dim) {
+  using namespace expr;
+  using namespace expr::dsl;
+  using query::Query;
+
+  auto P = param("p", Type::vecTy());
+  auto J = param("j", Type::int64Ty());
+  auto D = param("d", Type::int64Ty());
+  TypeRef DistIdx = Type::pairTy(Type::doubleTy(), Type::int64Ty());
+  auto Best = param("best", DistIdx);
+  auto Cand = param("cand", DistIdx);
+  E DimE = E(Dim);
+
+  // dist2(p, centroid_j): fold the squared component differences over the
+  // dimensions; the result selector pairs the distance with j (which it
+  // references from the enclosing query, §5.2).
+  auto A = param("a", Type::doubleTy());
+  auto V = param("v", Type::doubleTy());
+  Query Dist2 =
+      Query::range(E(0), DimE)
+          .select(lambda({D}, (P[D] - slice(1, J * DimE, DimE)[D]) *
+                                  (P[D] - slice(1, J * DimE, DimE)[D])))
+          .aggregate(E(0.0), lambda({A, V}, A + V),
+                     lambda({A}, pair(A, J)));
+
+  // argmin over the centroids: fold (d2, j) pairs, keep the closest;
+  // result (cluster, point) — the result selector references the outer p.
+  Query Argmin =
+      Query::range(E(0), E(K))
+          .selectNested(J, Dist2)
+          .aggregate(
+              pair(E(std::numeric_limits<double>::infinity()), E(-1)),
+              lambda({Best, Cand},
+                     cond(Cand.first() < Best.first(), Cand, Best)),
+              lambda({Best}, pair(Best.second(), P)));
+
+  // Flatten each (cluster, point) into Dim+1 (slot, value) rows: the
+  // component contributions plus a count of 1.
+  TypeRef ClusterPoint = Type::pairTy(Type::int64Ty(), Type::vecTy());
+  auto CP = param("cp", ClusterPoint);
+  // Conditional arms evaluate lazily (C++ ?: and the evaluator agree), so
+  // the out-of-range index d == Dim is never touched.
+  Query Encode =
+      Query::range(E(0), E(Dim + 1))
+          .select(lambda({D}, pair(CP.first() * E(Dim + 1) + D,
+                                   cond(D < DimE, CP.second()[D],
+                                        E(1.0)))));
+
+  // Per-slot partial sums, mergeable across partitions.
+  TypeRef SlotVal = Type::pairTy(Type::int64Ty(), Type::doubleTy());
+  auto SV = param("sv", SlotVal);
+  auto Acc = param("acc", Type::doubleTy());
+  auto U = param("u", Type::doubleTy());
+  auto W = param("w", Type::doubleTy());
+  // The slot space is statically bounded by K*(Dim+1), so the dense-key
+  // sink of §4.3's closing remark applies: a flat accumulator array
+  // replaces the hash table.
+  return query::Query::pointArray(0)
+      .selectNested(P, Argmin)
+      .selectMany(CP, Encode)
+      .groupByAggregateDense(lambda({SV}, SV.first()),
+                             E(numSlots(K, Dim)), E(0.0),
+                             lambda({Acc, SV}, Acc + SV.second()),
+                             expr::Lambda(), lambda({U, W}, U + W));
+}
+
+//===------------------------------------------------------------------===//
+// Driver helpers
+//===------------------------------------------------------------------===//
+
+/// Merges per-partition slot vectors (the Agg* stage for the hand/linq
+/// vertex paths).
+inline std::vector<double>
+mergePartials(const std::vector<std::vector<double>> &Partials) {
+  std::vector<double> Out = Partials.front();
+  for (size_t P = 1; P != Partials.size(); ++P)
+    for (size_t I = 0; I != Out.size(); ++I)
+      Out[I] += Partials[P][I];
+  return Out;
+}
+
+/// Step 2 of §7.2: new centroids = per-cluster mean. Clusters with no
+/// members keep their previous centroid.
+inline std::vector<double>
+centroidsFromSlots(const std::vector<double> &Slots,
+                   const std::vector<double> &Previous, std::int64_t K,
+                   std::int64_t Dim) {
+  std::vector<double> Out(static_cast<size_t>(K * Dim));
+  for (std::int64_t C = 0; C != K; ++C) {
+    double Count = Slots[static_cast<size_t>(C * (Dim + 1) + Dim)];
+    for (std::int64_t J = 0; J != Dim; ++J) {
+      size_t OutIdx = static_cast<size_t>(C * Dim + J);
+      if (Count > 0)
+        Out[OutIdx] =
+            Slots[static_cast<size_t>(C * (Dim + 1) + J)] / Count;
+      else
+        Out[OutIdx] = Previous[OutIdx];
+    }
+  }
+  return Out;
+}
+
+} // namespace workloads
+} // namespace steno
+
+#endif // STENO_WORKLOADS_KMEANS_H

@@ -1,0 +1,391 @@
+//===- tests/QueryTestUtil.h - Shared helpers for query tests --*- C++ -*-===//
+///
+/// \file
+/// Differential-testing helpers: run a query through the reference
+/// executor and a compiled backend and compare results.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STENO_TESTS_QUERYTESTUTIL_H
+#define STENO_TESTS_QUERYTESTUTIL_H
+
+#include "expr/Dsl.h"
+#include "steno/RefExec.h"
+#include "steno/Steno.h"
+#include "support/Random.h"
+
+#include "gtest/gtest.h"
+
+#include <string>
+#include <vector>
+
+namespace steno {
+namespace testutil {
+
+/// Renders a Value for failure messages.
+inline std::string valueStr(const expr::Value &V) {
+  switch (V.kind()) {
+  case expr::TypeKind::Bool:
+    return V.asBool() ? "true" : "false";
+  case expr::TypeKind::Int64:
+    return std::to_string(V.asInt64());
+  case expr::TypeKind::Double:
+    return std::to_string(V.asDouble());
+  case expr::TypeKind::Vec: {
+    std::string Out = "[";
+    expr::VecView View = V.asVec();
+    for (std::int64_t I = 0; I != View.Len; ++I) {
+      if (I)
+        Out += ", ";
+      Out += std::to_string(View.Data[I]);
+    }
+    return Out + "]";
+  }
+  case expr::TypeKind::Pair:
+    return "(" + valueStr(V.first()) + ", " + valueStr(V.second()) + ")";
+  }
+  return "?";
+}
+
+/// Structural equality with approximate double comparison (fused loops may
+/// reassociate nothing, but libm results can differ in the last ulp
+/// between interpreted and compiled evaluation of e.g. sqrt chains).
+inline bool valueNear(const expr::Value &A, const expr::Value &B,
+                      double Rel = 1e-9) {
+  if (A.kind() != B.kind())
+    return false;
+  switch (A.kind()) {
+  case expr::TypeKind::Bool:
+    return A.asBool() == B.asBool();
+  case expr::TypeKind::Int64:
+    return A.asInt64() == B.asInt64();
+  case expr::TypeKind::Double: {
+    double X = A.asDouble();
+    double Y = B.asDouble();
+    if (X == Y)
+      return true;
+    double Scale = std::max(std::abs(X), std::abs(Y));
+    return std::abs(X - Y) <= Rel * std::max(Scale, 1.0);
+  }
+  case expr::TypeKind::Vec: {
+    expr::VecView VA = A.asVec();
+    expr::VecView VB = B.asVec();
+    if (VA.Len != VB.Len)
+      return false;
+    for (std::int64_t I = 0; I != VA.Len; ++I)
+      if (!valueNear(expr::Value(VA.Data[I]), expr::Value(VB.Data[I]), Rel))
+        return false;
+    return true;
+  }
+  case expr::TypeKind::Pair:
+    return valueNear(A.first(), B.first(), Rel) &&
+           valueNear(A.second(), B.second(), Rel);
+  }
+  return false;
+}
+
+/// Runs \p Q against the reference executor and the given backend and
+/// EXPECTs identical results.
+inline void expectMatchesReference(const query::Query &Q, const Bindings &B,
+                                   Backend Exec, const std::string &Name) {
+  QueryResult Ref = runReference(Q, B);
+  CompileOptions Options;
+  Options.Exec = Exec;
+  Options.Name = Name;
+  CompiledQuery CQ = compileQuery(Q, Options);
+  QueryResult Got = CQ.run(B);
+  ASSERT_EQ(Ref.isScalar(), Got.isScalar()) << Name;
+  ASSERT_EQ(Ref.rows().size(), Got.rows().size()) << Name;
+  for (size_t I = 0; I != Ref.rows().size(); ++I)
+    EXPECT_TRUE(valueNear(Ref.rows()[I], Got.rows()[I]))
+        << Name << " row " << I << ": ref=" << valueStr(Ref.rows()[I])
+        << " got=" << valueStr(Got.rows()[I]);
+}
+
+/// Deterministic random doubles in [Lo, Hi).
+inline std::vector<double> randomDoubles(size_t N, std::uint64_t Seed,
+                                         double Lo = -100.0,
+                                         double Hi = 100.0) {
+  support::SplitMix64 Rng(Seed);
+  std::vector<double> Out;
+  Out.reserve(N);
+  for (size_t I = 0; I != N; ++I)
+    Out.push_back(Rng.nextDouble(Lo, Hi));
+  return Out;
+}
+
+inline std::vector<std::int64_t> randomInt64s(size_t N, std::uint64_t Seed,
+                                              std::uint64_t Bound = 1000) {
+  support::SplitMix64 Rng(Seed);
+  std::vector<std::int64_t> Out;
+  Out.reserve(N);
+  for (size_t I = 0; I != N; ++I)
+    Out.push_back(static_cast<std::int64_t>(Rng.nextBelow(Bound)) - 500);
+  return Out;
+}
+
+/// A shared catalog of queries exercising every operator and nesting
+/// pattern, with bound data. Both the interpreter and the JIT differential
+/// suites iterate it.
+struct Catalog {
+  std::vector<double> Xs;
+  std::vector<double> Ys;
+  std::vector<std::int64_t> Is;
+  std::vector<double> Points; ///< flat, Dim doubles per point (slot 3)
+  std::int64_t Dim = 4;
+  std::vector<double> Centroids; ///< flat, K x Dim (slot 4)
+  std::int64_t K = 3;
+  Bindings B;
+  std::vector<std::pair<std::string, query::Query>> Queries;
+
+  explicit Catalog(std::uint64_t Seed = 1, size_t N = 500) {
+    using namespace expr;
+    using namespace expr::dsl;
+    using query::Query;
+
+    Xs = randomDoubles(N, Seed, -50, 50);
+    Ys = randomDoubles(17, Seed + 1, -5, 5);
+    Is = randomInt64s(N, Seed + 2);
+    Points = randomDoubles(static_cast<size_t>(Dim) * 40, Seed + 3);
+    Centroids = randomDoubles(static_cast<size_t>(K * Dim), Seed + 4);
+    B.bindDoubleArray(0, Xs.data(), static_cast<std::int64_t>(Xs.size()));
+    B.bindDoubleArray(1, Ys.data(), static_cast<std::int64_t>(Ys.size()));
+    B.bindInt64Array(2, Is.data(), static_cast<std::int64_t>(Is.size()));
+    B.bindPointArray(3, Points.data(),
+                     static_cast<std::int64_t>(Points.size()) / Dim, Dim);
+    B.bindDoubleArray(4, Centroids.data(),
+                      static_cast<std::int64_t>(Centroids.size()));
+    B.setValue(0, expr::Value(2.5));           // double capture
+    B.setValue(1, expr::Value(std::int64_t{7})); // int64 capture
+
+    auto X = param("x", Type::doubleTy());
+    auto Xi = param("xi", Type::int64Ty());
+    auto A = param("a", Type::doubleTy());
+    auto V = param("v", Type::doubleTy());
+    auto P = param("p", Type::vecTy());
+    auto D = param("d", Type::int64Ty());
+    auto G = param("g", Type::pairTy(Type::int64Ty(), Type::vecTy()));
+
+    auto add = [this](const char *Name, Query Q) {
+      Queries.emplace_back(Name, std::move(Q));
+    };
+
+    // Element-wise chains.
+    add("identity", Query::doubleArray(0).select(lambda({X}, X)));
+    add("sumsq", Query::doubleArray(0)
+                     .select(lambda({X}, X * X))
+                     .sum());
+    add("even_squares", Query::doubleArray(0)
+                            .where(lambda({X}, toInt64(X) % 2 == 0))
+                            .select(lambda({X}, X * X))
+                            .sum());
+    add("deep_chain", Query::doubleArray(0)
+                          .select(lambda({X}, X + 1.0))
+                          .select(lambda({X}, X * 2.0))
+                          .where(lambda({X}, X > 0.0))
+                          .select(lambda({X}, X - 3.0))
+                          .where(lambda({X}, X < 40.0))
+                          .sum());
+    add("capture_scale", Query::doubleArray(0)
+                             .select(lambda({X}, X * capture(0,
+                                                   Type::doubleTy())))
+                             .sum());
+
+    // Stateful predicates.
+    add("take", Query::doubleArray(0).take(E(7)).toArray());
+    add("take_more_than_n", Query::doubleArray(0)
+                                .take(E(static_cast<std::int64_t>(N + 9)))
+                                .count());
+    add("skip", Query::doubleArray(0).skip(E(5)).sum());
+    add("take_skip_mix", Query::doubleArray(0)
+                             .skip(E(3))
+                             .take(E(11))
+                             .select(lambda({X}, X * X))
+                             .sum());
+    add("take_capture_count",
+        Query::doubleArray(0).take(capture(1, Type::int64Ty())).count());
+    add("takewhile", Query::doubleArray(0)
+                         .takeWhile(lambda({X}, X < 25.0))
+                         .count());
+    add("skipwhile", Query::doubleArray(0)
+                         .skipWhile(lambda({X}, X < 25.0))
+                         .count());
+
+    // Aggregates.
+    add("min", Query::doubleArray(0).min());
+    add("max", Query::doubleArray(0).max());
+    add("count_int", Query::int64Array(2).count());
+    add("average", Query::doubleArray(0).average());
+    add("sum_int", Query::int64Array(2).sum());
+    add("agg_custom", Query::doubleArray(0).aggregate(
+                          E(1.0),
+                          lambda({A, X}, A + abs(X) / 100.0),
+                          lambda({A}, A * 2.0)));
+    {
+      TypeRef AccTy = Type::pairTy(Type::doubleTy(), Type::int64Ty());
+      auto Ac = param("ac", AccTy);
+      add("agg_pair_acc",
+          Query::doubleArray(0).aggregate(
+              pair(E(0.0), E(0)),
+              lambda({Ac, X}, pair(Ac.first() + X, Ac.second() + 1))));
+    }
+
+    // Early-exit aggregates.
+    add("any_nonempty", Query::doubleArray(0).any());
+    add("any_filtered_hit",
+        Query::doubleArray(0).where(lambda({X}, X > 49.0)).any());
+    add("any_filtered_miss",
+        Query::doubleArray(0).where(lambda({X}, X > 1e9)).any());
+    add("all_true", Query::doubleArray(0).all(lambda({X}, X > -1e9)));
+    add("all_false", Query::doubleArray(0).all(lambda({X}, X > 0.0)));
+    add("first_or_default",
+        Query::doubleArray(0).where(lambda({X}, X > 10.0))
+            .firstOrDefault(E(-1.0)));
+    add("first_or_default_empty",
+        Query::doubleArray(0).where(lambda({X}, X > 1e9))
+            .firstOrDefault(E(-1.0)));
+    add("contains_miss", Query::int64Array(2).contains(E(987654321)));
+    add("any_nested",
+        Query::doubleArray(0)
+            .take(E(25))
+            .selectMany(X, Query::doubleArray(1)
+                               .select(lambda({V}, X + V)))
+            .any());
+
+    // Sinks.
+    add("to_array", Query::doubleArray(0).take(E(20)).toArray());
+    add("order_by", Query::doubleArray(0)
+                        .take(E(50))
+                        .orderBy(lambda({X}, X))
+                        .toArray());
+    add("order_then_take", Query::doubleArray(0)
+                               .orderBy(lambda({X}, abs(X)))
+                               .take(E(5))
+                               .toArray());
+    add("order_then_sum", Query::doubleArray(0)
+                              .orderBy(lambda({X}, X))
+                              .skip(E(10))
+                              .sum());
+    add("group_bags", Query::doubleArray(0)
+                          .groupBy(lambda({X}, toInt64(X / 10.0))));
+    add("group_having",
+        Query::doubleArray(0)
+            .groupBy(lambda({X}, toInt64(X / 10.0)))
+            .where(lambda({G}, len(G.second()) > 3))
+            .select(lambda({G}, G.first())));
+    add("group_agg_direct",
+        Query::doubleArray(0).groupByAggregate(
+            lambda({X}, toInt64(X / 10.0)), E(0.0),
+            lambda({A, X}, A + X)));
+    add("group_agg_dense",
+        Query::doubleArray(0).groupByAggregateDense(
+            lambda({X}, toInt64((X + 50.0) / 10.0)), E(11), E(0.0),
+            lambda({A, X}, A + X)));
+    {
+      TypeRef AccTy = Type::pairTy(Type::doubleTy(), Type::int64Ty());
+      auto Pa = param("pa", AccTy);
+      auto Key = param("k", Type::int64Ty());
+      add("group_agg_dense_result",
+          Query::doubleArray(0).groupByAggregateDense(
+              lambda({X}, toInt64((X + 50.0) / 10.0)), E(11),
+              pair(E(0.0), E(0)),
+              lambda({Pa, X}, pair(Pa.first() + X, Pa.second() + 1)),
+              lambda({Key, Pa},
+                     cond(Pa.second() > 0, Pa.first(), E(0.0)))));
+    }
+    add("group_agg_result",
+        Query::doubleArray(0).groupByAggregate(
+            lambda({X}, toInt64(X / 10.0)), E(0),
+            lambda({param("c", Type::int64Ty()), X},
+                   param("c", Type::int64Ty()) + 1),
+            lambda({param("k", Type::int64Ty()),
+                    param("c", Type::int64Ty())},
+                   param("k", Type::int64Ty()) * 1000 +
+                       param("c", Type::int64Ty()))));
+
+    // GroupBy + per-bag fold (the §4.3 shape; specialized when enabled).
+    {
+      Query BagSum =
+          Query::overVec(G.second())
+              .aggregate(E(0.0), lambda({A, V}, A + V),
+                         lambda({A}, pair(G.first(), A)));
+      add("group_then_fold",
+          Query::doubleArray(0)
+              .groupBy(lambda({X}, toInt64(X / 10.0)))
+              .selectNested(G, BagSum));
+    }
+
+    // Nested queries.
+    add("cartesian_sum",
+        Query::doubleArray(0)
+            .take(E(40))
+            .selectMany(X, Query::doubleArray(1)
+                               .select(lambda({V}, X * V)))
+            .sum());
+    {
+      auto Y = param("y", Type::doubleTy());
+      auto Z = param("z", Type::int64Ty());
+      Query Level3 =
+          Query::range(E(0), E(4)).select(lambda({Z}, Y + toDouble(Z)));
+      Query Level2 =
+          Query::doubleArray(1).take(E(5)).selectMany(Y, Level3);
+      add("triple_nested_sum", Query::doubleArray(0)
+                                   .take(E(30))
+                                   .selectMany(X, Level2)
+                                   .sum());
+    }
+    add("triangle_range_sum",
+        Query::int64Array(2)
+            .take(E(40))
+            .select(lambda({Xi}, abs(Xi) % 20))
+            .selectMany(Xi, Query::range(E(0), Xi)
+                                .select(lambda({D}, D * D)))
+            .sum());
+    add("nested_scalar_select",
+        Query::pointArray(3)
+            .selectNested(
+                P, Query::overVec(P)
+                       .select(lambda({V}, V * V))
+                       .sum())
+            .sum());
+    {
+      // Nested bool query (an Any-like fold referencing the outer x).
+      auto Bp = param("b", Type::boolTy());
+      Query AnyGreater = Query::doubleArray(1).aggregate(
+          E(false), lambda({Bp, V}, Bp || (V > X)));
+      add("where_nested", Query::doubleArray(0)
+                              .take(E(60))
+                              .whereNested(X, AnyGreater)
+                              .count());
+    }
+
+    // K-means-style argmin over captured centroid table (BufferSlice).
+    {
+      auto J = param("j", Type::int64Ty());
+      auto Best = param("best",
+                        Type::pairTy(Type::doubleTy(), Type::int64Ty()));
+      auto Cand = param("cand",
+                        Type::pairTy(Type::doubleTy(), Type::int64Ty()));
+      E Dim_ = E(Dim);
+      Query Dist2 =
+          Query::range(E(0), Dim_)
+              .select(lambda({D}, (P[D] - slice(4, J * Dim_, Dim_)[D]) *
+                                      (P[D] - slice(4, J * Dim_, Dim_)[D])))
+              .sum();
+      auto DV = param("dv", Type::doubleTy());
+      Query PerCentroid =
+          Query::range(E(0), E(K))
+              .selectNested(J, Dist2)
+              // pair up with index via aggregate over (dist, idx):
+              .select(lambda({DV}, DV)) // keep as distances
+              .min();
+      add("kmeans_min_dist",
+          Query::pointArray(3).selectNested(P, PerCentroid).sum());
+    }
+  }
+};
+
+} // namespace testutil
+} // namespace steno
+
+#endif // STENO_TESTS_QUERYTESTUTIL_H

@@ -1,0 +1,340 @@
+//===- tests/cache_test.cpp - Query cache & structural hashing -*- C++ -*-===//
+
+#include "expr/Analysis.h"
+#include "steno/PersistentCache.h"
+#include "steno/QueryCache.h"
+#include "support/TempFile.h"
+#include "support/Timing.h"
+
+#include <cstdlib>
+
+#include "gtest/gtest.h"
+
+using namespace steno;
+using namespace steno::expr;
+using namespace steno::expr::dsl;
+using query::Query;
+
+namespace {
+
+E x() { return param("x", Type::doubleTy()); }
+
+Query sumSq() {
+  return Query::doubleArray(0).select(lambda({x()}, x() * x())).sum();
+}
+
+} // namespace
+
+//===--------------------------------------------------------------------===//
+// Structural hashing / equality of expressions
+//===--------------------------------------------------------------------===//
+
+TEST(ExprHash, EqualStructureEqualHash) {
+  E A = x() * x() + 1.0;
+  E B = x() * x() + 1.0;
+  EXPECT_NE(A.node(), B.node());
+  EXPECT_EQ(hashExpr(*A.node()), hashExpr(*B.node()));
+  EXPECT_TRUE(equalExprs(*A.node(), *B.node()));
+}
+
+TEST(ExprHash, LiteralsDistinguish) {
+  E A = x() + 1.0;
+  E B = x() + 2.0;
+  EXPECT_FALSE(equalExprs(*A.node(), *B.node()));
+  EXPECT_NE(hashExpr(*A.node()), hashExpr(*B.node()));
+}
+
+TEST(ExprHash, OperatorsDistinguish) {
+  EXPECT_FALSE(equalExprs(*(x() + 1.0).node(), *(x() - 1.0).node()));
+}
+
+TEST(ExprHash, ParamNamesDistinguish) {
+  E A = param("a", Type::doubleTy());
+  E B = param("b", Type::doubleTy());
+  EXPECT_FALSE(equalExprs(*A.node(), *B.node()));
+}
+
+TEST(ExprHash, SlotsDistinguish) {
+  EXPECT_FALSE(equalExprs(*capture(0, Type::doubleTy()).node(),
+                          *capture(1, Type::doubleTy()).node()));
+  EXPECT_FALSE(equalExprs(*sourceLen(0).node(), *sourceLen(1).node()));
+}
+
+TEST(ExprHash, IntAndDoubleLiteralsDiffer) {
+  EXPECT_FALSE(
+      equalExprs(*E(1).node(), *E(1.0).node()));
+}
+
+TEST(ExprHash, Lambdas) {
+  Lambda A = lambda({x()}, x() * 2.0);
+  Lambda B = lambda({x()}, x() * 2.0);
+  Lambda C = lambda({x()}, x() * 3.0);
+  EXPECT_TRUE(equalLambdas(A, B));
+  EXPECT_EQ(hashLambda(A), hashLambda(B));
+  EXPECT_FALSE(equalLambdas(A, C));
+  EXPECT_TRUE(equalLambdas(Lambda(), Lambda()));
+  EXPECT_FALSE(equalLambdas(A, Lambda()));
+}
+
+//===--------------------------------------------------------------------===//
+// Query fingerprints
+//===--------------------------------------------------------------------===//
+
+TEST(QueryHash, IndependentlyBuiltQueriesAreEqual) {
+  Query A = sumSq();
+  Query B = sumSq();
+  EXPECT_NE(A.node(), B.node());
+  EXPECT_EQ(hashQuery(A), hashQuery(B));
+  EXPECT_TRUE(equalQueries(A, B));
+}
+
+TEST(QueryHash, DifferentSlotsDiffer) {
+  Query A = Query::doubleArray(0).sum();
+  Query B = Query::doubleArray(1).sum();
+  EXPECT_FALSE(equalQueries(A, B));
+}
+
+TEST(QueryHash, DifferentOperatorsDiffer) {
+  EXPECT_FALSE(equalQueries(Query::doubleArray(0).sum(),
+                            Query::doubleArray(0).count()));
+}
+
+TEST(QueryHash, NestedQueriesCompared) {
+  auto Y = param("y", Type::doubleTy());
+  auto Build = [&](double K) {
+    return Query::doubleArray(0).selectMany(
+        x(), Query::doubleArray(1).select(lambda({Y}, x() * Y + K)));
+  };
+  EXPECT_TRUE(equalQueries(Build(1.0), Build(1.0)));
+  EXPECT_FALSE(equalQueries(Build(1.0), Build(2.0)));
+}
+
+TEST(QueryHash, ChainPrefixIsNotEqual) {
+  Query Short = Query::doubleArray(0).where(lambda({x()}, x() > 0.0));
+  Query Long = Short.select(lambda({x()}, x() * 2.0));
+  EXPECT_FALSE(equalQueries(Short, Long));
+}
+
+//===--------------------------------------------------------------------===//
+// The cache
+//===--------------------------------------------------------------------===//
+
+TEST(QueryCacheTest, HitOnStructurallyEqualQuery) {
+  QueryCache Cache;
+  CompileOptions Options;
+  Options.Exec = Backend::Interp;
+  CompiledQuery A = Cache.getOrCompile(sumSq(), Options);
+  CompiledQuery B = Cache.getOrCompile(sumSq(), Options);
+  EXPECT_EQ(Cache.hits(), 1u);
+  EXPECT_EQ(Cache.misses(), 1u);
+  EXPECT_EQ(Cache.size(), 1u);
+  EXPECT_EQ(&A.generatedSource(), &B.generatedSource())
+      << "both handles share one compiled module";
+}
+
+TEST(QueryCacheTest, MissOnDifferentStructure) {
+  QueryCache Cache;
+  CompileOptions Options;
+  Options.Exec = Backend::Interp;
+  Cache.getOrCompile(sumSq(), Options);
+  Cache.getOrCompile(Query::doubleArray(0).sum(), Options);
+  EXPECT_EQ(Cache.misses(), 2u);
+  EXPECT_EQ(Cache.size(), 2u);
+}
+
+TEST(QueryCacheTest, BackendIsPartOfTheKey) {
+  QueryCache Cache;
+  CompileOptions Interp;
+  Interp.Exec = Backend::Interp;
+  CompileOptions Native;
+  Native.Exec = Backend::Native;
+  Cache.getOrCompile(sumSq(), Interp);
+  Cache.getOrCompile(sumSq(), Native);
+  EXPECT_EQ(Cache.misses(), 2u);
+}
+
+TEST(QueryCacheTest, SpecializationFlagIsPartOfTheKey) {
+  auto G = param("g", Type::pairTy(Type::int64Ty(), Type::vecTy()));
+  auto A = param("a", Type::doubleTy());
+  auto V = param("v", Type::doubleTy());
+  Query BagSum = Query::overVec(G.second())
+                     .aggregate(E(0.0), lambda({A, V}, A + V),
+                                lambda({A}, pair(G.first(), A)));
+  Query Q = Query::doubleArray(0)
+                .groupBy(lambda({x()}, toInt64(x())))
+                .selectNested(G, BagSum);
+  QueryCache Cache;
+  CompileOptions On;
+  On.Exec = Backend::Interp;
+  CompileOptions Off = On;
+  Off.SpecializeGroupByAggregate = false;
+  EXPECT_TRUE(Cache.getOrCompile(Q, On).groupBySpecialized());
+  EXPECT_FALSE(Cache.getOrCompile(Q, Off).groupBySpecialized());
+  EXPECT_EQ(Cache.misses(), 2u);
+}
+
+TEST(QueryCacheTest, CachedNativeQuerySkipsRecompilation) {
+  QueryCache Cache;
+  CompiledQuery First = Cache.getOrCompile(sumSq(), {});
+  EXPECT_GT(First.compileMillis(), 0.0);
+  support::WallTimer T;
+  CompiledQuery Second = Cache.getOrCompile(sumSq(), {});
+  EXPECT_LT(T.millis(), First.compileMillis() / 2.0)
+      << "cache hit must not re-invoke the compiler";
+  // And the cached query runs.
+  std::vector<double> Xs = {1.0, 2.0};
+  Bindings B;
+  B.bindDoubleArray(0, Xs.data(), 2);
+  EXPECT_DOUBLE_EQ(Second.run(B).scalarValue().asDouble(), 5.0);
+}
+
+TEST(QueryCacheTest, ClearEmptiesButHandlesSurvive) {
+  QueryCache Cache;
+  CompileOptions Options;
+  Options.Exec = Backend::Interp;
+  CompiledQuery Kept = Cache.getOrCompile(sumSq(), Options);
+  Cache.clear();
+  EXPECT_EQ(Cache.size(), 0u);
+  std::vector<double> Xs = {3.0};
+  Bindings B;
+  B.bindDoubleArray(0, Xs.data(), 1);
+  EXPECT_DOUBLE_EQ(Kept.run(B).scalarValue().asDouble(), 9.0);
+}
+
+TEST(QueryCacheTest, GlobalInstanceIsShared) {
+  QueryCache &A = QueryCache::global();
+  QueryCache &B = QueryCache::global();
+  EXPECT_EQ(&A, &B);
+}
+
+//===--------------------------------------------------------------------===//
+// The persistent (Nectar-style) cache
+//===--------------------------------------------------------------------===//
+
+namespace {
+
+std::string freshCacheDir(const char *Tag) {
+  static int Counter = 0;
+  return support::processTempDir() + "/pcache_" + Tag + "_" +
+         std::to_string(Counter++);
+}
+
+} // namespace
+
+TEST(PersistentCacheTest, MissCompilesAndPersists) {
+  PersistentQueryCache Cache(freshCacheDir("miss"));
+  CompiledQuery CQ = Cache.getOrCompile(sumSq());
+  EXPECT_EQ(Cache.misses(), 1u);
+  EXPECT_EQ(Cache.hits(), 0u);
+  std::vector<double> Xs = {1.0, 2.0};
+  Bindings B;
+  B.bindDoubleArray(0, Xs.data(), 2);
+  EXPECT_DOUBLE_EQ(CQ.run(B).scalarValue().asDouble(), 5.0);
+}
+
+TEST(PersistentCacheTest, SecondInstanceHitsFromDisk) {
+  std::string Dir = freshCacheDir("hit");
+  {
+    PersistentQueryCache First(Dir);
+    First.getOrCompile(sumSq());
+  }
+  // A fresh cache object (standing in for a new process) must rehydrate
+  // the stored artifact without invoking the compiler.
+  PersistentQueryCache Second(Dir);
+  support::WallTimer T;
+  CompiledQuery CQ = Second.getOrCompile(sumSq());
+  double LoadMs = T.millis();
+  EXPECT_EQ(Second.hits(), 1u);
+  EXPECT_EQ(Second.misses(), 0u);
+  EXPECT_LT(LoadMs, 100.0) << "dlopen, not a compile";
+  std::vector<double> Xs = {3.0};
+  Bindings B;
+  B.bindDoubleArray(0, Xs.data(), 1);
+  EXPECT_DOUBLE_EQ(CQ.run(B).scalarValue().asDouble(), 9.0);
+}
+
+TEST(PersistentCacheTest, OptionsKeyEntriesSeparately) {
+  std::string Dir = freshCacheDir("opts");
+  PersistentQueryCache Cache(Dir);
+  CompileOptions WithCse;
+  CompileOptions NoCse;
+  NoCse.EnableCse = false;
+  Cache.getOrCompile(sumSq(), WithCse);
+  Cache.getOrCompile(sumSq(), NoCse);
+  EXPECT_EQ(Cache.misses(), 2u);
+  Cache.getOrCompile(sumSq(), WithCse);
+  EXPECT_EQ(Cache.hits(), 1u);
+}
+
+TEST(PersistentCacheTest, CorruptEntryRecompiles) {
+  std::string Dir = freshCacheDir("corrupt");
+  {
+    PersistentQueryCache Cache(Dir);
+    Cache.getOrCompile(sumSq());
+  }
+  // Truncate the stored object.
+  std::string Entry;
+  {
+    PersistentQueryCache Probe(Dir);
+    // Overwrite the .so of the only entry with garbage.
+  }
+  // Find and corrupt the entry's object file (redirection targets are
+  // not globbed, so loop).
+  std::string Cmd = "sh -c 'for f in " + Dir +
+                    "/*/query.so; do echo garbage > \"$f\"; done'";
+  ASSERT_EQ(std::system(Cmd.c_str()), 0);
+  PersistentQueryCache Cache(Dir);
+  CompiledQuery CQ = Cache.getOrCompile(sumSq());
+  EXPECT_EQ(Cache.misses(), 1u) << "corrupt entry must recompile";
+  std::vector<double> Xs = {2.0};
+  Bindings B;
+  B.bindDoubleArray(0, Xs.data(), 1);
+  EXPECT_DOUBLE_EQ(CQ.run(B).scalarValue().asDouble(), 4.0);
+}
+
+TEST(PersistentCacheTest, ComplexResultTypesRoundTrip) {
+  // Rows of Pair(int64, double) through a rehydrated query.
+  std::string Dir = freshCacheDir("pairs");
+  auto A = param("a", Type::doubleTy());
+  Query Q = Query::doubleArray(0).groupByAggregate(
+      lambda({x()}, toInt64(x())), E(0.0), lambda({A, x()}, A + x()));
+  {
+    PersistentQueryCache First(Dir);
+    First.getOrCompile(Q);
+  }
+  PersistentQueryCache Second(Dir);
+  CompiledQuery CQ = Second.getOrCompile(Q);
+  EXPECT_EQ(Second.hits(), 1u);
+  std::vector<double> Xs = {1.25, 1.5, 2.25};
+  Bindings B;
+  B.bindDoubleArray(0, Xs.data(), 3);
+  QueryResult R = CQ.run(B);
+  ASSERT_EQ(R.rows().size(), 2u);
+  EXPECT_EQ(R.rows()[0].first().asInt64(), 1);
+  EXPECT_DOUBLE_EQ(R.rows()[0].second().asDouble(), 2.75);
+}
+
+//===--------------------------------------------------------------------===//
+// Type serialization (the persistence codec)
+//===--------------------------------------------------------------------===//
+
+TEST(TypeSerialize, RoundTrips) {
+  for (TypeRef T :
+       {Type::boolTy(), Type::int64Ty(), Type::doubleTy(), Type::vecTy(),
+        Type::pairTy(Type::int64Ty(), Type::vecTy()),
+        Type::pairTy(Type::pairTy(Type::boolTy(), Type::doubleTy()),
+                     Type::int64Ty())}) {
+    TypeRef Back = Type::deserialize(T->serialize());
+    ASSERT_TRUE(Back != nullptr) << T->serialize();
+    EXPECT_TRUE(sameType(T, Back)) << T->serialize();
+  }
+}
+
+TEST(TypeSerialize, RejectsMalformed) {
+  EXPECT_EQ(Type::deserialize(""), nullptr);
+  EXPECT_EQ(Type::deserialize("x"), nullptr);
+  EXPECT_EQ(Type::deserialize("p(d"), nullptr);
+  EXPECT_EQ(Type::deserialize("p(d,i"), nullptr);
+  EXPECT_EQ(Type::deserialize("dd"), nullptr);
+  EXPECT_EQ(Type::deserialize("p(d,i))"), nullptr);
+}

@@ -1,0 +1,203 @@
+//===- tests/fused_test.cpp - Static fusion library tests ------*- C++ -*-===//
+
+#include "fused/Fused.h"
+
+#include "gtest/gtest.h"
+
+#include <cstdint>
+#include <vector>
+
+using namespace steno::fused;
+using std::int64_t;
+
+TEST(FusedSource, Span) {
+  std::vector<double> Xs = {1, 2, 3};
+  EXPECT_DOUBLE_EQ(from(Xs) | sum(), 6.0);
+}
+
+TEST(FusedSource, Range) {
+  EXPECT_EQ(range(1, 100) | sum<int64_t>(), 5050);
+  EXPECT_EQ(range(5, 0) | count(), 0);
+}
+
+TEST(FusedSelect, Maps) {
+  std::vector<double> Xs = {1, 2, 3};
+  double S = from(Xs) | select([](double X) { return X * X; }) | sum();
+  EXPECT_DOUBLE_EQ(S, 14.0);
+}
+
+TEST(FusedWhere, Filters) {
+  int64_t N = range(0, 10) |
+              where([](int64_t X) { return X % 2 == 0; }) | count();
+  EXPECT_EQ(N, 5);
+}
+
+TEST(FusedPipeline, EvenSquaresPaperExample) {
+  auto Out = range(0, 10) |
+             where([](int64_t X) { return X % 2 == 0; }) |
+             select([](int64_t X) { return X * X; }) |
+             toVector<int64_t>();
+  EXPECT_EQ(Out, (std::vector<int64_t>{0, 4, 16, 36, 64}));
+}
+
+TEST(FusedTake, StopsEarly) {
+  int Produced = 0;
+  int64_t N = range(0, 1000000) | select([&Produced](int64_t X) {
+                ++Produced;
+                return X;
+              }) |
+              take(5) | count();
+  EXPECT_EQ(N, 5);
+  EXPECT_EQ(Produced, 5) << "early termination propagates to the source";
+}
+
+TEST(FusedTake, Zero) { EXPECT_EQ(range(0, 9) | take(0) | count(), 0); }
+
+TEST(FusedSkip, Basic) {
+  EXPECT_EQ(range(0, 5) | skip(3) | toVector<int64_t>(),
+            (std::vector<int64_t>{3, 4}));
+  EXPECT_EQ(range(0, 3) | skip(10) | count(), 0);
+}
+
+TEST(FusedTakeWhile, Basic) {
+  std::vector<double> Xs = {1, 2, 9, 1};
+  EXPECT_EQ(from(Xs) | takeWhile([](double X) { return X < 5; }) | count(),
+            2);
+}
+
+TEST(FusedSkipWhile, Basic) {
+  std::vector<double> Xs = {1, 2, 9, 1};
+  EXPECT_EQ(from(Xs) | skipWhile([](double X) { return X < 5; }) | count(),
+            2);
+}
+
+TEST(FusedSelectMany, CartesianSum) {
+  std::vector<double> Ys = {1, 2, 3};
+  double Total = range(1, 3) | selectMany([&Ys](int64_t X) {
+                   return from(Ys) | select([X](double Y) {
+                            return static_cast<double>(X) * Y;
+                          });
+                 }) |
+                 sum();
+  // (1+2+3)*(1+2+3) = 36
+  EXPECT_DOUBLE_EQ(Total, 36.0);
+}
+
+TEST(FusedSelectMany, EarlyExitCrossesNesting) {
+  int Produced = 0;
+  int64_t N = range(0, 100) | selectMany([&Produced](int64_t) {
+                return range(0, 100) | select([&Produced](int64_t Y) {
+                         ++Produced;
+                         return Y;
+                       });
+              }) |
+              take(7) | count();
+  EXPECT_EQ(N, 7);
+  EXPECT_LE(Produced, 100 + 7) << "inner loops stop on request";
+}
+
+TEST(FusedFold, CustomAggregate) {
+  int64_t Product = range(1, 5) | fold(int64_t{1}, [](int64_t A, int64_t X) {
+                      return A * X;
+                    });
+  EXPECT_EQ(Product, 120);
+}
+
+TEST(FusedMinMax, WithIdentity) {
+  std::vector<double> Xs = {3.5, -1.0, 2.0};
+  EXPECT_DOUBLE_EQ(from(Xs) | minWith(1e300), -1.0);
+  EXPECT_DOUBLE_EQ(from(Xs) | maxWith(-1e300), 3.5);
+}
+
+TEST(FusedForEach, SideEffects) {
+  std::vector<int64_t> Seen;
+  range(0, 3) | forEach([&Seen](int64_t X) { Seen.push_back(X); });
+  EXPECT_EQ(Seen, (std::vector<int64_t>{0, 1, 2}));
+}
+
+TEST(FusedGroupByAggregate, HashSink) {
+  auto Entries =
+      range(0, 10) | groupByAggregate(
+                         [](int64_t X) { return X % 3; }, int64_t{0},
+                         [](int64_t A, int64_t X) { return A + X; });
+  ASSERT_EQ(Entries.size(), 3u);
+  EXPECT_EQ(Entries[0].first, 0); // 0 appears first
+  EXPECT_EQ(Entries[0].second, 0 + 3 + 6 + 9);
+  EXPECT_EQ(Entries[1].second, 1 + 4 + 7);
+  EXPECT_EQ(Entries[2].second, 2 + 5 + 8);
+}
+
+TEST(FusedGroupByAggregate, DenseSink) {
+  auto Slots = range(0, 10) |
+               denseGroupByAggregate(
+                   3, [](int64_t X) { return X % 3; }, int64_t{0},
+                   [](int64_t A, int64_t X) { return A + X; });
+  ASSERT_EQ(Slots.size(), 3u);
+  EXPECT_EQ(Slots[0], 18);
+  EXPECT_EQ(Slots[1], 12);
+  EXPECT_EQ(Slots[2], 15);
+}
+
+TEST(FusedEarlyExit, Any) {
+  int Produced = 0;
+  bool Found = range(0, 1000000) | select([&Produced](int64_t X) {
+                 ++Produced;
+                 return X;
+               }) |
+               where([](int64_t X) { return X > 10; }) | any();
+  EXPECT_TRUE(Found);
+  EXPECT_EQ(Produced, 12) << "any() stops at the first match";
+  EXPECT_FALSE(range(0, 5) | where([](int64_t X) { return X > 10; }) |
+               any());
+}
+
+TEST(FusedEarlyExit, All) {
+  int Checked = 0;
+  bool Ok = range(0, 1000) | all([&Checked](int64_t X) {
+              ++Checked;
+              return X < 10;
+            });
+  EXPECT_FALSE(Ok);
+  EXPECT_EQ(Checked, 11) << "all() stops at the first counterexample";
+  EXPECT_TRUE(range(0, 5) | all([](int64_t X) { return X >= 0; }));
+}
+
+TEST(FusedEarlyExit, FirstOr) {
+  EXPECT_EQ(range(7, 100) | firstOr(int64_t{-1}), 7);
+  EXPECT_EQ(range(0, 0) | firstOr(int64_t{-1}), -1);
+  EXPECT_EQ(range(0, 100) | where([](int64_t X) { return X > 41; }) |
+                firstOr(int64_t{-1}),
+            42);
+}
+
+TEST(FusedEquivalence, MatchesHandLoop) {
+  std::vector<double> Xs;
+  for (int I = 0; I < 10000; ++I)
+    Xs.push_back(I * 0.25 - 100);
+  double Hand = 0;
+  for (double X : Xs)
+    if (X > 0)
+      Hand += X * X;
+  double Fused = from(Xs) | where([](double X) { return X > 0; }) |
+                 select([](double X) { return X * X; }) | sum();
+  EXPECT_DOUBLE_EQ(Fused, Hand)
+      << "fused pipeline is the exact hand-written loop";
+}
+
+TEST(FusedEquivalence, DeepChainMatches) {
+  std::vector<double> Xs;
+  for (int I = 0; I < 1000; ++I)
+    Xs.push_back(I * 0.5);
+  auto P = from(Xs);
+  double Fused = P | select([](double X) { return X + 1; }) |
+                 select([](double X) { return X * 2; }) |
+                 where([](double X) { return X > 100; }) |
+                 select([](double X) { return X - 3; }) | sum();
+  double Hand = 0;
+  for (double X : Xs) {
+    double A = (X + 1) * 2;
+    if (A > 100)
+      Hand += A - 3;
+  }
+  EXPECT_DOUBLE_EQ(Fused, Hand);
+}

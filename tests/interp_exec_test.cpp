@@ -1,0 +1,277 @@
+//===- tests/interp_exec_test.cpp - Interp backend differentials -*-C++-*-===//
+//
+// Differential-tests the generated-code interpreter against the reference
+// executor over the shared query catalog, plus randomized property tests
+// over generated pipelines and both settings of the §4.3 specialization.
+//
+//===----------------------------------------------------------------------===//
+
+#include "QueryTestUtil.h"
+
+#include "gtest/gtest.h"
+
+using namespace steno;
+using namespace steno::expr;
+using namespace steno::expr::dsl;
+using namespace steno::testutil;
+using query::Query;
+
+namespace {
+
+class CatalogInterpTest
+    : public ::testing::TestWithParam<std::tuple<int, std::uint64_t>> {};
+
+} // namespace
+
+TEST(InterpCatalog, AllQueriesMatchReference) {
+  Catalog C(/*Seed=*/11);
+  for (const auto &[Name, Q] : C.Queries) {
+    SCOPED_TRACE(Name);
+    expectMatchesReference(Q, C.B, Backend::Interp, Name);
+  }
+}
+
+TEST(InterpCatalog, MatchesWithSpecializationDisabled) {
+  Catalog C(/*Seed=*/12);
+  for (const auto &[Name, Q] : C.Queries) {
+    SCOPED_TRACE(Name);
+    QueryResult Ref = runReference(Q, C.B);
+    CompileOptions Options;
+    Options.Exec = Backend::Interp;
+    Options.SpecializeGroupByAggregate = false;
+    Options.Name = std::string(Name) + "_nospec";
+    QueryResult Got = compileQuery(Q, Options).run(C.B);
+    ASSERT_EQ(Ref.rows().size(), Got.rows().size()) << Name;
+    for (size_t I = 0; I != Ref.rows().size(); ++I)
+      EXPECT_TRUE(valueNear(Ref.rows()[I], Got.rows()[I]))
+          << Name << " row " << I;
+  }
+}
+
+TEST(InterpCatalog, DifferentSeedsDifferentData) {
+  // The same compiled query object re-runs against fresh bindings
+  // (the §3.3/7.1 caching pattern).
+  Catalog C1(21);
+  Catalog C2(22);
+  auto X = param("x", Type::doubleTy());
+  Query Q = Query::doubleArray(0).select(lambda({X}, X * X)).sum();
+  CompileOptions Options;
+  Options.Exec = Backend::Interp;
+  CompiledQuery CQ = compileQuery(Q, Options);
+  double R1 = CQ.run(C1.B).scalarValue().asDouble();
+  double R2 = CQ.run(C2.B).scalarValue().asDouble();
+  EXPECT_NE(R1, R2);
+  EXPECT_DOUBLE_EQ(R1,
+                   runReference(Q, C1.B).scalarValue().asDouble());
+  EXPECT_DOUBLE_EQ(R2,
+                   runReference(Q, C2.B).scalarValue().asDouble());
+}
+
+//===--------------------------------------------------------------------===//
+// Property tests: random element-wise pipelines
+//===--------------------------------------------------------------------===//
+
+namespace {
+
+/// Builds a random chain of Where/Select/Take/Skip over slot 0 terminated
+/// by a random aggregate, entirely determined by Seed.
+Query randomPipeline(std::uint64_t Seed) {
+  support::SplitMix64 Rng(Seed);
+  auto X = param("x", Type::doubleTy());
+  Query Q = Query::doubleArray(0);
+  unsigned Len = 1 + static_cast<unsigned>(Rng.nextBelow(5));
+  for (unsigned I = 0; I != Len; ++I) {
+    switch (Rng.nextBelow(5)) {
+    case 0:
+      Q = Q.select(lambda({X}, X * Rng.nextDouble(-2, 2) +
+                                   Rng.nextDouble(-10, 10)));
+      break;
+    case 1:
+      Q = Q.where(lambda({X}, X > Rng.nextDouble(-50, 50)));
+      break;
+    case 2:
+      Q = Q.take(E(static_cast<std::int64_t>(Rng.nextBelow(300))));
+      break;
+    case 3:
+      Q = Q.skip(E(static_cast<std::int64_t>(Rng.nextBelow(50))));
+      break;
+    default:
+      Q = Q.select(lambda({X}, abs(X) + 1.0));
+      break;
+    }
+  }
+  switch (Rng.nextBelow(4)) {
+  case 0:
+    return Q.sum();
+  case 1:
+    return Q.count();
+  case 2:
+    return Q.min();
+  default:
+    return Q.toArray();
+  }
+}
+
+class PipelinePropertyTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+} // namespace
+
+TEST_P(PipelinePropertyTest, InterpMatchesReference) {
+  std::uint64_t Seed = GetParam();
+  std::vector<double> Xs = randomDoubles(200, Seed * 31 + 7);
+  Bindings B;
+  B.bindDoubleArray(0, Xs.data(), static_cast<std::int64_t>(Xs.size()));
+  Query Q = randomPipeline(Seed);
+  expectMatchesReference(Q, B, Backend::Interp,
+                         "pipeline_" + std::to_string(Seed));
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomPipelines, PipelinePropertyTest,
+                         ::testing::Range<std::uint64_t>(0, 40));
+
+//===--------------------------------------------------------------------===//
+// Property tests: random nested structures (the §5 pushdown machinery)
+//===--------------------------------------------------------------------===//
+
+namespace {
+
+/// Builds a random query with nested sub-queries: the outer pipeline may
+/// contain SelectMany over a Range whose bound depends on the outer
+/// element, a nested scalar Select, or a nested Where — exercising the
+/// stack transitions of Figures 9-11 in random combinations.
+query::Query randomNestedQuery(std::uint64_t Seed) {
+  support::SplitMix64 Rng(Seed);
+  auto Xi = param("nx", Type::int64Ty());
+  auto D = param("nd", Type::int64Ty());
+  auto A = param("na", Type::int64Ty());
+  auto Bl = param("nb", Type::boolTy());
+
+  // Start from int64s bounded to keep triangle sizes small.
+  Query Q = Query::int64Array(0).select(lambda({Xi}, abs(Xi) % 15));
+  unsigned Len = 1 + static_cast<unsigned>(Rng.nextBelow(3));
+  for (unsigned I = 0; I != Len; ++I) {
+    switch (Rng.nextBelow(4)) {
+    case 0: { // flatten over an outer-dependent range
+      std::int64_t Mul =
+          1 + static_cast<std::int64_t>(Rng.nextBelow(3));
+      Q = Q.selectMany(Xi, Query::range(E(0), Xi)
+                               .select(lambda({D}, D * Mul + Xi)));
+      break;
+    }
+    case 1: { // nested scalar aggregate referencing the outer element
+      Q = Q.selectNested(
+          Xi, Query::range(E(0), Xi % 7 + 1)
+                  .aggregate(E(0), lambda({A, D}, A + D),
+                             lambda({A}, A + Xi)));
+      break;
+    }
+    case 2: { // nested bool predicate
+      Q = Q.whereNested(
+          Xi, Query::range(E(0), E(5))
+                  .aggregate(E(false),
+                             lambda({Bl, D}, Bl || (D == Xi % 5))));
+      break;
+    }
+    default: // plain element-wise stage between nestings
+      Q = Q.where(lambda({Xi}, Xi % 2 == 0));
+      break;
+    }
+  }
+  switch (Rng.nextBelow(3)) {
+  case 0:
+    return Q.sum();
+  case 1:
+    return Q.count();
+  default:
+    return Q.toArray();
+  }
+}
+
+class NestedPropertyTest : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+} // namespace
+
+TEST_P(NestedPropertyTest, InterpMatchesReference) {
+  std::uint64_t Seed = GetParam();
+  std::vector<std::int64_t> Is = randomInt64s(60, Seed * 97 + 3);
+  Bindings B;
+  B.bindInt64Array(0, Is.data(), static_cast<std::int64_t>(Is.size()));
+  Query Q = randomNestedQuery(Seed);
+  expectMatchesReference(Q, B, Backend::Interp,
+                         "nested_" + std::to_string(Seed));
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomNested, NestedPropertyTest,
+                         ::testing::Range<std::uint64_t>(0, 30));
+
+//===--------------------------------------------------------------------===//
+// Edge cases
+//===--------------------------------------------------------------------===//
+
+TEST(InterpEdge, EmptySource) {
+  Bindings B;
+  std::vector<double> Empty;
+  B.bindDoubleArray(0, Empty.data(), 0);
+  auto X = param("x", Type::doubleTy());
+  Query Sum = Query::doubleArray(0).sum();
+  CompileOptions Options;
+  Options.Exec = Backend::Interp;
+  EXPECT_DOUBLE_EQ(
+      compileQuery(Sum, Options).run(B).scalarValue().asDouble(), 0.0);
+  Query Rows = Query::doubleArray(0).select(lambda({X}, X * 2.0));
+  EXPECT_TRUE(compileQuery(Rows, Options).run(B).rows().empty());
+}
+
+TEST(InterpEdge, SingleElement) {
+  std::vector<double> One = {4.0};
+  Bindings B;
+  B.bindDoubleArray(0, One.data(), 1);
+  CompileOptions Options;
+  Options.Exec = Backend::Interp;
+  EXPECT_DOUBLE_EQ(compileQuery(Query::doubleArray(0).min(), Options)
+                       .run(B)
+                       .scalarValue()
+                       .asDouble(),
+                   4.0);
+  EXPECT_DOUBLE_EQ(compileQuery(Query::doubleArray(0).average(), Options)
+                       .run(B)
+                       .scalarValue()
+                       .asDouble(),
+                   4.0);
+}
+
+TEST(InterpEdge, RangeSourceNegativeCountIsEmpty) {
+  Bindings B;
+  Query Q = Query::range(E(0), E(-5)).count();
+  CompileOptions Options;
+  Options.Exec = Backend::Interp;
+  EXPECT_EQ(compileQuery(Q, Options).run(B).scalarValue().asInt64(), 0);
+}
+
+TEST(InterpEdge, TakeZero) {
+  std::vector<double> Xs = {1, 2, 3};
+  Bindings B;
+  B.bindDoubleArray(0, Xs.data(), 3);
+  CompileOptions Options;
+  Options.Exec = Backend::Interp;
+  Query Q = Query::doubleArray(0).take(E(0)).count();
+  EXPECT_EQ(compileQuery(Q, Options).run(B).scalarValue().asInt64(), 0);
+}
+
+TEST(InterpEdge, GroupOfSingleKey) {
+  std::vector<double> Xs = {1.0, 1.5, 1.9};
+  Bindings B;
+  B.bindDoubleArray(0, Xs.data(), 3);
+  auto X = param("x", Type::doubleTy());
+  auto A = param("a", Type::doubleTy());
+  Query Q = Query::doubleArray(0).groupByAggregate(
+      lambda({X}, toInt64(X)), E(0.0), lambda({A, X}, A + X));
+  CompileOptions Options;
+  Options.Exec = Backend::Interp;
+  QueryResult R = compileQuery(Q, Options).run(B);
+  ASSERT_EQ(R.rows().size(), 1u);
+  EXPECT_EQ(R.rows()[0].first().asInt64(), 1);
+  EXPECT_DOUBLE_EQ(R.rows()[0].second().asDouble(), 4.4);
+}

@@ -1,0 +1,443 @@
+//===- tests/linq_test.cpp - Baseline iterator library tests ---*- C++ -*-===//
+//
+// Validates the lazy-iterator LINQ clone: operator semantics, laziness,
+// state-machine behaviour and the foreach adapter (paper §2).
+//
+//===----------------------------------------------------------------------===//
+
+#include "linq/Linq.h"
+
+#include "gtest/gtest.h"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+using namespace steno::linq;
+using std::int64_t;
+
+namespace {
+
+Seq<int64_t> ints(std::vector<int64_t> V) { return from(std::move(V)); }
+
+} // namespace
+
+//===--------------------------------------------------------------------===//
+// Sources
+//===--------------------------------------------------------------------===//
+
+TEST(LinqSources, VectorRoundTrip) {
+  EXPECT_EQ(ints({1, 2, 3}).toVector(), (std::vector<int64_t>{1, 2, 3}));
+}
+
+TEST(LinqSources, EmptyVector) {
+  EXPECT_TRUE(ints({}).toVector().empty());
+  EXPECT_FALSE(ints({}).any());
+}
+
+TEST(LinqSources, Range) {
+  EXPECT_EQ(range(5, 4).toVector(), (std::vector<int64_t>{5, 6, 7, 8}));
+}
+
+TEST(LinqSources, RangeEmpty) {
+  EXPECT_TRUE(range(5, 0).toVector().empty());
+  EXPECT_TRUE(range(5, -3).toVector().empty());
+}
+
+TEST(LinqSources, Repeat) {
+  EXPECT_EQ(repeat<int64_t>(9, 3).toVector(),
+            (std::vector<int64_t>{9, 9, 9}));
+}
+
+TEST(LinqSources, SpanBorrows) {
+  std::vector<double> Buf = {1.5, 2.5};
+  Seq<double> S = fromSpan(Buf.data(), Buf.size());
+  EXPECT_EQ(S.toVector(), (std::vector<double>{1.5, 2.5}));
+}
+
+TEST(LinqSources, EnumeratorPastEndStaysFalse) {
+  std::unique_ptr<Enumerator<int64_t>> E = ints({1}).getEnumerator();
+  EXPECT_TRUE(E->moveNext());
+  EXPECT_FALSE(E->moveNext());
+  EXPECT_FALSE(E->moveNext()) << "moveNext after end must stay false";
+}
+
+TEST(LinqSources, IndependentEnumerators) {
+  Seq<int64_t> S = ints({1, 2});
+  auto E1 = S.getEnumerator();
+  auto E2 = S.getEnumerator();
+  EXPECT_TRUE(E1->moveNext());
+  EXPECT_TRUE(E1->moveNext());
+  EXPECT_TRUE(E2->moveNext());
+  EXPECT_EQ(E2->current(), 1) << "each traversal starts fresh";
+}
+
+//===--------------------------------------------------------------------===//
+// Select / Where
+//===--------------------------------------------------------------------===//
+
+TEST(LinqSelect, Maps) {
+  auto Out = ints({1, 2, 3}).select([](int64_t X) { return X * X; });
+  EXPECT_EQ(Out.toVector(), (std::vector<int64_t>{1, 4, 9}));
+}
+
+TEST(LinqSelect, ChangesType) {
+  auto Out = ints({1, 2}).select([](int64_t X) { return X + 0.5; });
+  EXPECT_EQ(Out.toVector(), (std::vector<double>{1.5, 2.5}));
+}
+
+TEST(LinqSelect, IsLazy) {
+  int Calls = 0;
+  auto Out = ints({1, 2, 3}).select([&Calls](int64_t X) {
+    ++Calls;
+    return X;
+  });
+  EXPECT_EQ(Calls, 0) << "select must not run before enumeration";
+  (void)Out.first();
+  EXPECT_EQ(Calls, 1) << "first() pulls exactly one element";
+}
+
+TEST(LinqWhere, Filters) {
+  auto Out = ints({1, 2, 3, 4, 5}).where([](int64_t X) {
+    return X % 2 == 0;
+  });
+  EXPECT_EQ(Out.toVector(), (std::vector<int64_t>{2, 4}));
+}
+
+TEST(LinqWhere, EvenSquaresPaperExample) {
+  // The paper's §2 running example.
+  auto EvenSquares = range(0, 10)
+                         .where([](int64_t X) { return X % 2 == 0; })
+                         .select([](int64_t X) { return X * X; });
+  EXPECT_EQ(EvenSquares.toVector(),
+            (std::vector<int64_t>{0, 4, 16, 36, 64}));
+}
+
+TEST(LinqWhere, AllFilteredOut) {
+  EXPECT_TRUE(
+      ints({1, 3}).where([](int64_t X) { return X > 10; }).toVector()
+          .empty());
+}
+
+//===--------------------------------------------------------------------===//
+// Take / Skip / TakeWhile / SkipWhile
+//===--------------------------------------------------------------------===//
+
+TEST(LinqTake, Basic) {
+  EXPECT_EQ(range(0, 100).take(3).toVector(),
+            (std::vector<int64_t>{0, 1, 2}));
+}
+
+TEST(LinqTake, MoreThanAvailable) {
+  EXPECT_EQ(ints({1, 2}).take(5).toVector(),
+            (std::vector<int64_t>{1, 2}));
+}
+
+TEST(LinqTake, Zero) { EXPECT_TRUE(range(0, 5).take(0).toVector().empty()); }
+
+TEST(LinqTake, StopsPullingUpstream) {
+  int Pulled = 0;
+  auto Out = range(0, 100)
+                 .select([&Pulled](int64_t X) {
+                   ++Pulled;
+                   return X;
+                 })
+                 .take(3);
+  (void)Out.toVector();
+  EXPECT_EQ(Pulled, 3) << "take must not exhaust the upstream";
+}
+
+TEST(LinqSkip, Basic) {
+  EXPECT_EQ(range(0, 5).skip(3).toVector(), (std::vector<int64_t>{3, 4}));
+}
+
+TEST(LinqSkip, All) { EXPECT_TRUE(range(0, 3).skip(5).toVector().empty()); }
+
+TEST(LinqTakeWhile, Basic) {
+  EXPECT_EQ(
+      ints({1, 2, 9, 1}).takeWhile([](int64_t X) { return X < 5; })
+          .toVector(),
+      (std::vector<int64_t>{1, 2}));
+}
+
+TEST(LinqSkipWhile, Basic) {
+  EXPECT_EQ(
+      ints({1, 2, 9, 1}).skipWhile([](int64_t X) { return X < 5; })
+          .toVector(),
+      (std::vector<int64_t>{9, 1}));
+}
+
+TEST(LinqSkipWhile, NeverMatches) {
+  EXPECT_EQ(
+      ints({9, 1}).skipWhile([](int64_t X) { return X < 5; }).toVector(),
+      (std::vector<int64_t>{9, 1}));
+}
+
+//===--------------------------------------------------------------------===//
+// SelectMany / Concat / Zip / Distinct / Reverse
+//===--------------------------------------------------------------------===//
+
+TEST(LinqSelectMany, Flattens) {
+  auto Out = ints({1, 2, 3}).selectMany(
+      [](int64_t X) { return repeat(X, X); });
+  EXPECT_EQ(Out.toVector(), (std::vector<int64_t>{1, 2, 2, 3, 3, 3}));
+}
+
+TEST(LinqSelectMany, EmptyInner) {
+  auto Out = ints({1, 2}).selectMany(
+      [](int64_t) { return Seq<int64_t>(ints({})); });
+  EXPECT_TRUE(Out.toVector().empty());
+}
+
+TEST(LinqSelectMany, CartesianProduct) {
+  // The §5 join-via-SelectMany pattern.
+  std::vector<int64_t> Ys = {10, 20};
+  auto Out = ints({1, 2}).selectMany([Ys](int64_t X) {
+    return from(Ys).select([X](int64_t Y) { return X * 100 + Y; });
+  });
+  EXPECT_EQ(Out.toVector(),
+            (std::vector<int64_t>{110, 120, 210, 220}));
+}
+
+TEST(LinqConcat, Basic) {
+  EXPECT_EQ(ints({1}).concat(ints({2, 3})).toVector(),
+            (std::vector<int64_t>{1, 2, 3}));
+}
+
+TEST(LinqConcat, EmptyLeft) {
+  EXPECT_EQ(ints({}).concat(ints({2})).toVector(),
+            (std::vector<int64_t>{2}));
+}
+
+TEST(LinqZip, StopsAtShorter) {
+  auto Out = ints({1, 2, 3}).zip(Seq<double>(from<double>({0.5, 1.5})));
+  std::vector<std::pair<int64_t, double>> V = Out.toVector();
+  ASSERT_EQ(V.size(), 2u);
+  std::pair<int64_t, double> First{1, 0.5};
+  std::pair<int64_t, double> Second{2, 1.5};
+  EXPECT_EQ(V[0], First);
+  EXPECT_EQ(V[1], Second);
+}
+
+TEST(LinqDistinct, FirstOccurrenceWins) {
+  EXPECT_EQ(ints({3, 1, 3, 2, 1}).distinct().toVector(),
+            (std::vector<int64_t>{3, 1, 2}));
+}
+
+TEST(LinqReverse, Basic) {
+  EXPECT_EQ(ints({1, 2, 3}).reverse().toVector(),
+            (std::vector<int64_t>{3, 2, 1}));
+}
+
+//===--------------------------------------------------------------------===//
+// GroupBy / OrderBy / Join
+//===--------------------------------------------------------------------===//
+
+TEST(LinqGroupBy, KeysInFirstAppearanceOrder) {
+  auto Groups =
+      ints({5, 1, 6, 2, 7}).groupBy([](int64_t X) { return X % 2; });
+  std::vector<Grouping<int64_t, int64_t>> G = Groups.toVector();
+  ASSERT_EQ(G.size(), 2u);
+  EXPECT_EQ(G[0].key(), 1); // 5 arrives first
+  EXPECT_EQ(G[0].values(), (std::vector<int64_t>{5, 1, 7}));
+  EXPECT_EQ(G[1].key(), 0);
+  EXPECT_EQ(G[1].values(), (std::vector<int64_t>{6, 2}));
+}
+
+TEST(LinqGroupBy, ResultSelector) {
+  auto Sums = ints({1, 2, 3, 4}).groupBy(
+      [](int64_t X) { return X % 2; },
+      [](int64_t Key, const std::vector<int64_t> &Bag) {
+        int64_t Sum = 0;
+        for (int64_t V : Bag)
+          Sum += V;
+        return Key * 1000 + Sum;
+      });
+  EXPECT_EQ(Sums.toVector(), (std::vector<int64_t>{1004, 6}));
+}
+
+TEST(LinqGroupBy, GroupsThenWhereIsHavingPattern) {
+  // GROUP BY ... HAVING of §4.2.
+  auto Big = ints({1, 1, 1, 2, 3, 3})
+                 .groupBy([](int64_t X) { return X; })
+                 .where([](const Grouping<int64_t, int64_t> &G) {
+                   return G.values().size() >= 2;
+                 })
+                 .select([](const Grouping<int64_t, int64_t> &G) {
+                   return G.key();
+                 });
+  EXPECT_EQ(Big.toVector(), (std::vector<int64_t>{1, 3}));
+}
+
+TEST(LinqOrderBy, StableSort) {
+  struct Row {
+    int64_t Key;
+    int64_t Tag;
+    bool operator==(const Row &O) const {
+      return Key == O.Key && Tag == O.Tag;
+    }
+  };
+  Seq<Row> S = from<Row>({{2, 0}, {1, 0}, {2, 1}, {1, 1}});
+  std::vector<Row> Out =
+      S.orderBy([](const Row &R) { return R.Key; }).toVector();
+  EXPECT_EQ(Out, (std::vector<Row>{{1, 0}, {1, 1}, {2, 0}, {2, 1}}));
+}
+
+TEST(LinqOrderBy, Descending) {
+  EXPECT_EQ(
+      ints({2, 5, 1}).orderByDescending([](int64_t X) { return X; })
+          .toVector(),
+      (std::vector<int64_t>{5, 2, 1}));
+}
+
+TEST(LinqJoin, EquiJoin) {
+  auto Out = ints({1, 2, 3}).join(
+      ints({2, 3, 3, 4}), [](int64_t X) { return X; },
+      [](int64_t Y) { return Y; },
+      [](int64_t X, int64_t Y) { return X * 10 + Y; });
+  EXPECT_EQ(Out.toVector(), (std::vector<int64_t>{22, 33, 33}));
+}
+
+TEST(LinqJoin, NoMatches) {
+  auto Out = ints({1}).join(
+      ints({2}), [](int64_t X) { return X; }, [](int64_t Y) { return Y; },
+      [](int64_t X, int64_t Y) { return X + Y; });
+  EXPECT_TRUE(Out.toVector().empty());
+}
+
+//===--------------------------------------------------------------------===//
+// Aggregates
+//===--------------------------------------------------------------------===//
+
+TEST(LinqAgg, Sum) { EXPECT_EQ(range(1, 100).sum(), 5050); }
+
+TEST(LinqAgg, SumOfDoubles) {
+  EXPECT_DOUBLE_EQ(from<double>({0.5, 1.5, 2.0}).sum(), 4.0);
+}
+
+TEST(LinqAgg, SumEmptyIsZero) { EXPECT_EQ(ints({}).sum(), 0); }
+
+TEST(LinqAgg, MinMax) {
+  EXPECT_EQ(ints({3, 1, 2}).min(), 1);
+  EXPECT_EQ(ints({3, 1, 2}).max(), 3);
+}
+
+TEST(LinqAgg, Average) {
+  EXPECT_DOUBLE_EQ(ints({1, 2, 3, 4}).average(), 2.5);
+}
+
+TEST(LinqAgg, Count) {
+  EXPECT_EQ(range(0, 17).count(), 17);
+  EXPECT_EQ(range(0, 17).count([](int64_t X) { return X % 3 == 0; }), 6);
+}
+
+TEST(LinqAgg, AggregateFold) {
+  int64_t Product = ints({1, 2, 3, 4}).aggregate(
+      int64_t{1}, [](int64_t Acc, int64_t X) { return Acc * X; });
+  EXPECT_EQ(Product, 24);
+}
+
+TEST(LinqAgg, AggregateWithResultSelector) {
+  double HalfSum = ints({1, 2, 3}).aggregate(
+      int64_t{0}, [](int64_t Acc, int64_t X) { return Acc + X; },
+      [](int64_t Acc) { return Acc / 2.0; });
+  EXPECT_DOUBLE_EQ(HalfSum, 3.0);
+}
+
+TEST(LinqAgg, AnyAll) {
+  EXPECT_TRUE(ints({1, 2}).any());
+  EXPECT_FALSE(ints({}).any());
+  EXPECT_TRUE(ints({1, 2}).any([](int64_t X) { return X == 2; }));
+  EXPECT_FALSE(ints({1, 2}).any([](int64_t X) { return X == 3; }));
+  EXPECT_TRUE(ints({2, 4}).all([](int64_t X) { return X % 2 == 0; }));
+  EXPECT_FALSE(ints({2, 3}).all([](int64_t X) { return X % 2 == 0; }));
+  EXPECT_TRUE(ints({}).all([](int64_t) { return false; }));
+}
+
+TEST(LinqAgg, FirstLastElementAt) {
+  EXPECT_EQ(ints({7, 8, 9}).first(), 7);
+  EXPECT_EQ(ints({7, 8, 9}).last(), 9);
+  EXPECT_EQ(ints({7, 8, 9}).elementAt(1), 8);
+  EXPECT_EQ(ints({}).firstOrDefault(-1), -1);
+}
+
+TEST(LinqAgg, Contains) {
+  EXPECT_TRUE(ints({1, 2}).contains(2));
+  EXPECT_FALSE(ints({1, 2}).contains(3));
+}
+
+TEST(LinqAgg, ToLookup) {
+  Lookup<int64_t, int64_t> L =
+      ints({1, 2, 3, 4}).toLookup([](int64_t X) { return X % 2; });
+  EXPECT_EQ(L.size(), 2u);
+  EXPECT_EQ(L.at(1), (std::vector<int64_t>{1, 3}));
+  EXPECT_EQ(L.at(0), (std::vector<int64_t>{2, 4}));
+}
+
+//===--------------------------------------------------------------------===//
+// foreach adapter and composition depth
+//===--------------------------------------------------------------------===//
+
+TEST(LinqForeach, RangeFor) {
+  int64_t Sum = 0;
+  for (int64_t X : range(1, 4))
+    Sum += X;
+  EXPECT_EQ(Sum, 1 + 2 + 3 + 4);
+}
+
+TEST(LinqForeach, EmptyRangeFor) {
+  for (int64_t X : ints({})) {
+    (void)X;
+    FAIL() << "empty sequence must not enter the loop";
+  }
+}
+
+TEST(LinqCompose, DeepChain) {
+  // Eight stacked operators: each element crosses eight iterator
+  // boundaries (the overhead Figure 2 depicts).
+  Seq<int64_t> S = range(0, 1000);
+  for (int I = 0; I < 8; ++I)
+    S = S.select([](int64_t X) { return X + 1; });
+  EXPECT_EQ(S.first(), 8);
+  EXPECT_EQ(S.last(), 1007);
+}
+
+TEST(LinqCompose, ReuseAfterPartialEnumeration) {
+  Seq<int64_t> S = range(0, 5).where([](int64_t X) { return X != 2; });
+  auto E = S.getEnumerator();
+  EXPECT_TRUE(E->moveNext());
+  // A second full traversal is unaffected by the half-consumed first one.
+  EXPECT_EQ(S.toVector(), (std::vector<int64_t>{0, 1, 3, 4}));
+}
+
+//===--------------------------------------------------------------------===//
+// Lookup details
+//===--------------------------------------------------------------------===//
+
+TEST(LinqLookup, PutPreservesOrder) {
+  Lookup<int64_t, double> L;
+  L.put(5, 1.0);
+  L.put(2, 2.0);
+  L.put(5, 3.0);
+  ASSERT_EQ(L.size(), 2u);
+  EXPECT_EQ(L.group(0).key(), 5);
+  EXPECT_EQ(L.group(0).values(), (std::vector<double>{1.0, 3.0}));
+  EXPECT_EQ(L.group(1).key(), 2);
+}
+
+TEST(LinqLookup, Contains) {
+  Lookup<int64_t, double> L;
+  L.put(1, 0.0);
+  EXPECT_TRUE(L.contains(1));
+  EXPECT_FALSE(L.contains(2));
+}
+
+TEST(LinqLookup, GroupsSnapshot) {
+  Lookup<int64_t, double> L;
+  L.put(1, 0.5);
+  L.put(2, 1.5);
+  std::vector<Grouping<int64_t, double>> G = L.groups();
+  ASSERT_EQ(G.size(), 2u);
+  EXPECT_EQ(G[0].values(), (std::vector<double>{0.5}));
+}

@@ -1,0 +1,119 @@
+//===- tests/plinq_test.cpp - Parallel LINQ tests --------------*- C++ -*-===//
+
+#include "plinq/Plinq.h"
+#include "support/Random.h"
+
+#include "gtest/gtest.h"
+
+#include <cstdint>
+
+using namespace steno;
+using namespace steno::plinq;
+using std::int64_t;
+
+namespace {
+
+std::vector<double> testData(size_t N, std::uint64_t Seed) {
+  support::SplitMix64 Rng(Seed);
+  std::vector<double> Out(N);
+  for (double &V : Out)
+    V = Rng.nextDouble(-10, 10);
+  return Out;
+}
+
+} // namespace
+
+TEST(PlinqPartitioner, ChunksCoverEverything) {
+  std::vector<double> Xs = {0, 1, 2, 3, 4, 5, 6};
+  std::vector<linq::Seq<double>> Parts = partitionSpan(Xs.data(), 7, 3);
+  ASSERT_EQ(Parts.size(), 3u);
+  EXPECT_EQ(Parts[0].count(), 3);
+  EXPECT_EQ(Parts[1].count(), 2);
+  EXPECT_EQ(Parts[2].count(), 2);
+  EXPECT_DOUBLE_EQ(Parts[1].first(), 3.0);
+}
+
+TEST(PlinqPartitioner, MorePartsThanElements) {
+  std::vector<double> Xs = {1.0};
+  std::vector<linq::Seq<double>> Parts = partitionSpan(Xs.data(), 1, 4);
+  ASSERT_EQ(Parts.size(), 4u);
+  EXPECT_EQ(Parts[0].count(), 1);
+  EXPECT_EQ(Parts[3].count(), 0);
+}
+
+TEST(PlinqAgg, SumMatchesSequential) {
+  std::vector<double> Xs = testData(1003, 1);
+  dryad::ThreadPool Pool(4);
+  double Par = asParallel(Pool, Xs).sum();
+  double Seq = linq::fromSpan(Xs.data(), Xs.size()).sum();
+  EXPECT_NEAR(Par, Seq, 1e-9 * std::abs(Seq))
+      << "partial sums reassociate";
+}
+
+TEST(PlinqAgg, CountThroughOperators) {
+  std::vector<double> Xs = testData(500, 2);
+  dryad::ThreadPool Pool(3);
+  int64_t Par = asParallel(Pool, Xs)
+                    .where([](double X) { return X > 0; })
+                    .count();
+  int64_t Seq = linq::fromSpan(Xs.data(), Xs.size())
+                    .where([](double X) { return X > 0; })
+                    .count();
+  EXPECT_EQ(Par, Seq);
+}
+
+TEST(PlinqAgg, SelectSumPipeline) {
+  std::vector<double> Xs = testData(800, 3);
+  dryad::ThreadPool Pool(4);
+  double Par = asParallel(Pool, Xs)
+                   .select([](double X) { return X * X; })
+                   .sum();
+  double Seq = 0;
+  for (double X : Xs)
+    Seq += X * X;
+  EXPECT_NEAR(Par, Seq, 1e-9 * std::abs(Seq));
+}
+
+TEST(PlinqAgg, AggregateWithCombiner) {
+  std::vector<double> Xs = testData(600, 4);
+  dryad::ThreadPool Pool(4);
+  // Count of positives via explicit fold + combine.
+  int64_t Par = asParallel(Pool, Xs).aggregate(
+      int64_t{0},
+      [](int64_t Acc, double X) { return Acc + (X > 0 ? 1 : 0); },
+      [](int64_t A, int64_t B) { return A + B; });
+  int64_t Seq = linq::fromSpan(Xs.data(), Xs.size())
+                    .count([](double X) { return X > 0; });
+  EXPECT_EQ(Par, Seq);
+}
+
+TEST(PlinqOrder, ToVectorPreservesPartitionOrder) {
+  std::vector<double> Xs;
+  for (int I = 0; I < 97; ++I)
+    Xs.push_back(I);
+  dryad::ThreadPool Pool(5);
+  std::vector<double> Out =
+      asParallel(Pool, Xs).select([](double X) { return X * 2; })
+          .toVector();
+  ASSERT_EQ(Out.size(), Xs.size());
+  for (size_t I = 0; I != Out.size(); ++I)
+    EXPECT_DOUBLE_EQ(Out[I], 2.0 * static_cast<double>(I));
+}
+
+TEST(PlinqNested, SelectManyAcrossPartitions) {
+  std::vector<int64_t> Xs = {1, 2, 3, 4, 5};
+  dryad::ThreadPool Pool(2);
+  ParSeq<int64_t> P(Pool, partitionSpan(Xs.data(), Xs.size(), 2));
+  int64_t Total =
+      P.selectMany([](int64_t X) { return linq::repeat(X, X); }).sum();
+  // sum of x*x for x in 1..5 = 55.
+  EXPECT_EQ(Total, 55);
+}
+
+TEST(PlinqEmpty, EmptyInput) {
+  std::vector<double> Xs;
+  dryad::ThreadPool Pool(4);
+  EXPECT_DOUBLE_EQ(ParSeq<double>::fromSpan(Pool, Xs.data(), 0).sum(),
+                   0.0);
+  EXPECT_EQ(ParSeq<double>::fromSpan(Pool, Xs.data(), 0).count(), 0);
+}

@@ -1,0 +1,159 @@
+//===- tests/query_test.cpp - Query AST builder tests ----------*- C++ -*-===//
+
+#include "query/Query.h"
+
+#include "gtest/gtest.h"
+
+using namespace steno;
+using namespace steno::expr;
+using namespace steno::expr::dsl;
+using query::OpKind;
+using query::Query;
+using query::SourceKind;
+
+namespace {
+
+E x() { return param("x", Type::doubleTy()); }
+E xi() { return param("x", Type::int64Ty()); }
+
+} // namespace
+
+TEST(QueryBuild, SourceElementTypes) {
+  EXPECT_TRUE(Query::doubleArray(0).resultType()->isDouble());
+  EXPECT_TRUE(Query::int64Array(0).resultType()->isInt64());
+  EXPECT_TRUE(Query::pointArray(0).resultType()->isVec());
+  EXPECT_TRUE(Query::range(E(0), E(10)).resultType()->isInt64());
+  E V = param("v", Type::vecTy());
+  EXPECT_TRUE(Query::overVec(V).resultType()->isDouble());
+}
+
+TEST(QueryBuild, SelectChangesElementType) {
+  Query Q = Query::doubleArray(0).select(lambda({x()}, toInt64(x())));
+  EXPECT_TRUE(Q.resultType()->isInt64());
+  EXPECT_FALSE(Q.scalarResult());
+}
+
+TEST(QueryBuild, WherePreservesElementType) {
+  Query Q = Query::doubleArray(0).where(lambda({x()}, x() > 0.0));
+  EXPECT_TRUE(Q.resultType()->isDouble());
+}
+
+TEST(QueryBuild, AggregatesAreScalar) {
+  EXPECT_TRUE(Query::doubleArray(0).sum().scalarResult());
+  EXPECT_TRUE(Query::doubleArray(0).sum().resultType()->isDouble());
+  EXPECT_TRUE(Query::int64Array(0).sum().resultType()->isInt64());
+  EXPECT_TRUE(Query::doubleArray(0).count().resultType()->isInt64());
+  EXPECT_TRUE(Query::int64Array(0).average().resultType()->isDouble());
+  EXPECT_TRUE(Query::doubleArray(0).min().resultType()->isDouble());
+}
+
+TEST(QueryBuild, AggregateExplicitTypes) {
+  E A = param("a", Type::int64Ty());
+  Query Q = Query::doubleArray(0).aggregate(
+      E(0), lambda({A, x()}, A + 1));
+  EXPECT_TRUE(Q.resultType()->isInt64());
+  Query QR = Query::doubleArray(0).aggregate(
+      E(0), lambda({A, x()}, A + 1), lambda({A}, toDouble(A)));
+  EXPECT_TRUE(QR.resultType()->isDouble());
+}
+
+TEST(QueryBuild, GroupByProducesKeyBagPairs) {
+  Query Q =
+      Query::doubleArray(0).groupBy(lambda({x()}, toInt64(x())));
+  ASSERT_TRUE(Q.resultType()->isPair());
+  EXPECT_TRUE(Q.resultType()->first()->isInt64());
+  EXPECT_TRUE(Q.resultType()->second()->isVec());
+}
+
+TEST(QueryBuild, GroupByAggregateDefaultResult) {
+  E A = param("a", Type::doubleTy());
+  Query Q = Query::doubleArray(0).groupByAggregate(
+      lambda({x()}, toInt64(x())), E(0.0), lambda({A, x()}, A + x()));
+  ASSERT_TRUE(Q.resultType()->isPair());
+  EXPECT_TRUE(Q.resultType()->second()->isDouble());
+}
+
+TEST(QueryBuild, GroupByAggregateCustomResult) {
+  E A = param("a", Type::doubleTy());
+  E K = param("k", Type::int64Ty());
+  Query Q = Query::doubleArray(0).groupByAggregate(
+      lambda({x()}, toInt64(x())), E(0.0), lambda({A, x()}, A + x()),
+      lambda({K, A}, A * 2.0));
+  EXPECT_TRUE(Q.resultType()->isDouble());
+}
+
+TEST(QueryBuild, ChainIsSourceFirst) {
+  Query Q = Query::doubleArray(3)
+                .where(lambda({x()}, x() > 0.0))
+                .select(lambda({x()}, x() * x()))
+                .sum();
+  std::vector<query::QueryNodeRef> Chain = Q.chain();
+  ASSERT_EQ(Chain.size(), 4u);
+  EXPECT_EQ(Chain[0]->kind(), OpKind::Source);
+  EXPECT_EQ(Chain[0]->source().Slot, 3u);
+  EXPECT_EQ(Chain[1]->kind(), OpKind::Where);
+  EXPECT_EQ(Chain[2]->kind(), OpKind::Select);
+  EXPECT_EQ(Chain[3]->kind(), OpKind::Sum);
+}
+
+TEST(QueryBuild, ChainsShareTails) {
+  Query Base = Query::doubleArray(0).where(lambda({x()}, x() > 0.0));
+  Query A = Base.sum();
+  Query B = Base.count();
+  EXPECT_EQ(A.chain()[1], B.chain()[1])
+      << "immutable nodes are shared between derived queries";
+}
+
+TEST(QueryBuild, NestedScalarSelect) {
+  E P = param("p", Type::vecTy());
+  E D = param("d", Type::doubleTy());
+  Query Norm2 = Query::overVec(P).select(lambda({D}, D * D)).sum();
+  Query Q = Query::pointArray(0).selectNested(P, Norm2);
+  EXPECT_TRUE(Q.resultType()->isDouble());
+  ASSERT_TRUE(Q.node()->nested());
+  EXPECT_EQ(Q.node()->outerParam(), "p");
+}
+
+TEST(QueryBuild, SelectMany) {
+  E Y = param("y", Type::int64Ty());
+  Query Inner = Query::range(E(0), E(3)).select(lambda({Y}, Y * 2));
+  Query Q = Query::int64Array(0).selectMany(xi(), Inner);
+  EXPECT_TRUE(Q.resultType()->isInt64());
+  EXPECT_FALSE(Q.scalarResult());
+}
+
+TEST(QueryBuild, TakeSkipPreserveType) {
+  Query Q = Query::doubleArray(0).take(E(10)).skip(E(2));
+  EXPECT_TRUE(Q.resultType()->isDouble());
+}
+
+TEST(QueryBuild, OrderByToArrayPreserveType) {
+  Query Q = Query::doubleArray(0)
+                .orderBy(lambda({x()}, x()))
+                .toArray();
+  EXPECT_TRUE(Q.resultType()->isDouble());
+}
+
+TEST(QueryBuild, StrRendering) {
+  Query Q = Query::doubleArray(0).where(lambda({x()}, x() > 0.0)).sum();
+  std::string S = Q.str();
+  EXPECT_NE(S.find("source(0)"), std::string::npos) << S;
+  EXPECT_NE(S.find("where"), std::string::npos) << S;
+  EXPECT_NE(S.find("sum"), std::string::npos) << S;
+}
+
+TEST(QueryBuild, CombinerStored) {
+  E A = param("a", Type::doubleTy());
+  E B = param("b", Type::doubleTy());
+  Query Q = Query::doubleArray(0).aggregate(
+      E(0.0), lambda({A, x()}, A + x()), Lambda(),
+      lambda({A, B}, A + B));
+  EXPECT_TRUE(Q.node()->combiner().valid());
+  EXPECT_EQ(Q.node()->combiner().arity(), 2u);
+}
+
+TEST(QueryBuild, InvalidQueryIsDetectable) {
+  Query Q;
+  EXPECT_FALSE(Q.valid());
+  EXPECT_EQ(Q.str(), "<invalid>");
+}

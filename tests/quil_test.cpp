@@ -1,0 +1,372 @@
+//===- tests/quil_test.cpp - QUIL lowering, grammar, §4.3 pass -*- C++ -*-===//
+
+#include "quil/Quil.h"
+#include "expr/Eval.h"
+
+#include "gtest/gtest.h"
+
+#include <cmath>
+
+using namespace steno;
+using namespace steno::expr;
+using namespace steno::expr::dsl;
+using query::Query;
+using quil::Chain;
+using quil::Op;
+using quil::PredOp;
+using quil::SinkOp;
+using quil::Sym;
+
+namespace {
+
+E x() { return param("x", Type::doubleTy()); }
+
+Chain lowerOf(const Query &Q) { return quil::lower(Q); }
+
+/// Folds the synthesized Agg over some doubles to check sugar semantics.
+Value foldAgg(const Op &Agg, const std::vector<double> &Xs) {
+  EXPECT_EQ(Agg.S, Sym::Agg);
+  Env Environment;
+  Value Acc = evalExpr(*Agg.Seed, Environment);
+  for (double X : Xs) {
+    std::vector<Value> Args = {Acc, Value(X)};
+    Acc = applyLambda(Agg.Fn2, Args, Environment);
+  }
+  if (Agg.Fn3.valid()) {
+    std::vector<Value> Args = {Acc};
+    Acc = applyLambda(Agg.Fn3, Args, Environment);
+  }
+  return Acc;
+}
+
+} // namespace
+
+//===--------------------------------------------------------------------===//
+// Table 1: operator classification
+//===--------------------------------------------------------------------===//
+
+TEST(QuilLower, SymbolStrings) {
+  EXPECT_EQ(lowerOf(Query::doubleArray(0).sum()).symbols(),
+            "Src Agg Ret");
+  EXPECT_EQ(lowerOf(Query::doubleArray(0)
+                        .where(lambda({x()}, x() > 0.0))
+                        .select(lambda({x()}, x() * x()))
+                        .sum())
+                .symbols(),
+            "Src Pred Trans Agg Ret");
+  EXPECT_EQ(lowerOf(Query::doubleArray(0).toArray()).symbols(),
+            "Src Sink Ret");
+}
+
+TEST(QuilLower, Table1PredClass) {
+  // Where, Take, Skip, TakeWhile, SkipWhile all map to Pred (Table 1).
+  Chain C = lowerOf(Query::doubleArray(0)
+                        .where(lambda({x()}, x() > 0.0))
+                        .take(E(5))
+                        .skip(E(1))
+                        .takeWhile(lambda({x()}, x() < 9.0))
+                        .skipWhile(lambda({x()}, x() < 1.0)));
+  EXPECT_EQ(C.symbols(), "Src Pred Pred Pred Pred Pred Ret");
+  EXPECT_EQ(C.Ops[1].P, PredOp::Where);
+  EXPECT_EQ(C.Ops[2].P, PredOp::Take);
+  EXPECT_EQ(C.Ops[3].P, PredOp::Skip);
+  EXPECT_EQ(C.Ops[4].P, PredOp::TakeWhile);
+  EXPECT_EQ(C.Ops[5].P, PredOp::SkipWhile);
+}
+
+TEST(QuilLower, DenseKeysPropagate) {
+  auto A = param("a", Type::doubleTy());
+  Chain C = lowerOf(Query::doubleArray(0).groupByAggregateDense(
+      lambda({x()}, toInt64(x())), E(32), E(0.0),
+      lambda({A, x()}, A + x())));
+  ASSERT_EQ(C.Ops[1].S, Sym::Sink);
+  EXPECT_EQ(C.Ops[1].K, SinkOp::GroupByAggregate);
+  ASSERT_TRUE(C.Ops[1].DenseKeys != nullptr);
+  Env Environment;
+  EXPECT_EQ(evalExpr(*C.Ops[1].DenseKeys, Environment).asInt64(), 32);
+}
+
+TEST(QuilLower, Table1SinkClass) {
+  Chain C = lowerOf(Query::doubleArray(0)
+                        .groupBy(lambda({x()}, toInt64(x()))));
+  EXPECT_EQ(C.Ops[1].S, Sym::Sink);
+  EXPECT_EQ(C.Ops[1].K, SinkOp::GroupBy);
+  Chain C2 = lowerOf(Query::doubleArray(0).orderBy(lambda({x()}, x())));
+  EXPECT_EQ(C2.Ops[1].K, SinkOp::OrderBy);
+}
+
+TEST(QuilLower, NestedQueriesSubstituteForTrans) {
+  E P = param("p", Type::vecTy());
+  E D = param("d", Type::doubleTy());
+  Query Norm = Query::overVec(P).select(lambda({D}, D * D)).sum();
+  Chain C = lowerOf(Query::pointArray(0).selectNested(P, Norm).sum());
+  EXPECT_EQ(C.symbols(), "Src (Src Trans Agg Ret) Agg Ret");
+  EXPECT_EQ(C.Ops[1].Role, quil::NestedRole::Trans);
+  EXPECT_EQ(C.Ops[1].OuterParam, "p");
+}
+
+TEST(QuilLower, SelectManyIsFlattenRole) {
+  E Y = param("y", Type::int64Ty());
+  E Xi = param("x", Type::int64Ty());
+  Query Inner = Query::range(E(0), E(3)).select(lambda({Y}, Y));
+  Chain C = lowerOf(Query::int64Array(0).selectMany(Xi, Inner).sum());
+  EXPECT_EQ(C.symbols(), "Src (Src Trans Ret) Agg Ret");
+  EXPECT_EQ(C.Ops[1].Role, quil::NestedRole::Flatten);
+}
+
+//===--------------------------------------------------------------------===//
+// Aggregate sugar lowering (all are foldl, Table 1)
+//===--------------------------------------------------------------------===//
+
+TEST(QuilLower, SumSugar) {
+  Chain C = lowerOf(Query::doubleArray(0).sum());
+  EXPECT_DOUBLE_EQ(foldAgg(C.Ops[1], {1.5, 2.0, -0.5}).asDouble(), 3.0);
+  EXPECT_DOUBLE_EQ(foldAgg(C.Ops[1], {}).asDouble(), 0.0);
+  EXPECT_TRUE(C.Ops[1].Combine.valid()) << "sum is combinable";
+}
+
+TEST(QuilLower, MinMaxSugar) {
+  Chain CMin = lowerOf(Query::doubleArray(0).min());
+  EXPECT_DOUBLE_EQ(foldAgg(CMin.Ops[1], {3.0, 1.0, 2.0}).asDouble(), 1.0);
+  Chain CMax = lowerOf(Query::doubleArray(0).max());
+  EXPECT_DOUBLE_EQ(foldAgg(CMax.Ops[1], {3.0, 1.0, 2.0}).asDouble(), 3.0);
+  // Sentinel-identity semantics on empty input (DESIGN.md deviation).
+  EXPECT_TRUE(std::isinf(foldAgg(CMin.Ops[1], {}).asDouble()));
+}
+
+TEST(QuilLower, CountSugar) {
+  Chain C = lowerOf(Query::doubleArray(0).count());
+  EXPECT_EQ(foldAgg(C.Ops[1], {5.0, 6.0, 7.0}).asInt64(), 3);
+}
+
+TEST(QuilLower, AverageSugar) {
+  Chain C = lowerOf(Query::doubleArray(0).average());
+  EXPECT_DOUBLE_EQ(foldAgg(C.Ops[1], {1.0, 2.0, 6.0}).asDouble(), 3.0);
+  EXPECT_TRUE(C.Ops[1].Combine.valid());
+}
+
+TEST(QuilLower, CombinersAreAssociativeMergers) {
+  // combine(fold(a), fold(b)) == fold(a ++ b) for the synthesized ones.
+  Chain C = lowerOf(Query::doubleArray(0).sum());
+  const Op &Agg = C.Ops[1];
+  Env Environment;
+  Value L = foldAgg(Agg, {1, 2, 3});
+  Value R = foldAgg(Agg, {4, 5});
+  std::vector<Value> Args = {L, R};
+  Value Combined = applyLambda(Agg.Combine, Args, Environment);
+  EXPECT_DOUBLE_EQ(Combined.asDouble(), 15.0);
+}
+
+//===--------------------------------------------------------------------===//
+// Grammar validation (Figure 4 FSM)
+//===--------------------------------------------------------------------===//
+
+TEST(QuilValidate, AcceptsValidChains) {
+  EXPECT_FALSE(quil::validate(lowerOf(Query::doubleArray(0).sum())));
+  EXPECT_FALSE(quil::validate(lowerOf(Query::doubleArray(0).toArray())));
+  EXPECT_FALSE(quil::validate(lowerOf(
+      Query::doubleArray(0)
+          .groupBy(lambda({x()}, toInt64(x())))
+          .where(lambda({param("g", Type::pairTy(Type::int64Ty(),
+                                                 Type::vecTy()))},
+                        len(param("g", Type::pairTy(Type::int64Ty(),
+                                                    Type::vecTy()))
+                                .second()) > 1)))));
+}
+
+TEST(QuilValidate, RejectsEmpty) {
+  Chain C;
+  auto Err = quil::validate(C);
+  ASSERT_TRUE(Err.has_value());
+}
+
+TEST(QuilValidate, RejectsMissingSrc) {
+  Chain C = lowerOf(Query::doubleArray(0).sum());
+  C.Ops.erase(C.Ops.begin());
+  auto Err = quil::validate(C);
+  ASSERT_TRUE(Err.has_value());
+  EXPECT_NE(Err->find("begin with Src"), std::string::npos) << *Err;
+}
+
+TEST(QuilValidate, RejectsAggBeforeNonRet) {
+  Chain C = lowerOf(Query::doubleArray(0).sum());
+  // Duplicate the Agg: Src Agg Agg Ret.
+  C.Ops.insert(C.Ops.begin() + 1, C.Ops[1]);
+  auto Err = quil::validate(C);
+  ASSERT_TRUE(Err.has_value());
+  EXPECT_NE(Err->find("Agg may only be followed by Ret"),
+            std::string::npos)
+      << *Err;
+}
+
+TEST(QuilValidate, RejectsSrcInMiddle) {
+  Chain C = lowerOf(Query::doubleArray(0).toArray());
+  C.Ops.insert(C.Ops.begin() + 1, C.Ops[0]);
+  auto Err = quil::validate(C);
+  ASSERT_TRUE(Err.has_value());
+  EXPECT_NE(Err->find("Src may only appear at the start"),
+            std::string::npos)
+      << *Err;
+}
+
+TEST(QuilValidate, RejectsMissingRet) {
+  Chain C = lowerOf(Query::doubleArray(0).sum());
+  C.Ops.pop_back();
+  auto Err = quil::validate(C);
+  ASSERT_TRUE(Err.has_value());
+  EXPECT_NE(Err->find("end with Ret"), std::string::npos) << *Err;
+}
+
+TEST(QuilValidate, RejectsTrailingOps) {
+  Chain C = lowerOf(
+      Query::doubleArray(0).select(lambda({x()}, x() * 2.0)).toArray());
+  // Move Ret before the Sink: Src Trans Ret Sink.
+  std::swap(C.Ops[2], C.Ops[3]);
+  auto Err = quil::validate(C);
+  ASSERT_TRUE(Err.has_value());
+  EXPECT_NE(Err->find("after Ret"), std::string::npos) << *Err;
+}
+
+TEST(QuilValidate, ValidatesNestedChains) {
+  E P = param("p", Type::vecTy());
+  E D = param("d", Type::doubleTy());
+  Query Norm = Query::overVec(P).select(lambda({D}, D * D)).sum();
+  Chain C = lowerOf(Query::pointArray(0).selectNested(P, Norm).sum());
+  EXPECT_FALSE(quil::validate(C));
+  // Corrupt the nested chain.
+  Chain Broken = C;
+  auto Inner = std::make_shared<Chain>(*Broken.Ops[1].NestedChain);
+  Inner->Ops.pop_back();
+  Broken.Ops[1].NestedChain = Inner;
+  auto Err = quil::validate(Broken);
+  ASSERT_TRUE(Err.has_value());
+  EXPECT_NE(Err->find("in nested query"), std::string::npos) << *Err;
+}
+
+//===--------------------------------------------------------------------===//
+// GroupBy-Aggregate specialization (§4.3)
+//===--------------------------------------------------------------------===//
+
+namespace {
+
+/// groupBy(bin).selectNested(g => fold over g.second) — the fusable shape.
+Query groupThenFold(bool UseKeyInResult) {
+  E G = param("g", Type::pairTy(Type::int64Ty(), Type::vecTy()));
+  E A = param("a", Type::doubleTy());
+  E V = param("v", Type::doubleTy());
+  Lambda Result = UseKeyInResult
+                      ? lambda({A}, pair(G.first(), A))
+                      : Lambda();
+  Query BagSum = Query::overVec(G.second())
+                     .aggregate(E(0.0), lambda({A, V}, A + V), Result);
+  return Query::doubleArray(0)
+      .groupBy(lambda({x()}, toInt64(x() / 10.0)))
+      .selectNested(G, BagSum);
+}
+
+} // namespace
+
+TEST(QuilSpecialize, FiresOnGroupThenFold) {
+  Chain C = lowerOf(groupThenFold(true));
+  EXPECT_EQ(C.symbols(), "Src Sink (Src Agg Ret) Ret");
+  bool Applied = false;
+  Chain S = quil::specializeGroupByAggregate(C, &Applied);
+  EXPECT_TRUE(Applied);
+  EXPECT_EQ(S.symbols(), "Src Sink Ret");
+  EXPECT_EQ(S.Ops[1].K, SinkOp::GroupByAggregate);
+  EXPECT_FALSE(quil::validate(S));
+}
+
+TEST(QuilSpecialize, FiresWithoutResultSelector) {
+  bool Applied = false;
+  Chain S =
+      quil::specializeGroupByAggregate(lowerOf(groupThenFold(false)),
+                                       &Applied);
+  EXPECT_TRUE(Applied);
+  EXPECT_TRUE(S.Ops[1].Fn3.valid())
+      << "a (key, acc) selector is synthesized";
+}
+
+TEST(QuilSpecialize, FusesInterveningTransAndWhere) {
+  E G = param("g", Type::pairTy(Type::int64Ty(), Type::vecTy()));
+  E A = param("a", Type::doubleTy());
+  E V = param("v", Type::doubleTy());
+  Query BagSum = Query::overVec(G.second())
+                     .where(lambda({V}, V > 0.0))
+                     .select(lambda({V}, V * V))
+                     .aggregate(E(0.0), lambda({A, V}, A + V));
+  Query Q = Query::doubleArray(0)
+                .groupBy(lambda({x()}, toInt64(x())))
+                .selectNested(G, BagSum);
+  bool Applied = false;
+  Chain S = quil::specializeGroupByAggregate(lowerOf(Q), &Applied);
+  EXPECT_TRUE(Applied);
+  EXPECT_EQ(S.symbols(), "Src Sink Ret");
+}
+
+TEST(QuilSpecialize, DoesNotFireWhenBagEscapes) {
+  // The result selector reads g.second — the bag must be materialized.
+  E G = param("g", Type::pairTy(Type::int64Ty(), Type::vecTy()));
+  E A = param("a", Type::doubleTy());
+  E V = param("v", Type::doubleTy());
+  Query BagSum = Query::overVec(G.second())
+                     .aggregate(E(0.0), lambda({A, V}, A + V),
+                                lambda({A}, A / toDouble(len(G.second()))));
+  Query Q = Query::doubleArray(0)
+                .groupBy(lambda({x()}, toInt64(x())))
+                .selectNested(G, BagSum);
+  bool Applied = false;
+  quil::specializeGroupByAggregate(lowerOf(Q), &Applied);
+  EXPECT_FALSE(Applied);
+}
+
+TEST(QuilSpecialize, DoesNotFireOnForeignSource) {
+  // The nested query iterates something other than the group's bag.
+  E G = param("g", Type::pairTy(Type::int64Ty(), Type::vecTy()));
+  E A = param("a", Type::doubleTy());
+  E V = param("v", Type::doubleTy());
+  Query OtherSum = Query::doubleArray(1)
+                       .aggregate(E(0.0), lambda({A, V}, A + V));
+  Query Q = Query::doubleArray(0)
+                .groupBy(lambda({x()}, toInt64(x())))
+                .selectNested(G, OtherSum);
+  bool Applied = false;
+  quil::specializeGroupByAggregate(lowerOf(Q), &Applied);
+  EXPECT_FALSE(Applied);
+}
+
+TEST(QuilSpecialize, DoesNotFireOnStatefulPred) {
+  E G = param("g", Type::pairTy(Type::int64Ty(), Type::vecTy()));
+  E A = param("a", Type::doubleTy());
+  E V = param("v", Type::doubleTy());
+  Query BagSum = Query::overVec(G.second())
+                     .take(E(2))
+                     .aggregate(E(0.0), lambda({A, V}, A + V));
+  Query Q = Query::doubleArray(0)
+                .groupBy(lambda({x()}, toInt64(x())))
+                .selectNested(G, BagSum);
+  bool Applied = false;
+  quil::specializeGroupByAggregate(lowerOf(Q), &Applied);
+  EXPECT_FALSE(Applied) << "take() is order-dependent; cannot fuse";
+}
+
+TEST(QuilSpecialize, RecursesIntoNestedChains) {
+  // The fusable pattern sits inside a SelectMany's nested query.
+  E Xi = param("xi", Type::int64Ty());
+  Query Inner = groupThenFold(true); // Src Sink (Src Agg Ret) Ret
+  E D = param("d",
+              Type::pairTy(Type::int64Ty(), Type::doubleTy()));
+  Query Q = Query::int64Array(1).selectMany(Xi, Inner);
+  bool Applied = false;
+  Chain S = quil::specializeGroupByAggregate(lowerOf(Q), &Applied);
+  EXPECT_TRUE(Applied);
+  EXPECT_EQ(S.symbols(), "Src (Src Sink Ret) Ret");
+  (void)D;
+}
+
+TEST(QuilSpecialize, PreservesResultTypes) {
+  Chain C = lowerOf(groupThenFold(true));
+  Chain S = quil::specializeGroupByAggregate(C);
+  EXPECT_TRUE(sameType(C.Result, S.Result));
+  EXPECT_EQ(C.Scalar, S.Scalar);
+}

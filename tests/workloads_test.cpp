@@ -1,0 +1,160 @@
+//===- tests/workloads_test.cpp - K-means workload tests -------*- C++ -*-===//
+//
+// Validates the §7.2 k-means workload: the three vertex implementations
+// (hand loops, linq iterators, the Steno distributed query) must produce
+// identical partial sums, and the driver must converge identically
+// through them.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Kmeans.h"
+#include "dryad/Dist.h"
+#include "dryad/HomomorphicApply.h"
+#include "quil/Quil.h"
+
+#include "gtest/gtest.h"
+
+#include <cmath>
+
+using namespace steno;
+using namespace steno::workloads;
+
+namespace {
+
+struct KmFixture {
+  std::int64_t Dim = 6;
+  std::int64_t K = 4;
+  std::int64_t NumPoints = 500;
+  unsigned Parts = 3;
+  KmeansData Data;
+  std::vector<dryad::DoublePartition> Partitions;
+
+  KmFixture() {
+    Data = KmeansData::make(NumPoints, Dim, K, 7);
+    Partitions = dryad::partitionPoints(Data.Points, Dim, Parts);
+  }
+};
+
+void expectSlotsNear(const std::vector<double> &A,
+                     const std::vector<double> &B, double Tol = 1e-7) {
+  ASSERT_EQ(A.size(), B.size());
+  for (size_t I = 0; I != A.size(); ++I)
+    EXPECT_NEAR(A[I], B[I], Tol * std::max(1.0, std::fabs(A[I])))
+        << "slot " << I;
+}
+
+} // namespace
+
+TEST(KmeansData, ShapeAndDeterminism) {
+  KmeansData A = KmeansData::make(100, 5, 3, 11);
+  EXPECT_EQ(A.Points.size(), 500u);
+  EXPECT_EQ(A.Centroids.size(), 15u);
+  KmeansData B = KmeansData::make(100, 5, 3, 11);
+  EXPECT_EQ(A.Points, B.Points);
+  KmeansData C = KmeansData::make(100, 5, 3, 12);
+  EXPECT_NE(A.Points, C.Points);
+}
+
+TEST(KmeansVertices, HandAndLinqAgree) {
+  KmFixture S;
+  for (const dryad::DoublePartition &P : S.Partitions) {
+    std::vector<double> Hand =
+        handVertexPartials(P, S.Data.Centroids, S.K, S.Dim);
+    std::vector<double> Linq =
+        linqVertexPartials(P, S.Data.Centroids, S.K, S.Dim);
+    expectSlotsNear(Hand, Linq, 1e-12);
+  }
+}
+
+TEST(KmeansVertices, PartialsCoverAllPoints) {
+  KmFixture S;
+  std::vector<std::vector<double>> All;
+  for (const dryad::DoublePartition &P : S.Partitions)
+    All.push_back(handVertexPartials(P, S.Data.Centroids, S.K, S.Dim));
+  std::vector<double> Merged = mergePartials(All);
+  double TotalCount = 0;
+  for (std::int64_t C = 0; C != S.K; ++C)
+    TotalCount += Merged[static_cast<size_t>(C * (S.Dim + 1) + S.Dim)];
+  EXPECT_DOUBLE_EQ(TotalCount, static_cast<double>(S.NumPoints));
+}
+
+TEST(KmeansQuery, PlansAsMergeByKey) {
+  query::Query Q = buildStepQuery(4, 6);
+  quil::Chain C = quil::lower(Q);
+  EXPECT_FALSE(quil::validate(C).has_value());
+  std::string Why;
+  auto Plan = dryad::planParallel(C, &Why);
+  ASSERT_TRUE(Plan.has_value()) << Why;
+  EXPECT_EQ(Plan->Kind, dryad::CombineKind::MergeByKey);
+  EXPECT_TRUE(Plan->Combiner.valid());
+}
+
+TEST(KmeansQuery, StenoMatchesHand) {
+  KmFixture S;
+  dryad::ThreadPool Pool(S.Parts);
+  dryad::DistOptions Options;
+  Options.Exec = Backend::Interp; // JIT-free for unit-test speed
+  Options.Name = "kmeans_test";
+  dryad::DistributedQuery Step =
+      dryad::DistributedQuery::compile(buildStepQuery(S.K, S.Dim),
+                                       Options);
+
+  std::vector<Bindings> PartBindings;
+  for (const dryad::DoublePartition &P : S.Partitions) {
+    Bindings B;
+    B.bindPointArray(0, P.Data.data(), P.count(), S.Dim);
+    B.bindDoubleArray(
+        1, S.Data.Centroids.data(),
+        static_cast<std::int64_t>(S.Data.Centroids.size()));
+    PartBindings.push_back(std::move(B));
+  }
+  QueryResult R = Step.run(Pool, PartBindings);
+
+  std::vector<double> StenoSlots(
+      static_cast<size_t>(numSlots(S.K, S.Dim)), 0.0);
+  for (const expr::Value &Row : R.rows())
+    StenoSlots[static_cast<size_t>(Row.first().asInt64())] =
+        Row.second().asDouble();
+
+  std::vector<std::vector<double>> All;
+  for (const dryad::DoublePartition &P : S.Partitions)
+    All.push_back(handVertexPartials(P, S.Data.Centroids, S.K, S.Dim));
+  expectSlotsNear(StenoSlots, mergePartials(All));
+}
+
+TEST(KmeansDriver, ConvergesIdenticallyAcrossImplementations) {
+  KmFixture S;
+  dryad::ThreadPool Pool(S.Parts);
+  std::vector<double> CHand = S.Data.Centroids;
+  std::vector<double> CLinq = S.Data.Centroids;
+  for (int It = 0; It != 3; ++It) {
+    std::vector<std::vector<double>> HandParts;
+    std::vector<std::vector<double>> LinqParts;
+    for (const dryad::DoublePartition &P : S.Partitions) {
+      HandParts.push_back(handVertexPartials(P, CHand, S.K, S.Dim));
+      LinqParts.push_back(linqVertexPartials(P, CLinq, S.K, S.Dim));
+    }
+    CHand = centroidsFromSlots(mergePartials(HandParts), CHand, S.K,
+                               S.Dim);
+    CLinq = centroidsFromSlots(mergePartials(LinqParts), CLinq, S.K,
+                               S.Dim);
+  }
+  expectSlotsNear(CHand, CLinq, 1e-9);
+}
+
+TEST(KmeansDriver, EmptyClusterKeepsPreviousCentroid) {
+  // A slot vector with zero count for cluster 1 must leave its centroid
+  // untouched.
+  std::int64_t K = 2, Dim = 2;
+  std::vector<double> Slots(static_cast<size_t>(numSlots(K, Dim)), 0.0);
+  Slots[0] = 10.0; // cluster 0 sums
+  Slots[1] = 20.0;
+  Slots[2] = 2.0; // cluster 0 count
+  // cluster 1: all zero (empty)
+  std::vector<double> Prev = {1, 2, 3, 4};
+  std::vector<double> Next = centroidsFromSlots(Slots, Prev, K, Dim);
+  EXPECT_DOUBLE_EQ(Next[0], 5.0);
+  EXPECT_DOUBLE_EQ(Next[1], 10.0);
+  EXPECT_DOUBLE_EQ(Next[2], 3.0);
+  EXPECT_DOUBLE_EQ(Next[3], 4.0);
+}
