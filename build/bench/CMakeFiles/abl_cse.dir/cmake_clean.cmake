@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_cse.dir/abl_cse.cpp.o"
+  "CMakeFiles/abl_cse.dir/abl_cse.cpp.o.d"
+  "abl_cse"
+  "abl_cse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_cse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

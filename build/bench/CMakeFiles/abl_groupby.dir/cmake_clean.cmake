@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_groupby.dir/abl_groupby.cpp.o"
+  "CMakeFiles/abl_groupby.dir/abl_groupby.cpp.o.d"
+  "abl_groupby"
+  "abl_groupby.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_groupby.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_nested.dir/abl_nested.cpp.o"
+  "CMakeFiles/abl_nested.dir/abl_nested.cpp.o.d"
+  "abl_nested"
+  "abl_nested.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_nested.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_partial_agg.dir/abl_partial_agg.cpp.o"
+  "CMakeFiles/abl_partial_agg.dir/abl_partial_agg.cpp.o.d"
+  "abl_partial_agg"
+  "abl_partial_agg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_partial_agg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_plinq.dir/abl_plinq.cpp.o"
+  "CMakeFiles/abl_plinq.dir/abl_plinq.cpp.o.d"
+  "abl_plinq"
+  "abl_plinq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_plinq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

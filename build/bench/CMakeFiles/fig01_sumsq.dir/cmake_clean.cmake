@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_sumsq.dir/fig01_sumsq.cpp.o"
+  "CMakeFiles/fig01_sumsq.dir/fig01_sumsq.cpp.o.d"
+  "fig01_sumsq"
+  "fig01_sumsq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_sumsq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

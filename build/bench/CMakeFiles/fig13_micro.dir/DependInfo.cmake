@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig13_micro.cpp" "bench/CMakeFiles/fig13_micro.dir/fig13_micro.cpp.o" "gcc" "bench/CMakeFiles/fig13_micro.dir/fig13_micro.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/steno/CMakeFiles/steno_steno.dir/DependInfo.cmake"
+  "/root/repo/build/src/linq/CMakeFiles/steno_linq.dir/DependInfo.cmake"
+  "/root/repo/build/src/codegen/CMakeFiles/steno_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/steno_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpptree/CMakeFiles/steno_cpptree.dir/DependInfo.cmake"
+  "/root/repo/build/src/jit/CMakeFiles/steno_jit.dir/DependInfo.cmake"
+  "/root/repo/build/src/quil/CMakeFiles/steno_quil.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/steno_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/expr/CMakeFiles/steno_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/steno_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

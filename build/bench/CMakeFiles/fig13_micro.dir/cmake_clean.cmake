@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_micro.dir/fig13_micro.cpp.o"
+  "CMakeFiles/fig13_micro.dir/fig13_micro.cpp.o.d"
+  "fig13_micro"
+  "fig13_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_kmeans.dir/fig14_kmeans.cpp.o"
+  "CMakeFiles/fig14_kmeans.dir/fig14_kmeans.cpp.o.d"
+  "fig14_kmeans"
+  "fig14_kmeans.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_kmeans.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec71_breakeven.dir/sec71_breakeven.cpp.o"
+  "CMakeFiles/sec71_breakeven.dir/sec71_breakeven.cpp.o.d"
+  "sec71_breakeven"
+  "sec71_breakeven.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec71_breakeven.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

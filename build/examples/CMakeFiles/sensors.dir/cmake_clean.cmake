@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensors.dir/sensors.cpp.o"
+  "CMakeFiles/sensors.dir/sensors.cpp.o.d"
+  "sensors"
+  "sensors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

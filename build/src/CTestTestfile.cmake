@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("linq")
+subdirs("expr")
+subdirs("query")
+subdirs("quil")
+subdirs("cpptree")
+subdirs("codegen")
+subdirs("interp")
+subdirs("jit")
+subdirs("steno")
+subdirs("fused")
+subdirs("dryad")
+subdirs("plinq")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/steno_codegen.dir/Generator.cpp.o"
+  "CMakeFiles/steno_codegen.dir/Generator.cpp.o.d"
+  "libsteno_codegen.a"
+  "libsteno_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/steno_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

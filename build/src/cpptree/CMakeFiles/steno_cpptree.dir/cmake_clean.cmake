@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/steno_cpptree.dir/Printer.cpp.o"
+  "CMakeFiles/steno_cpptree.dir/Printer.cpp.o.d"
+  "CMakeFiles/steno_cpptree.dir/Tree.cpp.o"
+  "CMakeFiles/steno_cpptree.dir/Tree.cpp.o.d"
+  "libsteno_cpptree.a"
+  "libsteno_cpptree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/steno_cpptree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for steno_cpptree.
+# This may be replaced when dependencies are built.

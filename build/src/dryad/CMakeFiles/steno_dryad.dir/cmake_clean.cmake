@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/steno_dryad.dir/Dist.cpp.o"
+  "CMakeFiles/steno_dryad.dir/Dist.cpp.o.d"
+  "CMakeFiles/steno_dryad.dir/JobGraph.cpp.o"
+  "CMakeFiles/steno_dryad.dir/JobGraph.cpp.o.d"
+  "CMakeFiles/steno_dryad.dir/Plan.cpp.o"
+  "CMakeFiles/steno_dryad.dir/Plan.cpp.o.d"
+  "CMakeFiles/steno_dryad.dir/ThreadPool.cpp.o"
+  "CMakeFiles/steno_dryad.dir/ThreadPool.cpp.o.d"
+  "libsteno_dryad.a"
+  "libsteno_dryad.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/steno_dryad.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/expr/Analysis.cpp" "src/expr/CMakeFiles/steno_expr.dir/Analysis.cpp.o" "gcc" "src/expr/CMakeFiles/steno_expr.dir/Analysis.cpp.o.d"
+  "/root/repo/src/expr/Cse.cpp" "src/expr/CMakeFiles/steno_expr.dir/Cse.cpp.o" "gcc" "src/expr/CMakeFiles/steno_expr.dir/Cse.cpp.o.d"
+  "/root/repo/src/expr/CxxPrinter.cpp" "src/expr/CMakeFiles/steno_expr.dir/CxxPrinter.cpp.o" "gcc" "src/expr/CMakeFiles/steno_expr.dir/CxxPrinter.cpp.o.d"
+  "/root/repo/src/expr/Eval.cpp" "src/expr/CMakeFiles/steno_expr.dir/Eval.cpp.o" "gcc" "src/expr/CMakeFiles/steno_expr.dir/Eval.cpp.o.d"
+  "/root/repo/src/expr/Expr.cpp" "src/expr/CMakeFiles/steno_expr.dir/Expr.cpp.o" "gcc" "src/expr/CMakeFiles/steno_expr.dir/Expr.cpp.o.d"
+  "/root/repo/src/expr/Fold.cpp" "src/expr/CMakeFiles/steno_expr.dir/Fold.cpp.o" "gcc" "src/expr/CMakeFiles/steno_expr.dir/Fold.cpp.o.d"
+  "/root/repo/src/expr/Type.cpp" "src/expr/CMakeFiles/steno_expr.dir/Type.cpp.o" "gcc" "src/expr/CMakeFiles/steno_expr.dir/Type.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/steno_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/steno_expr.dir/Analysis.cpp.o"
+  "CMakeFiles/steno_expr.dir/Analysis.cpp.o.d"
+  "CMakeFiles/steno_expr.dir/Cse.cpp.o"
+  "CMakeFiles/steno_expr.dir/Cse.cpp.o.d"
+  "CMakeFiles/steno_expr.dir/CxxPrinter.cpp.o"
+  "CMakeFiles/steno_expr.dir/CxxPrinter.cpp.o.d"
+  "CMakeFiles/steno_expr.dir/Eval.cpp.o"
+  "CMakeFiles/steno_expr.dir/Eval.cpp.o.d"
+  "CMakeFiles/steno_expr.dir/Expr.cpp.o"
+  "CMakeFiles/steno_expr.dir/Expr.cpp.o.d"
+  "CMakeFiles/steno_expr.dir/Fold.cpp.o"
+  "CMakeFiles/steno_expr.dir/Fold.cpp.o.d"
+  "CMakeFiles/steno_expr.dir/Type.cpp.o"
+  "CMakeFiles/steno_expr.dir/Type.cpp.o.d"
+  "libsteno_expr.a"
+  "libsteno_expr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/steno_expr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/steno_fused.dir/Anchor.cpp.o"
+  "CMakeFiles/steno_fused.dir/Anchor.cpp.o.d"
+  "libsteno_fused.a"
+  "libsteno_fused.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/steno_fused.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/steno_interp.dir/Interp.cpp.o"
+  "CMakeFiles/steno_interp.dir/Interp.cpp.o.d"
+  "libsteno_interp.a"
+  "libsteno_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/steno_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/steno_jit.dir/Jit.cpp.o"
+  "CMakeFiles/steno_jit.dir/Jit.cpp.o.d"
+  "libsteno_jit.a"
+  "libsteno_jit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/steno_jit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

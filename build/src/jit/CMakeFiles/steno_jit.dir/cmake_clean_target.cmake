@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsteno_jit.a"
+)

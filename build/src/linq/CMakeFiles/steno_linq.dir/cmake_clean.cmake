@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/steno_linq.dir/Anchor.cpp.o"
+  "CMakeFiles/steno_linq.dir/Anchor.cpp.o.d"
+  "libsteno_linq.a"
+  "libsteno_linq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/steno_linq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/steno_plinq.dir/Anchor.cpp.o"
+  "CMakeFiles/steno_plinq.dir/Anchor.cpp.o.d"
+  "libsteno_plinq.a"
+  "libsteno_plinq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/steno_plinq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

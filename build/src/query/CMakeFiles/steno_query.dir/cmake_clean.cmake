@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/steno_query.dir/Query.cpp.o"
+  "CMakeFiles/steno_query.dir/Query.cpp.o.d"
+  "libsteno_query.a"
+  "libsteno_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/steno_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/steno_quil.dir/Lower.cpp.o"
+  "CMakeFiles/steno_quil.dir/Lower.cpp.o.d"
+  "CMakeFiles/steno_quil.dir/Specialize.cpp.o"
+  "CMakeFiles/steno_quil.dir/Specialize.cpp.o.d"
+  "CMakeFiles/steno_quil.dir/Validate.cpp.o"
+  "CMakeFiles/steno_quil.dir/Validate.cpp.o.d"
+  "libsteno_quil.a"
+  "libsteno_quil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/steno_quil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/steno_steno.dir/PersistentCache.cpp.o"
+  "CMakeFiles/steno_steno.dir/PersistentCache.cpp.o.d"
+  "CMakeFiles/steno_steno.dir/QueryCache.cpp.o"
+  "CMakeFiles/steno_steno.dir/QueryCache.cpp.o.d"
+  "CMakeFiles/steno_steno.dir/RefExec.cpp.o"
+  "CMakeFiles/steno_steno.dir/RefExec.cpp.o.d"
+  "CMakeFiles/steno_steno.dir/Steno.cpp.o"
+  "CMakeFiles/steno_steno.dir/Steno.cpp.o.d"
+  "libsteno_steno.a"
+  "libsteno_steno.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/steno_steno.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

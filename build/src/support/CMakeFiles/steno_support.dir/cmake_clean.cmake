@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/steno_support.dir/Error.cpp.o"
+  "CMakeFiles/steno_support.dir/Error.cpp.o.d"
+  "CMakeFiles/steno_support.dir/StringUtil.cpp.o"
+  "CMakeFiles/steno_support.dir/StringUtil.cpp.o.d"
+  "CMakeFiles/steno_support.dir/TempFile.cpp.o"
+  "CMakeFiles/steno_support.dir/TempFile.cpp.o.d"
+  "libsteno_support.a"
+  "libsteno_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/steno_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dryad_test.dir/dryad_test.cpp.o"
+  "CMakeFiles/dryad_test.dir/dryad_test.cpp.o.d"
+  "dryad_test"
+  "dryad_test.pdb"
+  "dryad_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dryad_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fused_test.dir/fused_test.cpp.o"
+  "CMakeFiles/fused_test.dir/fused_test.cpp.o.d"
+  "fused_test"
+  "fused_test.pdb"
+  "fused_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fused_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

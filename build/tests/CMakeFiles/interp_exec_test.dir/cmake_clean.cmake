@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interp_exec_test.dir/interp_exec_test.cpp.o"
+  "CMakeFiles/interp_exec_test.dir/interp_exec_test.cpp.o.d"
+  "interp_exec_test"
+  "interp_exec_test.pdb"
+  "interp_exec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interp_exec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

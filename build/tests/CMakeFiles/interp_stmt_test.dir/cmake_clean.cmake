@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interp_stmt_test.dir/interp_stmt_test.cpp.o"
+  "CMakeFiles/interp_stmt_test.dir/interp_stmt_test.cpp.o.d"
+  "interp_stmt_test"
+  "interp_stmt_test.pdb"
+  "interp_stmt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interp_stmt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linq_test.dir/linq_test.cpp.o"
+  "CMakeFiles/linq_test.dir/linq_test.cpp.o.d"
+  "linq_test"
+  "linq_test.pdb"
+  "linq_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linq_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plinq_test.dir/plinq_test.cpp.o"
+  "CMakeFiles/plinq_test.dir/plinq_test.cpp.o.d"
+  "plinq_test"
+  "plinq_test.pdb"
+  "plinq_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plinq_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

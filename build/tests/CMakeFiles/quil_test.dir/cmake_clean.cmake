@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quil_test.dir/quil_test.cpp.o"
+  "CMakeFiles/quil_test.dir/quil_test.cpp.o.d"
+  "quil_test"
+  "quil_test.pdb"
+  "quil_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quil_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
