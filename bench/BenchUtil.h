@@ -105,6 +105,60 @@ inline void header(const std::string &Title) {
   std::printf("\n=== %s ===\n", Title.c_str());
 }
 
+/// Machine-readable companion to the human tables: collects one entry per
+/// measured variant and writes BENCH_<binary>.json on destruction, so the
+/// repo's perf trajectory can be tracked across commits without scraping
+/// stdout. Files land in $STENO_BENCH_OUT if set, else the working
+/// directory.
+class JsonReport {
+public:
+  /// \p Binary names the output file (BENCH_<Binary>.json).
+  explicit JsonReport(std::string Binary) : Binary(std::move(Binary)) {}
+
+  JsonReport(const JsonReport &) = delete;
+  JsonReport &operator=(const JsonReport &) = delete;
+
+  /// Records one variant: \p Seconds per iteration over \p Items
+  /// elements, measured as best-of-\p Reps.
+  void add(const std::string &Name, double Seconds, std::int64_t Items,
+           int Reps = 3) {
+    char Buf[256];
+    double NsPerOp = Items > 0 ? Seconds * 1e9 / static_cast<double>(Items)
+                               : Seconds * 1e9;
+    double RowsPerSec =
+        Seconds > 0 ? static_cast<double>(Items) / Seconds : 0;
+    std::snprintf(Buf, sizeof Buf,
+                  "    {\"name\": \"%s\", \"reps\": %d, \"ns_per_op\": "
+                  "%.3f, \"rows_per_sec\": %.1f, \"seconds\": %.6f, "
+                  "\"items\": %lld}",
+                  Name.c_str(), Reps, NsPerOp, RowsPerSec, Seconds,
+                  static_cast<long long>(Items));
+    if (!Entries.empty())
+      Entries += ",\n";
+    Entries += Buf;
+  }
+
+  ~JsonReport() {
+    const char *Dir = std::getenv("STENO_BENCH_OUT");
+    std::string Path = (Dir && *Dir ? std::string(Dir) + "/" : std::string()) +
+                       "BENCH_" + Binary + ".json";
+    std::FILE *F = std::fopen(Path.c_str(), "w");
+    if (!F) {
+      std::fprintf(stderr, "bench: cannot write %s\n", Path.c_str());
+      return;
+    }
+    std::fprintf(F,
+                 "{\n  \"binary\": \"%s\",\n  \"scale\": %g,\n"
+                 "  \"results\": [\n%s\n  ]\n}\n",
+                 Binary.c_str(), scaleFactor(), Entries.c_str());
+    std::fclose(F);
+  }
+
+private:
+  std::string Binary;
+  std::string Entries;
+};
+
 } // namespace bench
 } // namespace steno
 

@@ -82,5 +82,11 @@ int main() {
               CQ.compileMillis());
   std::printf("paper's Figure 1: for loop 13.5%%, Steno 13.6%%, "
               "7.4x speedup over LINQ\n");
+
+  JsonReport Json("fig01_sumsq");
+  Json.add("linq_sum", LinqS, N);
+  Json.add("for_loop", LoopS, N);
+  Json.add("steno_jit", StenoS, N);
+  Json.add("static_fused", FusedS, N);
   return 0;
 }

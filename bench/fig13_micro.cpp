@@ -43,7 +43,8 @@ struct Result {
   double HandS = 0;
 };
 
-void report(const char *Name, const Result &R) {
+void report(const char *Name, const Result &R, JsonReport &Json,
+            std::int64_t Items) {
   std::printf("\n%s (normalized to LINQ = 100%%)\n", Name);
   auto Row = [&](const char *Variant, double S) {
     std::printf("  %-26s %10.1f ms %9.1f%% %8.2fx\n", Variant, S * 1e3,
@@ -55,6 +56,11 @@ void report(const char *Name, const Result &R) {
   Row("hand-optimized", R.HandS);
   std::printf("  Steno-vs-hand overhead: %+.1f%%\n",
               100.0 * (R.StenoExclS / R.HandS - 1.0));
+  std::string Prefix = std::string(Name) + "_";
+  Json.add(Prefix + "linq", R.LinqS, Items);
+  Json.add(Prefix + "steno_incl_compile", R.StenoInclS, Items);
+  Json.add(Prefix + "steno_excl_compile", R.StenoExclS, Items);
+  Json.add(Prefix + "hand", R.HandS, Items);
 }
 
 /// Times the Steno path both with and without the one-off compilation.
@@ -256,16 +262,18 @@ int main() {
               static_cast<long long>(CartOuter),
               static_cast<long long>(CartInner));
 
+  JsonReport Json("fig13_micro");
+
   std::vector<double> Uniform = uniformDoubles(N, 2);
-  report("Sum", runSum(Uniform));
-  report("SumSq", runSumSq(Uniform));
+  report("Sum", runSum(Uniform), Json, N);
+  report("SumSq", runSumSq(Uniform), Json, N);
 
   std::vector<double> CartXs = uniformDoubles(CartOuter, 3, 0, 1);
   std::vector<double> CartYs = uniformDoubles(CartInner, 4, 0, 1);
-  report("Cart", runCart(CartXs, CartYs));
+  report("Cart", runCart(CartXs, CartYs), Json, CartOuter * CartInner);
 
   std::vector<double> Mog = mixtureOfGaussians(N, 5);
-  report("Group", runGroup(Mog));
+  report("Group", runGroup(Mog), Json, N);
 
   std::printf("\npaper's Figure 13: speedups 3.32x (Sum) .. 14.1x "
               "(Group); Steno-vs-hand overhead 53%% (Sum), <3%% "

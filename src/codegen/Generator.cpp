@@ -4,6 +4,8 @@
 #include "expr/Analysis.h"
 #include "expr/Cse.h"
 #include "expr/Fold.h"
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
 #include "support/Error.h"
 #include "support/StringUtil.h"
 
@@ -143,8 +145,11 @@ private:
       E = expr::foldConstants(E);
     if (!Options.EnableCse)
       return E;
+    obs::Span Span("steno.cse");
+    static obs::Counter &Hoisted = obs::counter("steno.cse.hoisted");
     expr::CseResult R = expr::eliminateCommonSubexprs(
         E, [this] { return fresh("cse"); });
+    Hoisted.inc(R.Lets.size());
     for (const auto &[Name, Let] : R.Lets)
       mu().push_back(Stmt::declareLocal(Name, Let->type(), Let));
     return R.Rewritten;

@@ -1,6 +1,8 @@
 //===- dryad/JobGraph.cpp -------------------------------------*- C++ -*-===//
 
 #include "dryad/JobGraph.h"
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
 
 #include <atomic>
 #include <cassert>
@@ -30,6 +32,10 @@ void JobGraph::run(ThreadPool &Pool) {
   if (Vertices.empty())
     return;
 
+  static obs::Counter &VerticesRun = obs::counter("dryad.vertices.run");
+  obs::Span GraphSpan("dryad.graph.run");
+  GraphSpan.arg("vertices", static_cast<std::int64_t>(Vertices.size()));
+
   std::mutex Mutex;
   std::condition_variable Done;
   std::size_t Remaining = Vertices.size();
@@ -38,7 +44,15 @@ void JobGraph::run(ThreadPool &Pool) {
   // unmet-dependency counters and submit any that become ready.
   std::function<void(VertexId)> Schedule = [&](VertexId Id) {
     Pool.submit([&, Id] {
-      Vertices[Id].Work();
+      {
+        // Per-vertex span, named after the vertex so the trace shows
+        // which partition/stage ran where (paper §6's vertex programs).
+        obs::Span VertexSpan(obs::tracingEnabled()
+                                 ? "dryad.vertex:" + Vertices[Id].Name
+                                 : std::string());
+        Vertices[Id].Work();
+      }
+      VerticesRun.inc();
       std::vector<VertexId> NowReady;
       {
         std::unique_lock<std::mutex> Lock(Mutex);

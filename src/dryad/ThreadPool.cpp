@@ -1,6 +1,8 @@
 //===- dryad/ThreadPool.cpp -----------------------------------*- C++ -*-===//
 
 #include "dryad/ThreadPool.h"
+#include "obs/Metrics.h"
+#include "support/Timing.h"
 
 #include <cassert>
 
@@ -25,12 +27,16 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::submit(std::function<void()> Task) {
+  static obs::Counter &Submitted = obs::counter("dryad.tasks.submitted");
+  static obs::Gauge &QueueDepth = obs::gauge("dryad.queue.depth");
   {
     std::unique_lock<std::mutex> Lock(Mutex);
     assert(!ShuttingDown && "submit after shutdown");
     Queue.push_back(std::move(Task));
     ++Pending;
   }
+  Submitted.inc();
+  QueueDepth.add(1);
   WorkReady.notify_one();
 }
 
@@ -40,6 +46,12 @@ void ThreadPool::wait() {
 }
 
 void ThreadPool::workerLoop() {
+  // Busy time across all workers; utilization over a window is
+  // busy_micros / (wall micros * workerCount()).
+  static obs::Counter &Completed = obs::counter("dryad.tasks.completed");
+  static obs::Counter &BusyMicros =
+      obs::counter("dryad.worker.busy_micros");
+  static obs::Gauge &QueueDepth = obs::gauge("dryad.queue.depth");
   for (;;) {
     std::function<void()> Task;
     {
@@ -51,7 +63,11 @@ void ThreadPool::workerLoop() {
       Task = std::move(Queue.front());
       Queue.pop_front();
     }
+    QueueDepth.sub(1);
+    support::WallTimer Timer;
     Task();
+    Completed.inc();
+    BusyMicros.inc(static_cast<std::uint64_t>(Timer.seconds() * 1e6));
     {
       std::unique_lock<std::mutex> Lock(Mutex);
       --Pending;

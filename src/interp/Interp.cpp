@@ -2,6 +2,8 @@
 
 #include "interp/Interp.h"
 #include "expr/Eval.h"
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
 #include "support/Error.h"
 
 #include <algorithm>
@@ -378,5 +380,10 @@ private:
 } // namespace
 
 RunOutput interp::execute(const cpptree::Program &P, const RunInput &In) {
-  return Executor(P, In).run();
+  static obs::Counter &Execs = obs::counter("interp.exec.count");
+  obs::Span Span("interp.execute");
+  RunOutput Out = Executor(P, In).run();
+  Execs.inc();
+  Span.arg("rows_out", static_cast<std::int64_t>(Out.Rows.size()));
+  return Out;
 }

@@ -1,6 +1,8 @@
 //===- jit/Jit.cpp --------------------------------------------*- C++ -*-===//
 
 #include "jit/Jit.h"
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
 #include "support/Error.h"
 #include "support/StringUtil.h"
 #include "support/TempFile.h"
@@ -37,6 +39,12 @@ CompiledModule::compile(const std::string &Source,
   static std::atomic<unsigned> ModuleCounter{0};
   unsigned Id = ModuleCounter++;
 
+  static obs::Counter &Compiles = obs::counter("jit.compile.count");
+  static obs::Counter &Failures = obs::counter("jit.compile.failures");
+  static obs::Histogram &CompileMs = obs::histogram(
+      "jit.compile.millis", {1, 5, 10, 25, 50, 100, 250, 500, 1e3, 5e3});
+  obs::Span CompileSpan("jit.compile");
+
   const std::string &Dir = support::processTempDir();
   std::string SrcPath = support::strFormat("%s/%s_%u.cpp", Dir.c_str(),
                                            EntrySymbol.c_str(), Id);
@@ -59,22 +67,32 @@ CompiledModule::compile(const std::string &Source,
       "'%s' -std=c++20 -O3 -fPIC -shared -I '%s' -o '%s' '%s' > '%s' 2>&1",
       Cxx, STENO_SOURCE_INCLUDE, SoPath.c_str(), SrcPath.c_str(),
       LogPath.c_str());
-  int Rc = std::system(Cmd.c_str());
+  int Rc;
+  {
+    // The compiler invocation dominates the one-off cost; the dlopen
+    // below is microseconds. The split shows up as two child spans.
+    obs::Span S("jit.cc");
+    Rc = std::system(Cmd.c_str());
+  }
   if (Rc != 0) {
+    Failures.inc();
     if (ErrMsg)
       *ErrMsg = "compiler failed (exit " + std::to_string(Rc) + "):\n" +
                 support::readFileOrEmpty(LogPath) + "\nsource: " + SrcPath;
     return nullptr;
   }
 
+  obs::Span LoadSpan("jit.dlopen");
   void *Handle = ::dlopen(SoPath.c_str(), RTLD_NOW | RTLD_LOCAL);
   if (!Handle) {
+    Failures.inc();
     if (ErrMsg)
       *ErrMsg = std::string("dlopen failed: ") + ::dlerror();
     return nullptr;
   }
   void *Sym = ::dlsym(Handle, EntrySymbol.c_str());
   if (!Sym) {
+    Failures.inc();
     if (ErrMsg)
       *ErrMsg = std::string("dlsym failed: ") + ::dlerror();
     ::dlclose(Handle);
@@ -87,12 +105,16 @@ CompiledModule::compile(const std::string &Source,
   Module->CompileMs = Timer.millis();
   Module->SourcePath = std::move(SrcPath);
   Module->SoPath = std::move(SoPath);
+  Compiles.inc();
+  CompileMs.observe(Module->CompileMs);
   return Module;
 }
 
 std::unique_ptr<CompiledModule>
 CompiledModule::load(const std::string &SharedObjectPath,
                      const std::string &EntrySymbol, std::string *ErrMsg) {
+  static obs::Counter &Loads = obs::counter("jit.load.count");
+  obs::Span LoadSpan("jit.dlopen");
   support::WallTimer Timer;
   void *Handle = ::dlopen(SharedObjectPath.c_str(), RTLD_NOW | RTLD_LOCAL);
   if (!Handle) {
@@ -112,6 +134,7 @@ CompiledModule::load(const std::string &SharedObjectPath,
   Module->Entry = reinterpret_cast<EntryFn>(Sym);
   Module->CompileMs = Timer.millis();
   Module->SoPath = SharedObjectPath;
+  Loads.inc();
   return Module;
 }
 

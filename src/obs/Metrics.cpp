@@ -1,0 +1,196 @@
+//===- obs/Metrics.cpp ----------------------------------------*- C++ -*-===//
+
+#include "obs/Metrics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <sstream>
+
+using namespace steno;
+using namespace steno::obs;
+
+Histogram::Histogram(std::vector<double> UpperBounds)
+    : Bounds(std::move(UpperBounds)), Buckets(Bounds.size() + 1) {
+  assert(std::is_sorted(Bounds.begin(), Bounds.end()) &&
+         "histogram bounds must be ascending");
+}
+
+void Histogram::observe(double X) {
+  std::size_t I =
+      std::lower_bound(Bounds.begin(), Bounds.end(), X) - Bounds.begin();
+  Buckets[I].fetch_add(1, std::memory_order_relaxed);
+  N.fetch_add(1, std::memory_order_relaxed);
+  double Cur = Sum.load(std::memory_order_relaxed);
+  while (!Sum.compare_exchange_weak(Cur, Cur + X,
+                                    std::memory_order_relaxed)) {
+  }
+}
+
+void Histogram::reset() {
+  for (std::atomic<std::uint64_t> &B : Buckets)
+    B.store(0, std::memory_order_relaxed);
+  N.store(0, std::memory_order_relaxed);
+  Sum.store(0.0, std::memory_order_relaxed);
+}
+
+namespace {
+
+/// The process-wide registry. std::map keeps the exposition sorted;
+/// unique_ptr keeps instrument addresses stable across rehashes.
+struct Registry {
+  std::mutex Mutex;
+  std::map<std::string, std::unique_ptr<Counter>> Counters;
+  std::map<std::string, std::unique_ptr<Gauge>> Gauges;
+  std::map<std::string, std::unique_ptr<Histogram>> Histograms;
+
+  static Registry &get() {
+    static Registry *R = new Registry(); // never destroyed: call sites
+    return *R;                           // hold references across exit
+  }
+};
+
+void appendJsonString(std::string &Out, const std::string &S) {
+  Out += '"';
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof Buf, "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  Out += '"';
+}
+
+std::string fmtDouble(double V) {
+  std::ostringstream Out;
+  Out << V;
+  return Out.str();
+}
+
+} // namespace
+
+Counter &obs::counter(const std::string &Name) {
+  Registry &R = Registry::get();
+  std::lock_guard<std::mutex> Lock(R.Mutex);
+  std::unique_ptr<Counter> &Slot = R.Counters[Name];
+  if (!Slot)
+    Slot = std::make_unique<Counter>();
+  return *Slot;
+}
+
+Gauge &obs::gauge(const std::string &Name) {
+  Registry &R = Registry::get();
+  std::lock_guard<std::mutex> Lock(R.Mutex);
+  std::unique_ptr<Gauge> &Slot = R.Gauges[Name];
+  if (!Slot)
+    Slot = std::make_unique<Gauge>();
+  return *Slot;
+}
+
+Histogram &obs::histogram(const std::string &Name,
+                          std::vector<double> Bounds) {
+  Registry &R = Registry::get();
+  std::lock_guard<std::mutex> Lock(R.Mutex);
+  std::unique_ptr<Histogram> &Slot = R.Histograms[Name];
+  if (!Slot)
+    Slot = std::make_unique<Histogram>(std::move(Bounds));
+  return *Slot;
+}
+
+std::string obs::dumpMetrics() {
+  Registry &R = Registry::get();
+  std::lock_guard<std::mutex> Lock(R.Mutex);
+  std::string Out;
+  for (const auto &[Name, C] : R.Counters)
+    Out += "counter " + Name + " " + std::to_string(C->value()) + "\n";
+  for (const auto &[Name, G] : R.Gauges)
+    Out += "gauge " + Name + " " + std::to_string(G->value()) + " max " +
+           std::to_string(G->maxValue()) + "\n";
+  for (const auto &[Name, H] : R.Histograms) {
+    Out += "histogram " + Name + " count " + std::to_string(H->count()) +
+           " sum " + fmtDouble(H->sum()) + "\n";
+    for (std::size_t I = 0; I != H->bounds().size(); ++I)
+      Out += "  le " + fmtDouble(H->bounds()[I]) + ": " +
+             std::to_string(H->bucketCount(I)) + "\n";
+    Out += "  le +inf: " +
+           std::to_string(H->bucketCount(H->bounds().size())) + "\n";
+  }
+  return Out;
+}
+
+std::string obs::dumpMetricsJson() {
+  Registry &R = Registry::get();
+  std::lock_guard<std::mutex> Lock(R.Mutex);
+  std::string Out = "{\"counters\":{";
+  bool First = true;
+  for (const auto &[Name, C] : R.Counters) {
+    if (!First)
+      Out += ',';
+    First = false;
+    appendJsonString(Out, Name);
+    Out += ':' + std::to_string(C->value());
+  }
+  Out += "},\"gauges\":{";
+  First = true;
+  for (const auto &[Name, G] : R.Gauges) {
+    if (!First)
+      Out += ',';
+    First = false;
+    appendJsonString(Out, Name);
+    Out += ":{\"value\":" + std::to_string(G->value()) +
+           ",\"max\":" + std::to_string(G->maxValue()) + "}";
+  }
+  Out += "},\"histograms\":{";
+  First = true;
+  for (const auto &[Name, H] : R.Histograms) {
+    if (!First)
+      Out += ',';
+    First = false;
+    appendJsonString(Out, Name);
+    Out += ":{\"count\":" + std::to_string(H->count()) +
+           ",\"sum\":" + fmtDouble(H->sum()) + ",\"bounds\":[";
+    for (std::size_t I = 0; I != H->bounds().size(); ++I) {
+      if (I)
+        Out += ',';
+      Out += fmtDouble(H->bounds()[I]);
+    }
+    Out += "],\"buckets\":[";
+    for (std::size_t I = 0; I != H->bounds().size() + 1; ++I) {
+      if (I)
+        Out += ',';
+      Out += std::to_string(H->bucketCount(I));
+    }
+    Out += "]}";
+  }
+  Out += "}}";
+  return Out;
+}
+
+void obs::resetMetrics() {
+  Registry &R = Registry::get();
+  std::lock_guard<std::mutex> Lock(R.Mutex);
+  for (const auto &[Name, C] : R.Counters)
+    C->reset();
+  for (const auto &[Name, G] : R.Gauges)
+    G->reset();
+  for (const auto &[Name, H] : R.Histograms)
+    H->reset();
+}

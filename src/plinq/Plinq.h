@@ -28,6 +28,8 @@
 #include "dryad/HomomorphicApply.h"
 #include "dryad/ThreadPool.h"
 #include "linq/Seq.h"
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
 
 #include <cassert>
 #include <cstdint>
@@ -43,6 +45,9 @@ template <typename T>
 std::vector<linq::Seq<T>> partitionSpan(const T *Data, std::size_t Count,
                                         unsigned Parts) {
   assert(Parts > 0 && "need at least one partition");
+  static obs::Counter &Partitions =
+      obs::counter("plinq.partitions.created");
+  Partitions.inc(Parts);
   std::vector<linq::Seq<T>> Out;
   Out.reserve(Parts);
   std::size_t Base = Count / Parts;
@@ -109,6 +114,7 @@ public:
   //===--------------------------------------------------------------===//
 
   T sum() const {
+    FanoutObs Obs("plinq.sum", partitionCount());
     std::vector<T> Partials = dryad::homomorphicApply(
         *Pool, Partitions,
         [](const linq::Seq<T> &Part) { return Part.sum(); });
@@ -119,6 +125,7 @@ public:
   }
 
   std::int64_t count() const {
+    FanoutObs Obs("plinq.count", partitionCount());
     std::vector<std::int64_t> Partials = dryad::homomorphicApply(
         *Pool, Partitions,
         [](const linq::Seq<T> &Part) { return Part.count(); });
@@ -132,6 +139,7 @@ public:
   /// aggregation interface of the paper's [33]).
   template <typename U, typename FStep, typename FCombine>
   U aggregate(U Seed, FStep Step, FCombine Combine) const {
+    FanoutObs Obs("plinq.aggregate", partitionCount());
     std::vector<U> Partials = dryad::homomorphicApply(
         *Pool, Partitions, [&Seed, &Step](const linq::Seq<T> &Part) {
           return Part.aggregate(Seed, Step);
@@ -144,6 +152,7 @@ public:
 
   /// Materializes in partition order (PLINQ's AsOrdered semantics).
   std::vector<T> toVector() const {
+    FanoutObs Obs("plinq.toVector", partitionCount());
     std::vector<std::vector<T>> Chunks = dryad::homomorphicApply(
         *Pool, Partitions,
         [](const linq::Seq<T> &Part) { return Part.toVector(); });
@@ -155,6 +164,16 @@ public:
   }
 
 private:
+  /// One span + fan-out counter per parallel aggregate evaluation.
+  struct FanoutObs {
+    obs::Span Span;
+    FanoutObs(const char *Name, unsigned Parts) : Span(Name) {
+      static obs::Counter &Fanouts = obs::counter("plinq.fanout.count");
+      Fanouts.inc();
+      Span.arg("partitions", Parts);
+    }
+  };
+
   dryad::ThreadPool *Pool;
   std::vector<linq::Seq<T>> Partitions;
 };

@@ -1,6 +1,8 @@
 //===- steno/PersistentCache.cpp ------------------------------*- C++ -*-===//
 
 #include "steno/PersistentCache.h"
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
 #include "steno/QueryCache.h"
 #include "support/Error.h"
 #include "support/StringUtil.h"
@@ -116,6 +118,10 @@ PersistentQueryCache::getOrCompile(const query::Query &Q,
         "the persistent cache stores compiled objects; use the Native "
         "backend");
 
+  static obs::Counter &HitCount = obs::counter("steno.pcache.hits");
+  static obs::Counter &MissCount = obs::counter("steno.pcache.misses");
+  obs::Span Span("steno.pcache.getOrCompile");
+
   std::lock_guard<std::mutex> Lock(Mutex);
   std::string Entry = entryDir(Q, Options);
   std::string MetaPath = Entry + "/meta.txt";
@@ -130,7 +136,8 @@ PersistentQueryCache::getOrCompile(const query::Query &Q,
       std::string Err;
       CompiledQuery CQ = A.rehydrate(&Err);
       if (CQ.valid()) {
-        ++Hits;
+        Hits.fetch_add(1, std::memory_order_relaxed);
+        HitCount.inc();
         return CQ;
       }
     }
@@ -138,7 +145,8 @@ PersistentQueryCache::getOrCompile(const query::Query &Q,
   }
 
   CompiledQuery Compiled = compileQuery(Q, Options);
-  ++Misses;
+  Misses.fetch_add(1, std::memory_order_relaxed);
+  MissCount.inc();
   PersistedQueryArtifact A = PersistedQueryArtifact::describe(Compiled);
   ensureDir(Entry);
   if (!copyFile(A.SharedObjectPath, SoPath))

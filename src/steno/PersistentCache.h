@@ -26,6 +26,7 @@
 #include "query/Query.h"
 #include "steno/Steno.h"
 
+#include <atomic>
 #include <cstdint>
 #include <mutex>
 #include <string>
@@ -46,8 +47,14 @@ public:
   CompiledQuery getOrCompile(const query::Query &Q,
                              const CompileOptions &Options = CompileOptions());
 
-  std::uint64_t hits() const { return Hits; }
-  std::uint64_t misses() const { return Misses; }
+  /// Atomic so they can be polled without the cache mutex while
+  /// getOrCompile runs (also exported as steno.pcache.hits/misses).
+  std::uint64_t hits() const {
+    return Hits.load(std::memory_order_relaxed);
+  }
+  std::uint64_t misses() const {
+    return Misses.load(std::memory_order_relaxed);
+  }
   const std::string &directory() const { return Dir; }
 
 private:
@@ -56,8 +63,8 @@ private:
 
   std::string Dir;
   std::mutex Mutex;
-  std::uint64_t Hits = 0;
-  std::uint64_t Misses = 0;
+  std::atomic<std::uint64_t> Hits{0};
+  std::atomic<std::uint64_t> Misses{0};
 };
 
 } // namespace steno

@@ -2,8 +2,11 @@
 
 #include "steno/QueryCache.h"
 #include "expr/Analysis.h"
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
 
 #include <cassert>
+#include <cmath>
 
 using namespace steno;
 using expr::equalExprs;
@@ -133,6 +136,12 @@ bool steno::equalQueries(const query::Query &A, const query::Query &B) {
 
 CompiledQuery QueryCache::getOrCompile(const query::Query &Q,
                                        const CompileOptions &Options) {
+  static obs::Counter &HitCount = obs::counter("steno.cache.hits");
+  static obs::Counter &MissCount = obs::counter("steno.cache.misses");
+  static obs::Counter &SavedMs =
+      obs::counter("steno.cache.compile_ms_saved");
+
+  obs::Span Span("steno.cache.getOrCompile");
   std::uint64_t Key = hashQuery(Q);
   {
     std::lock_guard<std::mutex> Lock(Mutex);
@@ -142,7 +151,10 @@ CompiledQuery QueryCache::getOrCompile(const query::Query &Q,
         if (E.Exec == Options.Exec &&
             E.Specialize == Options.SpecializeGroupByAggregate &&
             equalQueries(E.Query, Q)) {
-          ++Hits;
+          Hits.fetch_add(1, std::memory_order_relaxed);
+          HitCount.inc();
+          SavedMs.inc(static_cast<std::uint64_t>(
+              std::llround(E.Compiled.compileMillis())));
           return E.Compiled;
         }
       }
@@ -152,7 +164,8 @@ CompiledQuery QueryCache::getOrCompile(const query::Query &Q,
   CompiledQuery Compiled = compileQuery(Q, Options);
   {
     std::lock_guard<std::mutex> Lock(Mutex);
-    ++Misses;
+    Misses.fetch_add(1, std::memory_order_relaxed);
+    MissCount.inc();
     Buckets[Key].push_back(
         Entry{Q, Options.Exec, Options.SpecializeGroupByAggregate,
               Compiled});

@@ -23,6 +23,7 @@
 #include "query/Query.h"
 #include "steno/Steno.h"
 
+#include <atomic>
 #include <cstdint>
 #include <mutex>
 #include <unordered_map>
@@ -49,9 +50,15 @@ public:
 
   /// Number of distinct compiled entries.
   std::size_t size() const;
-  /// Monotonic counters for inspection/benchmarks.
-  std::uint64_t hits() const { return Hits; }
-  std::uint64_t misses() const { return Misses; }
+  /// Monotonic counters for inspection/benchmarks. Atomic so they can be
+  /// polled without the cache mutex while getOrCompile runs concurrently
+  /// (they also feed the obs registry: steno.cache.hits/misses).
+  std::uint64_t hits() const {
+    return Hits.load(std::memory_order_relaxed);
+  }
+  std::uint64_t misses() const {
+    return Misses.load(std::memory_order_relaxed);
+  }
 
   /// Drops every entry (compiled modules stay alive while CompiledQuery
   /// handles reference them).
@@ -70,8 +77,8 @@ private:
 
   mutable std::mutex Mutex;
   std::unordered_map<std::uint64_t, std::vector<Entry>> Buckets;
-  std::uint64_t Hits = 0;
-  std::uint64_t Misses = 0;
+  std::atomic<std::uint64_t> Hits{0};
+  std::atomic<std::uint64_t> Misses{0};
 };
 
 } // namespace steno

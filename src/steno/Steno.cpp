@@ -4,8 +4,11 @@
 #include "codegen/Generator.h"
 #include "cpptree/Printer.h"
 #include "interp/Interp.h"
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
 #include "support/Error.h"
 #include "support/StringUtil.h"
+#include "support/Timing.h"
 
 #include <atomic>
 
@@ -48,25 +51,47 @@ QueryResult CompiledQuery::run(const Bindings &B) const {
     support::fatalError("running a default-constructed CompiledQuery");
   checkBindingsImpl(I->Slots, I->Program.Name, B);
 
+  static obs::Counter &Runs = obs::counter("steno.run.count");
+  static obs::Counter &RowsIn = obs::counter("steno.rows.consumed");
+  static obs::Counter &RowsOut = obs::counter("steno.rows.emitted");
+  static obs::Histogram &RunMicros = obs::histogram(
+      "steno.run.micros", {10, 100, 1e3, 1e4, 1e5, 1e6, 1e7});
+
+  std::int64_t Consumed = 0;
+  for (unsigned Slot : I->Slots.SourceSlots)
+    Consumed += B.sources()[Slot].Count;
+
+  obs::Span Span("steno.run");
+  support::WallTimer Timer;
+
+  std::vector<expr::Value> Rows;
+  std::shared_ptr<std::deque<std::vector<double>>> Arena;
   if (I->ExecBackend == Backend::Native) {
     jit::ExecOutput Out = jit::run(I->Module->entry(), B.sources(),
                                    B.values(), I->Program.ResultType);
-    if (I->Program.ScalarResult && Out.Rows.size() != 1)
-      support::fatalError("scalar query emitted " +
-                          std::to_string(Out.Rows.size()) + " rows");
-    return QueryResult(I->Program.ScalarResult, std::move(Out.Rows),
-                       std::move(Out.Arena));
+    Rows = std::move(Out.Rows);
+    Arena = std::move(Out.Arena);
+  } else {
+    interp::RunInput In;
+    In.Sources = &B.sources();
+    In.Values = &B.values();
+    interp::RunOutput Out = interp::execute(I->Program, In);
+    Rows = std::move(Out.Rows);
+    Arena = std::move(Out.Arena);
   }
 
-  interp::RunInput In;
-  In.Sources = &B.sources();
-  In.Values = &B.values();
-  interp::RunOutput Out = interp::execute(I->Program, In);
-  if (I->Program.ScalarResult && Out.Rows.size() != 1)
+  Runs.inc();
+  RowsIn.inc(static_cast<std::uint64_t>(Consumed));
+  RowsOut.inc(Rows.size());
+  RunMicros.observe(Timer.seconds() * 1e6);
+  Span.arg("rows_in", Consumed);
+  Span.arg("rows_out", static_cast<std::int64_t>(Rows.size()));
+
+  if (I->Program.ScalarResult && Rows.size() != 1)
     support::fatalError("scalar query emitted " +
-                        std::to_string(Out.Rows.size()) + " rows");
-  return QueryResult(I->Program.ScalarResult, std::move(Out.Rows),
-                     std::move(Out.Arena));
+                        std::to_string(Rows.size()) + " rows");
+  return QueryResult(I->Program.ScalarResult, std::move(Rows),
+                     std::move(Arena));
 }
 
 const std::string &CompiledQuery::generatedSource() const {
@@ -90,11 +115,14 @@ codegenAndLoad(std::shared_ptr<CompiledQuery::Impl> Impl,
   static std::atomic<unsigned> QueryCounter{0};
   std::string Entry = support::sanitizeIdentifier(Options.Name) + "_" +
                       std::to_string(QueryCounter++);
-  codegen::GenOptions Gen;
-  Gen.EnableCse = Options.EnableCse;
-  Impl->Program = codegen::generate(Impl->Chain, Entry, Gen);
-  Impl->Slots = cpptree::scanSlots(Impl->Program);
-  Impl->Source = cpptree::printProgram(Impl->Program);
+  {
+    obs::Span S("steno.codegen");
+    codegen::GenOptions Gen;
+    Gen.EnableCse = Options.EnableCse;
+    Impl->Program = codegen::generate(Impl->Chain, Entry, Gen);
+    Impl->Slots = cpptree::scanSlots(Impl->Program);
+    Impl->Source = cpptree::printProgram(Impl->Program);
+  }
 
   // 4. Compile, load and bind (§3.3) for the native backend.
   if (Options.Exec == Backend::Native) {
@@ -112,23 +140,45 @@ CompiledQuery steno::compileQuery(const query::Query &Q,
   if (!Q.valid())
     support::fatalError("compiling an invalid query");
 
+  static obs::Counter &Compiles = obs::counter("steno.compile.count");
+  static obs::Counter &Specialized =
+      obs::counter("steno.compile.specialized");
+  static obs::Histogram &CompileMs = obs::histogram(
+      "steno.compile.millis", {1, 5, 10, 25, 50, 100, 250, 500, 1e3, 5e3});
+
+  obs::Span CompileSpan("steno.compile");
+  support::WallTimer Timer;
+
   auto Impl = std::make_shared<CompiledQuery::Impl>();
   Impl->ExecBackend = Options.Exec;
 
   // 1. Lower to QUIL (§4.1) and check the grammar (Figure 4).
-  Impl->Chain = quil::lower(Q);
-  if (auto Err = quil::validate(Impl->Chain))
-    support::fatalError("invalid query '" + Options.Name + "': " + *Err +
-                        "\n  query: " + Q.str() +
-                        "\n  QUIL:  " + Impl->Chain.symbols());
+  {
+    obs::Span S("steno.lower");
+    Impl->Chain = quil::lower(Q);
+  }
+  {
+    obs::Span S("steno.validate");
+    if (auto Err = quil::validate(Impl->Chain))
+      support::fatalError("invalid query '" + Options.Name + "': " + *Err +
+                          "\n  query: " + Q.str() +
+                          "\n  QUIL:  " + Impl->Chain.symbols());
+  }
 
   // 2. Operator specialization (§4.3).
-  if (Options.SpecializeGroupByAggregate)
+  if (Options.SpecializeGroupByAggregate) {
+    obs::Span S("steno.specialize");
     Impl->Chain =
         quil::specializeGroupByAggregate(Impl->Chain, &Impl->Specialized);
+  }
 
   CompiledQuery CQ;
   CQ.I = codegenAndLoad(std::move(Impl), Options);
+
+  Compiles.inc();
+  if (CQ.I->Specialized)
+    Specialized.inc();
+  CompileMs.observe(Timer.millis());
   return CQ;
 }
 
@@ -174,13 +224,20 @@ CompiledQuery PersistedQueryArtifact::rehydrate(std::string *Err) const {
 
 CompiledQuery steno::compileChain(const quil::Chain &Chain,
                                   const CompileOptions &Options) {
+  static obs::Counter &Compiles = obs::counter("steno.compile.count");
+
+  obs::Span CompileSpan("steno.compile");
   auto Impl = std::make_shared<CompiledQuery::Impl>();
   Impl->ExecBackend = Options.Exec;
   Impl->Chain = Chain;
-  if (auto Err = quil::validate(Impl->Chain))
-    support::fatalError("invalid chain '" + Options.Name + "': " + *Err +
-                        "\n  QUIL: " + Impl->Chain.symbols());
+  {
+    obs::Span S("steno.validate");
+    if (auto Err = quil::validate(Impl->Chain))
+      support::fatalError("invalid chain '" + Options.Name + "': " + *Err +
+                          "\n  QUIL: " + Impl->Chain.symbols());
+  }
   CompiledQuery CQ;
   CQ.I = codegenAndLoad(std::move(Impl), Options);
+  Compiles.inc();
   return CQ;
 }
