@@ -1,0 +1,122 @@
+//===- bench/analysis_overhead.cpp - Cost of the analyze phase -*- C++ -*-===//
+//
+// Measures what STENO_ANALYZE=strict costs relative to off, on the
+// Figure 1 and Figure 13 workloads:
+//
+//  - run-time ns/op of the compiled query (must be identical: analysis
+//    is a pure compile phase and generates no code),
+//  - compile-time per compileQuery with the Interp backend (isolates the
+//    lower/validate/analyze/codegen pipeline from the external JIT
+//    compiler, so the analyze share is visible).
+//
+// Results land in BENCH_analysis_overhead.json.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "expr/Dsl.h"
+#include "steno/Steno.h"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+using namespace steno;
+using namespace steno::bench;
+using namespace steno::expr;
+using namespace steno::expr::dsl;
+using query::Query;
+
+namespace {
+
+CompileOptions opts(analysis::Mode Mode, Backend Exec, const char *Name) {
+  CompileOptions O;
+  O.Analyze = Mode;
+  O.Exec = Exec;
+  O.Name = Name;
+  return O;
+}
+
+/// Best-of seconds for one compile with the Interp backend (no JIT), K
+/// compiles per timed sample for clock resolution.
+double compileSeconds(const Query &Q, analysis::Mode Mode,
+                      const char *Name) {
+  const int K = 20;
+  return bestSeconds(
+             [&] {
+               for (int I = 0; I < K; ++I) {
+                 CompiledQuery CQ =
+                     compileQuery(Q, opts(Mode, Backend::Interp, Name));
+                 doNotOptimize(
+                     static_cast<std::int64_t>(CQ.generatedSource().size()));
+               }
+             },
+             /*Reps=*/5) /
+         K;
+}
+
+/// Best-of seconds for one run of the Native-compiled query.
+double runSeconds(const Query &Q, analysis::Mode Mode, const char *Name,
+                  const Bindings &B) {
+  CompiledQuery CQ = compileQuery(Q, opts(Mode, Backend::Native, Name));
+  return bestSeconds([&] {
+    doNotOptimize(static_cast<std::int64_t>(CQ.run(B).rows().size()));
+  });
+}
+
+void measure(JsonReport &Json, const char *Name, const Query &Q,
+             const Bindings &B, std::int64_t Items) {
+  double RunStrict = runSeconds(Q, analysis::Mode::Strict, Name, B);
+  double RunOff = runSeconds(Q, analysis::Mode::Off, Name, B);
+  double CompStrict = compileSeconds(Q, analysis::Mode::Strict, Name);
+  double CompOff = compileSeconds(Q, analysis::Mode::Off, Name);
+
+  std::printf("%-14s run %8.3f / %8.3f ns/op (strict/off, %+5.2f%%)   "
+              "compile %8.1f / %8.1f us (analyze share %.1f%%)\n",
+              Name, RunStrict * 1e9 / static_cast<double>(Items),
+              RunOff * 1e9 / static_cast<double>(Items),
+              100.0 * (RunStrict / RunOff - 1.0), CompStrict * 1e6,
+              CompOff * 1e6, 100.0 * (1.0 - CompOff / CompStrict));
+
+  std::string P = Name;
+  Json.add(P + "_run_strict", RunStrict, Items);
+  Json.add(P + "_run_off", RunOff, Items);
+  Json.add(P + "_compile_strict", CompStrict, 1, 5);
+  Json.add(P + "_compile_off", CompOff, 1, 5);
+}
+
+} // namespace
+
+int main() {
+  JsonReport Json("analysis_overhead");
+  const std::int64_t N = scaled(10000000);
+  std::vector<double> Xs = uniformDoubles(N, 1);
+  std::vector<double> Gs = mixtureOfGaussians(scaled(1000000), 2);
+
+  header("Analysis overhead: STENO_ANALYZE=strict vs off");
+
+  auto X = param("x", Type::doubleTy());
+  auto A = param("a", Type::doubleTy());
+
+  // Figure 1: sum of squares.
+  Bindings B1;
+  B1.bindDoubleArray(0, Xs.data(), N);
+  measure(Json, "fig01_sumsq",
+          Query::doubleArray(0).select(lambda({X}, X * X)).sum(), B1, N);
+
+  // Figure 13 Sum.
+  measure(Json, "fig13_sum", Query::doubleArray(0).sum(), B1, N);
+
+  // Figure 13 Group: binned histogram-style aggregation (dense keys).
+  const std::int64_t Bins = 100;
+  Bindings B2;
+  B2.bindDoubleArray(0, Gs.data(),
+                     static_cast<std::int64_t>(Gs.size()));
+  Query Group = Query::doubleArray(0).groupByAggregateDense(
+      lambda({X}, toInt64(X / 10.0)), E(Bins), E(0.0),
+      lambda({A, X}, A + 1.0));
+  measure(Json, "fig13_group", Group, B2,
+          static_cast<std::int64_t>(Gs.size()));
+
+  return 0;
+}

@@ -1,0 +1,89 @@
+//===- analysis/ChainWalk.h - Shared traversal helpers ---------*- C++ -*-===//
+///
+/// \file
+/// Internal helpers shared by the analysis passes: enumeration of every
+/// expression a quil::Op carries (tagged with its ExprRole), and recursive
+/// expression walks that track the operand path for diagnostics. Not part
+/// of the public analysis API.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STENO_ANALYSIS_CHAINWALK_H
+#define STENO_ANALYSIS_CHAINWALK_H
+
+#include "analysis/Diagnostics.h"
+#include "quil/Quil.h"
+
+#include <functional>
+#include <vector>
+
+namespace steno {
+namespace analysis {
+namespace detail {
+
+/// One expression attached to an operator. Lambda roles carry L (the
+/// expression is L->body()); bare-expression roles carry E.
+struct RoleExpr {
+  ExprRole Role;
+  const expr::Lambda *L = nullptr;
+  const expr::ExprRef *E = nullptr;
+
+  const expr::ExprRef &expr() const { return L ? L->body() : *E; }
+};
+
+/// Every valid expression of \p O, in a fixed role order.
+inline std::vector<RoleExpr> roleExprs(const quil::Op &O) {
+  std::vector<RoleExpr> Out;
+  auto AddL = [&](ExprRole R, const expr::Lambda &L) {
+    if (L.valid())
+      Out.push_back(RoleExpr{R, &L, nullptr});
+  };
+  auto AddE = [&](ExprRole R, const expr::ExprRef &E) {
+    if (E)
+      Out.push_back(RoleExpr{R, nullptr, &E});
+  };
+  AddL(ExprRole::Fn, O.Fn);
+  AddL(ExprRole::Fn2, O.Fn2);
+  AddL(ExprRole::Fn3, O.Fn3);
+  AddL(ExprRole::Combine, O.Combine);
+  AddL(ExprRole::StopWhen, O.StopWhen);
+  AddE(ExprRole::Seed, O.Seed);
+  AddE(ExprRole::DenseKeys, O.DenseKeys);
+  if (O.S == quil::Sym::Src) {
+    AddE(ExprRole::SrcStart, O.Src.Start);
+    AddE(ExprRole::SrcCount, O.Src.CountE);
+    AddE(ExprRole::SrcVec, O.Src.Vec);
+  }
+  return Out;
+}
+
+/// Depth-first walk of \p E calling \p Fn(node, operand-path-from-root).
+inline void
+walkExpr(const expr::ExprRef &E, std::vector<unsigned> &Path,
+         const std::function<void(const expr::Expr &,
+                                  const std::vector<unsigned> &)> &Fn) {
+  Fn(*E, Path);
+  for (unsigned I = 0; I != E->operands().size(); ++I) {
+    Path.push_back(I);
+    walkExpr(E->operand(I), Path, Fn);
+    Path.pop_back();
+  }
+}
+
+/// DiagLoc for operator \p OpIdx under \p OuterPath (the nesting prefix).
+inline DiagLoc opLoc(const std::vector<unsigned> &OuterPath, unsigned OpIdx,
+                     ExprRole Role = ExprRole::None,
+                     std::vector<unsigned> ExprPath = {}) {
+  DiagLoc Loc;
+  Loc.OpPath = OuterPath;
+  Loc.OpPath.push_back(OpIdx);
+  Loc.Role = Role;
+  Loc.ExprPath = std::move(ExprPath);
+  return Loc;
+}
+
+} // namespace detail
+} // namespace analysis
+} // namespace steno
+
+#endif // STENO_ANALYSIS_CHAINWALK_H

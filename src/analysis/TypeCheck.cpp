@@ -1,0 +1,320 @@
+//===- analysis/TypeCheck.cpp - Type/arity checker (ST1xxx) ----*- C++ -*-===//
+///
+/// \file
+/// Verifies, before any lowering proceeds, everything the JIT'd C++
+/// compiler would otherwise discover late and opaquely: lambda arities,
+/// operand/element type agreement along the chain, seed/accumulator and
+/// combiner shapes, parameter visibility (every free parameter must be
+/// bound by the enclosing lambda or an outer nested-query parameter), and
+/// capture/source-slot bounds. The paper assumes the C# compiler already
+/// type-checked the query (§3.1); this pass is that compiler's stand-in
+/// for hand-built or programmatically generated chains.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Analysis.h"
+#include "analysis/ChainWalk.h"
+#include "expr/Analysis.h"
+#include "support/StringUtil.h"
+
+#include <set>
+#include <string>
+
+using namespace steno;
+using namespace steno::analysis;
+using namespace steno::analysis::detail;
+using expr::Lambda;
+using expr::TypeRef;
+using quil::Chain;
+using quil::Op;
+using quil::PredOp;
+using quil::SinkOp;
+using quil::Sym;
+
+namespace {
+
+class TypeChecker {
+public:
+  explicit TypeChecker(DiagnosticBag &Diags) : Diags(Diags) {}
+
+  void check(const Chain &C) {
+    std::set<std::string> NoOuter;
+    checkChain(C, NoOuter);
+  }
+
+private:
+  DiagnosticBag &Diags;
+  std::vector<unsigned> Path; ///< Nesting prefix for DiagLocs.
+
+  void error(DiagCode Code, DiagLoc Loc, std::string Msg) {
+    Diags.report(Code, Severity::Error, std::move(Loc), std::move(Msg));
+  }
+
+  static std::string typeName(const TypeRef &Ty) {
+    return Ty ? Ty->str() : "<null>";
+  }
+
+  /// Checks one lambda-shaped role: arity, parameter types, result type.
+  /// Null entries in \p WantParams / a null \p WantResult skip that check.
+  void checkLambda(unsigned I, ExprRole Role, const Lambda &L,
+                   const std::vector<TypeRef> &WantParams,
+                   const TypeRef &WantResult, DiagCode ResultCode,
+                   const char *What) {
+    if (!L.valid())
+      return;
+    if (L.arity() != WantParams.size()) {
+      error(DiagCode::BadArity, opLoc(Path, I, Role),
+            support::strFormat("%s takes %zu parameters, expected %zu",
+                               What, L.arity(), WantParams.size()));
+      return;
+    }
+    for (std::size_t P = 0; P != WantParams.size(); ++P) {
+      if (!WantParams[P])
+        continue;
+      if (!expr::sameType(L.param(P).Ty, WantParams[P]))
+        error(DiagCode::ParamTypeMismatch, opLoc(Path, I, Role),
+              support::strFormat(
+                  "%s parameter '%s' has type %s, expected %s", What,
+                  L.param(P).Name.c_str(), typeName(L.param(P).Ty).c_str(),
+                  typeName(WantParams[P]).c_str()));
+    }
+    if (WantResult && !expr::sameType(L.resultType(), WantResult))
+      error(ResultCode, opLoc(Path, I, Role),
+            support::strFormat("%s returns %s, expected %s", What,
+                               typeName(L.resultType()).c_str(),
+                               typeName(WantResult).c_str()));
+  }
+
+  /// Combiner shape: (acc, acc) -> acc.
+  void checkCombiner(unsigned I, const Lambda &L, const TypeRef &Acc) {
+    if (!L.valid())
+      return;
+    if (L.arity() != 2 || !expr::sameType(L.param(0).Ty, Acc) ||
+        !expr::sameType(L.param(1).Ty, Acc) ||
+        !expr::sameType(L.resultType(), Acc))
+      error(DiagCode::BadCombiner, opLoc(Path, I, ExprRole::Combine),
+            "combiner must be (" + typeName(Acc) + ", " + typeName(Acc) +
+                ") -> " + typeName(Acc));
+  }
+
+  /// Free-parameter visibility and slot bounds for every expression of
+  /// \p O. \p Visible holds outer-query parameter names.
+  void checkExprEnvironment(unsigned I, const Op &O,
+                            const std::set<std::string> &Visible) {
+    for (const RoleExpr &RE : roleExprs(O)) {
+      std::set<std::string> Bound = Visible;
+      if (RE.L)
+        for (const expr::LambdaParam &P : RE.L->params())
+          Bound.insert(P.Name);
+      for (const std::string &Name : expr::freeParams(*RE.expr()))
+        if (!Bound.count(Name))
+          error(DiagCode::UnboundParam, opLoc(Path, I, RE.Role),
+                "references parameter '" + Name +
+                    "' which no enclosing lambda binds");
+      for (unsigned Slot : expr::usedCaptureSlots(*RE.expr()))
+        if (Slot >= quil::MaxCaptureSlots)
+          error(DiagCode::CaptureSlotOutOfBounds, opLoc(Path, I, RE.Role),
+                support::strFormat("capture slot %u exceeds the limit %u",
+                                   Slot, quil::MaxCaptureSlots));
+      for (unsigned Slot : expr::usedSourceSlots(*RE.expr()))
+        if (Slot >= quil::MaxSourceSlots)
+          error(DiagCode::SourceSlotOutOfBounds, opLoc(Path, I, RE.Role),
+                support::strFormat("source slot %u exceeds the limit %u",
+                                   Slot, quil::MaxSourceSlots));
+    }
+  }
+
+  void checkSrc(unsigned I, const Op &O) {
+    const query::SourceDesc &Src = O.Src;
+    switch (Src.Kind) {
+    case query::SourceKind::DoubleArray:
+    case query::SourceKind::Int64Array:
+    case query::SourceKind::PointArray:
+      if (Src.Slot >= quil::MaxSourceSlots)
+        error(DiagCode::SourceSlotOutOfBounds, opLoc(Path, I),
+              support::strFormat("source slot %u exceeds the limit %u",
+                                 Src.Slot, quil::MaxSourceSlots));
+      break;
+    case query::SourceKind::Range:
+      if (Src.Start && !Src.Start->type()->isInt64())
+        error(DiagCode::ResultTypeMismatch,
+              opLoc(Path, I, ExprRole::SrcStart),
+              "Range start must be int64, got " +
+                  typeName(Src.Start->type()));
+      if (Src.CountE && !Src.CountE->type()->isInt64())
+        error(DiagCode::ResultTypeMismatch,
+              opLoc(Path, I, ExprRole::SrcCount),
+              "Range count must be int64, got " +
+                  typeName(Src.CountE->type()));
+      break;
+    case query::SourceKind::VecExpr:
+      if (Src.Vec && !Src.Vec->type()->isVec())
+        error(DiagCode::ResultTypeMismatch,
+              opLoc(Path, I, ExprRole::SrcVec),
+              "VecExpr source must be vec-typed, got " +
+                  typeName(Src.Vec->type()));
+      break;
+    }
+    if (O.OutElem && !expr::sameType(O.OutElem, Src.elemType()))
+      error(DiagCode::ElemTypeMismatch, opLoc(Path, I),
+            "Src produces " + typeName(Src.elemType()) +
+                " elements but the operator declares " +
+                typeName(O.OutElem));
+  }
+
+  void checkAggLike(unsigned I, const Op &O, const TypeRef &In,
+                    bool IsGroupSink) {
+    if (!O.Seed)
+      return; // validate() already rejected the chain shape
+    TypeRef Acc = O.Seed->type();
+    // Step (acc, elem) -> acc. A mismatched first parameter means the
+    // seed does not match the accumulator the step expects.
+    if (O.Fn2.valid()) {
+      if (O.Fn2.arity() != 2) {
+        error(DiagCode::BadArity, opLoc(Path, I, ExprRole::Fn2),
+              support::strFormat(
+                  "aggregation step takes %zu parameters, expected 2",
+                  O.Fn2.arity()));
+      } else {
+        if (!expr::sameType(O.Fn2.param(0).Ty, Acc))
+          error(DiagCode::SeedTypeMismatch, opLoc(Path, I, ExprRole::Seed),
+                "seed has type " + typeName(Acc) +
+                    " but the step accumulates " +
+                    typeName(O.Fn2.param(0).Ty));
+        if (In && !expr::sameType(O.Fn2.param(1).Ty, In))
+          error(DiagCode::ParamTypeMismatch, opLoc(Path, I, ExprRole::Fn2),
+                "step consumes " + typeName(O.Fn2.param(1).Ty) +
+                    " elements but the upstream produces " + typeName(In));
+        if (!expr::sameType(O.Fn2.resultType(), O.Fn2.param(0).Ty))
+          error(DiagCode::ResultTypeMismatch,
+                opLoc(Path, I, ExprRole::Fn2),
+                "step returns " + typeName(O.Fn2.resultType()) +
+                    ", expected the accumulator type " +
+                    typeName(O.Fn2.param(0).Ty));
+      }
+    }
+    if (IsGroupSink) {
+      // Result selector (key, acc) -> R.
+      checkLambda(I, ExprRole::Fn3, O.Fn3,
+                  {expr::Type::int64Ty(), Acc}, nullptr,
+                  DiagCode::ResultTypeMismatch, "group result selector");
+    } else {
+      // Result selector (acc) -> R; without one, the operator must
+      // produce the raw accumulator.
+      if (O.Fn3.valid())
+        checkLambda(I, ExprRole::Fn3, O.Fn3, {Acc}, O.OutElem,
+                    DiagCode::ResultTypeMismatch, "result selector");
+      else if (O.OutElem && !expr::sameType(O.OutElem, Acc))
+        error(DiagCode::ResultTypeMismatch, opLoc(Path, I),
+              "aggregate produces the accumulator (" + typeName(Acc) +
+                  ") but the operator declares " + typeName(O.OutElem));
+      checkLambda(I, ExprRole::StopWhen, O.StopWhen, {Acc},
+                  expr::Type::boolTy(), DiagCode::PredicateNotBool,
+                  "early-exit condition");
+    }
+    checkCombiner(I, O.Combine, Acc);
+  }
+
+  void checkOp(unsigned I, const Op &O, const TypeRef &In,
+               const std::set<std::string> &Visible) {
+    // Chain wiring: the recorded input type must match the upstream
+    // output (Src has no input).
+    if (O.S != Sym::Src && In && O.InElem &&
+        !expr::sameType(O.InElem, In))
+      error(DiagCode::ElemTypeMismatch, opLoc(Path, I),
+            "operator consumes " + typeName(O.InElem) +
+                " but the upstream produces " + typeName(In));
+
+    switch (O.S) {
+    case Sym::Src:
+      checkSrc(I, O);
+      break;
+    case Sym::Trans:
+      checkLambda(I, ExprRole::Fn, O.Fn, {In}, O.OutElem,
+                  DiagCode::ResultTypeMismatch, "transformation");
+      break;
+    case Sym::Pred:
+      if (O.P == PredOp::Take || O.P == PredOp::Skip) {
+        if (O.Seed && !O.Seed->type()->isInt64())
+          error(DiagCode::CountNotInt64, opLoc(Path, I, ExprRole::Seed),
+                "Take/Skip count must be int64, got " +
+                    typeName(O.Seed->type()));
+      } else {
+        checkLambda(I, ExprRole::Fn, O.Fn, {In}, expr::Type::boolTy(),
+                    DiagCode::PredicateNotBool, "predicate");
+      }
+      break;
+    case Sym::Sink:
+      switch (O.K) {
+      case SinkOp::GroupBy:
+        checkLambda(I, ExprRole::Fn, O.Fn, {In}, expr::Type::int64Ty(),
+                    DiagCode::KeyNotInt64, "group key selector");
+        break;
+      case SinkOp::GroupByAggregate:
+        checkLambda(I, ExprRole::Fn, O.Fn, {In}, expr::Type::int64Ty(),
+                    DiagCode::KeyNotInt64, "group key selector");
+        if (O.DenseKeys && !O.DenseKeys->type()->isInt64())
+          error(DiagCode::ResultTypeMismatch,
+                opLoc(Path, I, ExprRole::DenseKeys),
+                "dense key bound must be int64, got " +
+                    typeName(O.DenseKeys->type()));
+        checkAggLike(I, O, In, /*IsGroupSink=*/true);
+        break;
+      case SinkOp::OrderBy:
+        if (O.Fn.valid()) {
+          checkLambda(I, ExprRole::Fn, O.Fn, {In}, nullptr,
+                      DiagCode::ResultTypeMismatch, "sort key selector");
+          if (!O.Fn.resultType()->isNumeric())
+            error(DiagCode::ResultTypeMismatch, opLoc(Path, I, ExprRole::Fn),
+                  "sort key selector must return a numeric type, got " +
+                      typeName(O.Fn.resultType()));
+        }
+        break;
+      case SinkOp::ToArray:
+        if (In && O.OutElem && !expr::sameType(O.OutElem, In))
+          error(DiagCode::ElemTypeMismatch, opLoc(Path, I),
+                "ToArray must preserve the element type");
+        break;
+      }
+      break;
+    case Sym::Agg:
+      checkAggLike(I, O, In, /*IsGroupSink=*/false);
+      break;
+    case Sym::Nested: {
+      if (!O.NestedChain)
+        break;
+      if (In && O.OuterParamTy && !expr::sameType(O.OuterParamTy, In))
+        error(DiagCode::ParamTypeMismatch, opLoc(Path, I),
+              "nested query binds outer parameter '" + O.OuterParam +
+                  "' as " + typeName(O.OuterParamTy) +
+                  " but the upstream produces " + typeName(In));
+      std::set<std::string> Inner = Visible;
+      if (!O.OuterParam.empty())
+        Inner.insert(O.OuterParam);
+      Path.push_back(I);
+      checkChain(*O.NestedChain, Inner);
+      Path.pop_back();
+      break;
+    }
+    case Sym::Ret:
+      break;
+    }
+
+    checkExprEnvironment(I, O, Visible);
+  }
+
+  void checkChain(const Chain &C, const std::set<std::string> &Visible) {
+    TypeRef In; // element type flowing into the next operator
+    for (unsigned I = 0; I != C.Ops.size(); ++I) {
+      const Op &O = C.Ops[I];
+      checkOp(I, O, In, Visible);
+      In = O.OutElem;
+    }
+  }
+};
+
+} // namespace
+
+void analysis::runTypeCheck(const Chain &C, DiagnosticBag &Diags) {
+  TypeChecker(Diags).check(C);
+}

@@ -1,11 +1,14 @@
 //===- dryad/Dist.cpp -----------------------------------------*- C++ -*-===//
 
 #include "dryad/Dist.h"
+#include "analysis/Analysis.h"
 #include "dryad/JobGraph.h"
 #include "expr/Eval.h"
+#include "obs/Metrics.h"
 #include "support/Error.h"
 
 #include <cassert>
+#include <cstdio>
 #include <deque>
 #include <unordered_map>
 
@@ -42,6 +45,11 @@ std::vector<Bindings> dryad::partitionBindings(const Bindings &B,
 
 DistributedQuery DistributedQuery::compile(const query::Query &Q,
                                            const DistOptions &Options) {
+  static obs::Counter &Parallelized =
+      obs::counter("dryad.compile.parallel");
+  static obs::Counter &Fallbacks =
+      obs::counter("dryad.compile.sequential_fallback");
+
   quil::Chain Chain = quil::lower(Q);
   if (auto Err = quil::validate(Chain))
     support::fatalError("invalid distributed query '" + Options.Name +
@@ -49,18 +57,44 @@ DistributedQuery DistributedQuery::compile(const query::Query &Q,
   if (Options.Specialize)
     Chain = quil::specializeGroupByAggregate(Chain);
 
+  DistributedQuery DQ;
+
+  // Semantic gate: the analyzer's parallel-safety certificate. The
+  // planner below only checks chain *shape*; the certificate checks that
+  // the split preserves sequential meaning.
+  analysis::AnalysisResult Analyzed = analysis::analyzeChain(Chain);
+  DQ.Cert = Analyzed.Cert;
   std::string WhyNot;
-  std::optional<ParallelPlan> Plan = planParallel(Chain, &WhyNot);
-  if (!Plan)
-    support::fatalError("query '" + Options.Name +
-                        "' cannot be parallelized: " + WhyNot);
+  std::optional<ParallelPlan> Plan;
+  if (!DQ.Cert.parallelSafe()) {
+    WhyNot = "analyzer refused certification (" + DQ.Cert.str() + ")";
+  } else {
+    // Structural gate: the §6 planner's Agg_i + Agg* split.
+    Plan = planParallel(Chain, &WhyNot);
+  }
 
   CompileOptions VertexOptions;
   VertexOptions.Exec = Options.Exec;
   VertexOptions.Name = Options.Name + "_vertex";
   VertexOptions.SpecializeGroupByAggregate = false; // already applied
 
-  DistributedQuery DQ;
+  if (!Plan) {
+    // Sequential fallback: compile the whole query as one vertex and
+    // refuse fan-out at run time. Documented in DESIGN.md ("Parallel
+    // safety"): queries are never rejected for being unparallelizable,
+    // they just lose the speedup.
+    Fallbacks.inc();
+    std::fprintf(stderr,
+                 "steno: query '%s' falls back to sequential execution: "
+                 "%s\n",
+                 Options.Name.c_str(), WhyNot.c_str());
+    DQ.Sequential = true;
+    DQ.WhyNot = std::move(WhyNot);
+    DQ.Vertex = compileChain(Chain, VertexOptions);
+    return DQ;
+  }
+
+  Parallelized.inc();
   DQ.Vertex = compileChain(Plan->VertexChain, VertexOptions);
   DQ.Plan = std::move(*Plan);
   return DQ;
@@ -143,6 +177,16 @@ QueryResult
 DistributedQuery::run(ThreadPool &Pool,
                       const std::vector<Bindings> &PartitionBindings) const {
   assert(!PartitionBindings.empty() && "no partitions to run on");
+  if (Sequential) {
+    if (PartitionBindings.size() != 1)
+      support::fatalError(
+          "query '" + Vertex.program().Name +
+          "' is sequential-only (" + WhyNot +
+          ") but was handed " +
+          std::to_string(PartitionBindings.size()) +
+          " partitions; consult parallel() before partitioning");
+    return Vertex.run(PartitionBindings.front());
+  }
 
   // Stage 1: one vertex per partition (Src_i ... Agg_i of Figure 12),
   // scheduled as a Dryad job graph.
@@ -307,6 +351,13 @@ DistributedQuery::run(ThreadPool &Pool,
 QueryResult DistributedQuery::runParallel(ThreadPool &Pool,
                                           const Bindings &B,
                                           unsigned PartitionSlot) const {
+  if (Sequential) {
+    // The documented fallback: same results, no fan-out.
+    static obs::Counter &SeqRuns =
+        obs::counter("dryad.run.sequential_fallback");
+    SeqRuns.inc();
+    return Vertex.run(B);
+  }
   return run(Pool,
              partitionBindings(B, Pool.workerCount(), PartitionSlot));
 }

@@ -47,22 +47,34 @@ std::vector<Bindings> partitionBindings(const Bindings &B, unsigned Parts,
 /// A query compiled for partition-parallel execution. Reusable across
 /// invocations with different partition bindings (so the one-off JIT cost
 /// amortizes across iterations, as in the paper's k-means job).
+///
+/// Fan-out is gated twice: structurally by the §6 planner (the chain must
+/// split into Agg_i + Agg*), and semantically by the analyzer's
+/// parallel-safety certificate (the split must preserve sequential
+/// meaning — no possible traps, no order-sensitive operators, no provably
+/// non-associative combiner). A query failing either gate is NOT
+/// rejected: it compiles into a sequential fallback — one whole-query
+/// vertex — and a documented warning is printed once at compile time.
 class DistributedQuery {
 public:
-  /// Plans and compiles \p Q. Aborts if the query cannot be parallelized
-  /// by the §6 planner (the reason is included in the diagnostic).
+  /// Plans and compiles \p Q. Never aborts for unparallelizable queries;
+  /// they compile into the sequential fallback (see parallel()).
   static DistributedQuery compile(const query::Query &Q,
                                   const DistOptions &Options = DistOptions());
 
   /// Executes one vertex per element of \p PartitionBindings on \p Pool,
-  /// then runs the combining stage.
+  /// then runs the combining stage. A sequential-fallback query accepts
+  /// exactly one partition (callers that partitioned by hand must consult
+  /// parallel() first) and aborts otherwise.
   QueryResult run(ThreadPool &Pool,
                   const std::vector<Bindings> &PartitionBindings) const;
 
   /// The multi-core PLINQ path of §6: view-partitions \p B's source slot
   /// \p PartitionSlot across the pool's workers and runs the plan — one
   /// indirect call per *partition*, like the HomomorphicApply operator,
-  /// instead of PLINQ's per-element iterator composition.
+  /// instead of PLINQ's per-element iterator composition. For a
+  /// sequential-fallback query this runs the whole query unpartitioned on
+  /// the calling thread (same results, no fan-out).
   QueryResult runParallel(ThreadPool &Pool, const Bindings &B,
                           unsigned PartitionSlot = 0) const;
 
@@ -74,11 +86,22 @@ public:
   }
   const ParallelPlan &plan() const { return Plan; }
 
+  /// False when the query compiled into the sequential fallback.
+  bool parallel() const { return !Sequential; }
+  /// Why fan-out was refused (empty when parallel() is true).
+  const std::string &whyNotParallel() const { return WhyNot; }
+  /// The analyzer's parallel-safety certificate for the (specialized)
+  /// chain.
+  const analysis::SafetyCertificate &certificate() const { return Cert; }
+
 private:
   DistributedQuery() = default;
 
   ParallelPlan Plan;
   CompiledQuery Vertex;
+  analysis::SafetyCertificate Cert;
+  bool Sequential = false;
+  std::string WhyNot;
 };
 
 } // namespace dryad

@@ -24,6 +24,15 @@ std::string printConst(const Expr &E) {
   return support::doubleLiteral(std::get<double>(C));
 }
 
+/// A divisor the generated code may divide by with a bare `/`: a nonzero
+/// integer constant. Anything else goes through rt::ckdiv/ckmod so a bad
+/// divisor traps with a structured error instead of undefined behavior.
+bool isProvablyNonzeroConst(const Expr &E) {
+  return E.kind() == ExprKind::Const &&
+         std::holds_alternative<std::int64_t>(E.constValue()) &&
+         std::get<std::int64_t>(E.constValue()) != 0;
+}
+
 std::string printBinary(const Expr &E, const CxxNames &Names) {
   BinaryOp Op = E.binaryOp();
   std::string L = print(*E.operand(0), Names);
@@ -31,6 +40,11 @@ std::string printBinary(const Expr &E, const CxxNames &Names) {
   // Double modulo maps to std::fmod; everything else is the operator.
   if (Op == BinaryOp::Mod && E.type()->isDouble())
     return "std::fmod(" + L + ", " + R + ")";
+  if ((Op == BinaryOp::Div || Op == BinaryOp::Mod) &&
+      E.type()->isInt64() && !isProvablyNonzeroConst(*E.operand(1)))
+    return std::string(Op == BinaryOp::Div ? "steno::rt::ckdiv("
+                                           : "steno::rt::ckmod(") +
+           L + ", " + R + ")";
   return "(" + L + " " + binaryOpSpelling(Op) + " " + R + ")";
 }
 

@@ -4,6 +4,7 @@
 #include "support/Error.h"
 
 #include <cmath>
+#include <cstdint>
 
 using namespace steno;
 using namespace steno::expr;
@@ -54,11 +55,18 @@ Value evalArith(BinaryOp Op, const Value &L, const Value &R) {
       return Value(A - B);
     case BinaryOp::Mul:
       return Value(A * B);
+    // Trap uniformly with the JIT backend (rt::ckdiv/ckmod): same stable
+    // code, same fate on every backend, instead of debug-only asserts
+    // that become undefined behavior in release builds.
     case BinaryOp::Div:
-      assert(B != 0 && "integer division by zero");
+      if (B == 0 || (B == -1 && A == INT64_MIN))
+        support::fatalError(
+            "steno runtime error [ST2001]: integer division by zero");
       return Value(A / B);
     case BinaryOp::Mod:
-      assert(B != 0 && "integer modulo by zero");
+      if (B == 0 || (B == -1 && A == INT64_MIN))
+        support::fatalError(
+            "steno runtime error [ST2001]: integer division by zero");
       return Value(A % B);
     default:
       break;

@@ -11,6 +11,7 @@
 #include <atomic>
 #include <cassert>
 #include <cstdlib>
+#include <cstring>
 #include <dlfcn.h>
 
 using namespace steno;
@@ -63,10 +64,17 @@ CompiledModule::compile(const std::string &Source,
   // -O3 matches the optimization level of statically compiled code, so
   // "Steno vs hand-optimized" comparisons measure code shape, not
   // compiler flags.
+  //
+  // STENO_JIT_LINT=1 is the debug "lint generated code" mode: the
+  // generated translation unit must itself survive -Wall -Wextra -Werror,
+  // catching codegen regressions (unused locals, sign-compare, shadowing)
+  // that -O3 alone would silently accept.
+  const char *LintEnv = ::getenv("STENO_JIT_LINT");
+  bool Lint = LintEnv && LintEnv[0] && ::strcmp(LintEnv, "0") != 0;
   std::string Cmd = support::strFormat(
-      "'%s' -std=c++20 -O3 -fPIC -shared -I '%s' -o '%s' '%s' > '%s' 2>&1",
-      Cxx, STENO_SOURCE_INCLUDE, SoPath.c_str(), SrcPath.c_str(),
-      LogPath.c_str());
+      "'%s' -std=c++20 -O3%s -fPIC -shared -I '%s' -o '%s' '%s' > '%s' 2>&1",
+      Cxx, Lint ? " -Wall -Wextra -Werror" : "", STENO_SOURCE_INCLUDE,
+      SoPath.c_str(), SrcPath.c_str(), LogPath.c_str());
   int Rc;
   {
     // The compiler invocation dominates the one-off cost; the dlopen

@@ -1,0 +1,30 @@
+//===- plinq/QueryPar.cpp -------------------------------------*- C++ -*-===//
+
+#include "plinq/QueryPar.h"
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
+
+using namespace steno;
+using namespace steno::plinq;
+
+ParallelQuery ParallelQuery::compile(const query::Query &Q,
+                                     const dryad::DistOptions &Options) {
+  return ParallelQuery(dryad::DistributedQuery::compile(Q, Options));
+}
+
+QueryResult ParallelQuery::run(dryad::ThreadPool &Pool, const Bindings &B,
+                               unsigned PartitionSlot) const {
+  static obs::Counter &ParRuns = obs::counter("plinq.query.parallel_runs");
+  static obs::Counter &SeqRuns =
+      obs::counter("plinq.query.sequential_runs");
+  obs::Span S("plinq.query.run");
+  S.arg("certified", DQ.parallel());
+  (DQ.parallel() ? ParRuns : SeqRuns).inc();
+  return DQ.runParallel(Pool, B, PartitionSlot);
+}
+
+QueryResult plinq::runParallelQuery(dryad::ThreadPool &Pool,
+                                    const query::Query &Q, const Bindings &B,
+                                    unsigned PartitionSlot) {
+  return ParallelQuery::compile(Q).run(Pool, B, PartitionSlot);
+}

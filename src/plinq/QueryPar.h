@@ -1,0 +1,77 @@
+//===- plinq/QueryPar.h - Certificate-gated parallel queries ---*- C++ -*-===//
+//
+// Part of the Steno/C++ reproduction of Murray, Isard & Yu,
+// "Steno: Automatic Optimization of Declarative Queries" (PLDI 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The multi-core entry point for declarative queries: compile once,
+/// fan the source out across the pool's workers, merge partials — the
+/// PLINQ usage model, but over Steno-compiled partition bodies instead of
+/// iterator chains. Before any fan-out the query passes through the
+/// static analyzer; a query the analyzer refuses to certify parallel-safe
+/// (possible traps, order-sensitive operators, a non-associative
+/// combiner) runs sequentially instead, with a warning printed at compile
+/// time. Callers never get wrong answers from parallelism — at worst
+/// they get sequential speed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STENO_PLINQ_QUERYPAR_H
+#define STENO_PLINQ_QUERYPAR_H
+
+#include "dryad/Dist.h"
+#include "dryad/ThreadPool.h"
+#include "query/Query.h"
+#include "steno/Bindings.h"
+#include "steno/Result.h"
+
+namespace steno {
+namespace plinq {
+
+/// A compiled, certificate-gated parallel query. Thin wrapper over
+/// dryad::DistributedQuery with the PLINQ-shaped surface: one Bindings in,
+/// one QueryResult out, partitioning handled internally.
+class ParallelQuery {
+public:
+  /// Compiles \p Q for parallel execution (Native vertices by default).
+  /// Never rejects: uncertified or structurally unsplittable queries
+  /// compile into the sequential fallback.
+  static ParallelQuery compile(const query::Query &Q,
+                               const dryad::DistOptions &Options =
+                                   dryad::DistOptions());
+
+  /// Runs against \p B, view-partitioning source slot \p PartitionSlot
+  /// across \p Pool's workers — or sequentially when the query was not
+  /// certified (see certified()).
+  QueryResult run(dryad::ThreadPool &Pool, const Bindings &B,
+                  unsigned PartitionSlot = 0) const;
+
+  /// True when runs actually fan out.
+  bool certified() const { return DQ.parallel(); }
+  /// Why fan-out was refused (empty when certified).
+  const std::string &whyNot() const { return DQ.whyNotParallel(); }
+  /// The analyzer's verdict for the query.
+  const analysis::SafetyCertificate &certificate() const {
+    return DQ.certificate();
+  }
+  /// One-off compile cost (ms).
+  double compileMillis() const { return DQ.compileMillis(); }
+
+private:
+  explicit ParallelQuery(dryad::DistributedQuery DQ) : DQ(std::move(DQ)) {}
+
+  dryad::DistributedQuery DQ;
+};
+
+/// One-shot convenience: compile \p Q and run it against \p B, fanned out
+/// over \p Pool when certified, sequentially otherwise. For repeated runs
+/// compile a ParallelQuery once instead (amortizes the JIT cost, §7.1).
+QueryResult runParallelQuery(dryad::ThreadPool &Pool, const query::Query &Q,
+                             const Bindings &B, unsigned PartitionSlot = 0);
+
+} // namespace plinq
+} // namespace steno
+
+#endif // STENO_PLINQ_QUERYPAR_H

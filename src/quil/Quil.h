@@ -37,6 +37,14 @@ namespace quil {
 /// The QUIL alphabet (Table 1), plus Nested for sub-queries.
 enum class Sym { Src, Trans, Pred, Sink, Agg, Ret, Nested };
 
+/// Upper bounds on run-time binding slots. Bindings are dense vectors
+/// indexed by slot, so a garbage slot index (an uninitialized unsigned,
+/// say) would demand a multi-gigabyte binding table at run time; the
+/// validator and the analysis pipeline reject any chain whose expressions
+/// reference slots at or above these limits.
+constexpr unsigned MaxCaptureSlots = 256;
+constexpr unsigned MaxSourceSlots = 64;
+
 /// Which Pred-class operator an Op encodes: Where is stateless; Take/Skip
 /// need a counter and TakeWhile/SkipWhile a flag in the generated prelude.
 enum class PredOp { Where, Take, Skip, TakeWhile, SkipWhile };

@@ -17,9 +17,19 @@
 /// generator is the corresponding pushdown automaton (§5.1); this validator
 /// simply recurses instead of carrying an explicit stack.
 ///
+/// Every diagnostic names the failing operator by chain index and nesting
+/// depth ("op #2 (depth 1): ..."), so a caller holding a multi-operator
+/// chain — possibly built programmatically rather than through the fluent
+/// DSL — can point at the exact operator instead of re-deriving it from
+/// the message text. Beyond grammar, the validator bounds-checks every
+/// capture and source-buffer slot referenced by the chain's expressions:
+/// bindings are dense vectors indexed by slot, so a garbage index must die
+/// here rather than as an allocation of a multi-gigabyte binding table.
+///
 //===----------------------------------------------------------------------===//
 
 #include "quil/Quil.h"
+#include "expr/Analysis.h"
 #include "support/StringUtil.h"
 
 using namespace steno;
@@ -29,19 +39,95 @@ namespace {
 
 enum class State { Start, Iterating, Sinking, Aggregating, Returning };
 
-std::optional<std::string> validateChain(const Chain &C, bool IsNested,
-                                         NestedRole Role) {
+/// "op #2 (depth 0): " — the location prefix every error carries.
+std::string opPrefix(size_t I, unsigned Depth) {
+  return support::strFormat("op #%zu (depth %u): ", I, Depth);
+}
+
+/// Slot-bounds check over one expression tree. Returns the first
+/// violation, or nullopt.
+std::optional<std::string> checkSlots(const expr::ExprRef &E,
+                                      const char *What) {
+  for (unsigned Slot : expr::usedCaptureSlots(*E))
+    if (Slot >= MaxCaptureSlots)
+      return support::strFormat(
+          "%s references capture slot %u, beyond the limit %u", What, Slot,
+          MaxCaptureSlots);
+  for (unsigned Slot : expr::usedSourceSlots(*E))
+    if (Slot >= MaxSourceSlots)
+      return support::strFormat(
+          "%s references source slot %u, beyond the limit %u", What, Slot,
+          MaxSourceSlots);
+  return std::nullopt;
+}
+
+/// Slot-bounds check over every expression an operator carries.
+std::optional<std::string> checkOpSlots(const Op &O) {
+  struct Entry {
+    const char *What;
+    const expr::ExprRef *E;
+  };
+  std::vector<Entry> Exprs;
+  auto AddLambda = [&](const char *What, const expr::Lambda &L) {
+    if (L.valid())
+      Exprs.push_back({What, &L.body()});
+  };
+  AddLambda("function", O.Fn);
+  AddLambda("step", O.Fn2);
+  AddLambda("result selector", O.Fn3);
+  AddLambda("combiner", O.Combine);
+  AddLambda("early-exit condition", O.StopWhen);
+  if (O.Seed)
+    Exprs.push_back({"seed/count", &O.Seed});
+  if (O.DenseKeys)
+    Exprs.push_back({"dense-keys bound", &O.DenseKeys});
+  if (O.S == Sym::Src) {
+    if (O.Src.Start)
+      Exprs.push_back({"range start", &O.Src.Start});
+    if (O.Src.CountE)
+      Exprs.push_back({"range count", &O.Src.CountE});
+    if (O.Src.Vec)
+      Exprs.push_back({"source vector", &O.Src.Vec});
+    switch (O.Src.Kind) {
+    case query::SourceKind::DoubleArray:
+    case query::SourceKind::Int64Array:
+    case query::SourceKind::PointArray:
+      if (O.Src.Slot >= MaxSourceSlots)
+        return support::strFormat(
+            "source binds slot %u, beyond the limit %u", O.Src.Slot,
+            MaxSourceSlots);
+      break;
+    case query::SourceKind::Range:
+    case query::SourceKind::VecExpr:
+      break;
+    }
+  }
+  for (const Entry &X : Exprs)
+    if (auto Err = checkSlots(*X.E, X.What))
+      return Err;
+  return std::nullopt;
+}
+
+std::optional<std::string> validateChain(const Chain &C, unsigned Depth) {
   if (C.Ops.empty())
     return "empty QUIL chain";
 
   State S = State::Start;
   for (size_t I = 0; I != C.Ops.size(); ++I) {
     const Op &O = C.Ops[I];
+    auto Fail = [&](std::string Msg) {
+      return std::optional<std::string>(opPrefix(I, Depth) +
+                                        std::move(Msg));
+    };
+
+    if (auto Err = checkOpSlots(O))
+      return Fail(std::move(*Err));
+
     switch (S) {
     case State::Start:
       if (O.S != Sym::Src)
-        return support::strFormat("query must begin with Src (got %s)",
-                                  symName(O.S));
+        return Fail(support::strFormat(
+            "query must begin with Src (got %s)", symName(O.S)));
       S = State::Iterating;
       break;
 
@@ -50,34 +136,33 @@ std::optional<std::string> validateChain(const Chain &C, bool IsNested,
       switch (O.S) {
       case Sym::Trans:
         if (!O.Fn.valid())
-          return "Trans operator has no transformation function";
+          return Fail("Trans operator has no transformation function");
         S = State::Iterating;
         break;
       case Sym::Pred:
         if (O.P == PredOp::Take || O.P == PredOp::Skip) {
           if (!O.Seed)
-            return "Take/Skip operator has no count expression";
+            return Fail("Take/Skip operator has no count expression");
         } else if (!O.Fn.valid()) {
-          return "Pred operator has no predicate function";
+          return Fail("Pred operator has no predicate function");
         }
         S = State::Iterating;
         break;
       case Sym::Nested: {
         if (!O.NestedChain)
-          return "Nested operator has no sub-query";
+          return Fail("Nested operator has no sub-query");
         if (O.Role == NestedRole::Flatten) {
           if (O.NestedChain->Scalar)
-            return "SelectMany nested query must produce a collection";
+            return Fail("SelectMany nested query must produce a collection");
         } else {
           if (!O.NestedChain->Scalar)
-            return "nested Trans/Pred query must produce a scalar";
+            return Fail("nested Trans/Pred query must produce a scalar");
           if (O.Role == NestedRole::Pred &&
               !O.NestedChain->Result->isBool())
-            return "nested Pred query must produce a bool";
+            return Fail("nested Pred query must produce a bool");
         }
-        if (auto Err = validateChain(*O.NestedChain, /*IsNested=*/true,
-                                     O.Role))
-          return "in nested query: " + *Err;
+        if (auto Err = validateChain(*O.NestedChain, Depth + 1))
+          return Fail("in nested query: " + *Err);
         S = State::Iterating;
         break;
       }
@@ -85,45 +170,45 @@ std::optional<std::string> validateChain(const Chain &C, bool IsNested,
         if ((O.K == SinkOp::GroupBy || O.K == SinkOp::OrderBy ||
              O.K == SinkOp::GroupByAggregate) &&
             !O.Fn.valid())
-          return "Sink operator has no key selector";
+          return Fail("Sink operator has no key selector");
         if (O.K == SinkOp::GroupByAggregate && (!O.Fn2.valid() || !O.Seed))
-          return "GroupByAggregate sink needs a seed and a step";
+          return Fail("GroupByAggregate sink needs a seed and a step");
         S = State::Sinking;
         break;
       case Sym::Agg:
         if (!O.Fn2.valid() || !O.Seed)
-          return "Agg operator needs a seed and a step function";
+          return Fail("Agg operator needs a seed and a step function");
         S = State::Aggregating;
         break;
       case Sym::Ret:
         S = State::Returning;
         break;
       case Sym::Src:
-        return "Src may only appear at the start of a query";
+        return Fail("Src may only appear at the start of a query");
       }
       break;
 
     case State::Aggregating:
       if (O.S != Sym::Ret)
-        return support::strFormat(
-            "Agg may only be followed by Ret (got %s)", symName(O.S));
+        return Fail(support::strFormat(
+            "Agg may only be followed by Ret (got %s)", symName(O.S)));
       S = State::Returning;
       break;
 
     case State::Returning:
-      return support::strFormat("operator %s after Ret", symName(O.S));
+      return Fail(support::strFormat("operator %s after Ret", symName(O.S)));
     }
   }
 
   if (S != State::Returning)
-    return "query does not end with Ret";
-  (void)IsNested;
-  (void)Role;
+    return support::strFormat(
+        "query of %zu operators (depth %u) does not end with Ret",
+        C.Ops.size(), Depth);
   return std::nullopt;
 }
 
 } // namespace
 
 std::optional<std::string> quil::validate(const Chain &C) {
-  return validateChain(C, /*IsNested=*/false, NestedRole::Trans);
+  return validateChain(C, /*Depth=*/0);
 }

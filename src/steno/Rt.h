@@ -20,12 +20,45 @@
 #define STENO_STENO_RT_H
 
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
 namespace steno {
 namespace rt {
+
+//===------------------------------------------------------------------===//
+// Checked integer division
+//===------------------------------------------------------------------===//
+
+/// Structured runtime trap for integer division by zero (and the INT64_MIN
+/// / -1 overflow, the other undefined case of C++ integer division). The
+/// code ST2001 matches the static analyzer's division diagnostic, so a log
+/// line from a production trap correlates directly with the compile-time
+/// warning that predicted it.
+[[noreturn]] inline void trapDivByZero() {
+  std::fputs("steno runtime error [ST2001]: integer division by zero\n",
+             stderr);
+  std::abort();
+}
+
+/// Division/modulo with defined behavior on every input: traps with a
+/// structured error instead of executing undefined behavior. The code
+/// generator emits these wherever the analyzer could not prove the divisor
+/// is a nonzero constant.
+inline std::int64_t ckdiv(std::int64_t A, std::int64_t B) {
+  if (B == 0 || (B == -1 && A == INT64_MIN))
+    trapDivByZero();
+  return A / B;
+}
+
+inline std::int64_t ckmod(std::int64_t A, std::int64_t B) {
+  if (B == 0 || (B == -1 && A == INT64_MIN))
+    trapDivByZero();
+  return A % B;
+}
 
 /// Borrowed view of Len contiguous doubles (a point, or a group's bag).
 struct VecView {

@@ -11,6 +11,7 @@
 #include "support/Timing.h"
 
 #include <atomic>
+#include <cstdio>
 
 using namespace steno;
 
@@ -20,11 +21,43 @@ struct CompiledQuery::Impl {
   cpptree::SlotUsage Slots;
   std::string Source;
   bool Specialized = false;
+  analysis::AnalysisResult Analysis;
   steno::Backend ExecBackend = Backend::Interp;
   std::unique_ptr<jit::CompiledModule> Module; // Native backend only
 };
 
 namespace {
+/// The analyze phase: runs the static-analysis pipeline per the
+/// STENO_ANALYZE mode, prints warnings, and (strict mode) rejects a chain
+/// with error-severity findings before codegen spends anything on it.
+void analyzePhase(CompiledQuery::Impl &Impl, const CompileOptions &Options,
+                  const std::string &Context) {
+  if (Options.Analyze == analysis::Mode::Off)
+    return;
+  obs::Span S("steno.analyze");
+  Impl.Analysis = analysis::analyzeChain(Impl.Chain);
+  S.arg("diags", static_cast<std::int64_t>(Impl.Analysis.Diags.size()));
+  S.arg("errors",
+        static_cast<std::int64_t>(Impl.Analysis.Diags.errorCount()));
+  S.arg("parallel_safe", Impl.Analysis.Cert.parallelSafe() ? 1 : 0);
+
+  std::string Printable =
+      Impl.Analysis.Diags.render(analysis::Severity::Warning);
+  if (!Printable.empty())
+    std::fprintf(stderr, "steno: analysis of %s '%s':\n%s",
+                 Context.c_str(), Options.Name.c_str(), Printable.c_str());
+
+  if (Options.Analyze == analysis::Mode::Strict &&
+      Impl.Analysis.Diags.hasErrors())
+    support::fatalError(
+        support::strFormat("%s '%s' rejected by static analysis (%zu "
+                           "error(s)):\n",
+                           Context.c_str(), Options.Name.c_str(),
+                           Impl.Analysis.Diags.errorCount()) +
+        Impl.Analysis.Diags.render(analysis::Severity::Error) +
+        "  QUIL: " + Impl.Chain.symbols());
+}
+
 void checkBindingsImpl(const cpptree::SlotUsage &Slots,
                        const std::string &Name, const Bindings &B) {
   for (unsigned Slot : Slots.SourceSlots) {
@@ -108,10 +141,14 @@ const quil::Chain &CompiledQuery::chain() const { return I->Chain; }
 
 bool CompiledQuery::groupBySpecialized() const { return I->Specialized; }
 
+const analysis::AnalysisResult &CompiledQuery::analysisResult() const {
+  return I->Analysis;
+}
+
 static std::shared_ptr<CompiledQuery::Impl>
 codegenAndLoad(std::shared_ptr<CompiledQuery::Impl> Impl,
                const CompileOptions &Options) {
-  // 3. Loop-code generation with the pushdown automaton (§4.2, §5).
+  // 4. Loop-code generation with the pushdown automaton (§4.2, §5).
   static std::atomic<unsigned> QueryCounter{0};
   std::string Entry = support::sanitizeIdentifier(Options.Name) + "_" +
                       std::to_string(QueryCounter++);
@@ -124,7 +161,7 @@ codegenAndLoad(std::shared_ptr<CompiledQuery::Impl> Impl,
     Impl->Source = cpptree::printProgram(Impl->Program);
   }
 
-  // 4. Compile, load and bind (§3.3) for the native backend.
+  // 5. Compile, load and bind (§3.3) for the native backend.
   if (Options.Exec == Backend::Native) {
     std::string Err;
     Impl->Module = jit::CompiledModule::compile(Impl->Source, Entry, &Err);
@@ -165,7 +202,11 @@ CompiledQuery steno::compileQuery(const query::Query &Q,
                           "\n  QUIL:  " + Impl->Chain.symbols());
   }
 
-  // 2. Operator specialization (§4.3).
+  // 2. Static analysis: types, effects, constant ranges (rejects in
+  // strict mode before any further work is spent on the chain).
+  analyzePhase(*Impl, Options, "query");
+
+  // 3. Operator specialization (§4.3).
   if (Options.SpecializeGroupByAggregate) {
     obs::Span S("steno.specialize");
     Impl->Chain =
@@ -236,6 +277,7 @@ CompiledQuery steno::compileChain(const quil::Chain &Chain,
       support::fatalError("invalid chain '" + Options.Name + "': " + *Err +
                           "\n  QUIL: " + Impl->Chain.symbols());
   }
+  analyzePhase(*Impl, Options, "chain");
   CompiledQuery CQ;
   CQ.I = codegenAndLoad(std::move(Impl), Options);
   Compiles.inc();

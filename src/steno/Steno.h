@@ -34,6 +34,7 @@
 #ifndef STENO_STENO_STENO_H
 #define STENO_STENO_STENO_H
 
+#include "analysis/Analysis.h"
 #include "cpptree/Printer.h"
 #include "cpptree/Tree.h"
 #include "jit/Jit.h"
@@ -60,6 +61,10 @@ struct CompileOptions {
   bool SpecializeGroupByAggregate = true;
   /// Hoist repeated pure subexpressions into locals (§9 CSE).
   bool EnableCse = true;
+  /// Static-analysis enforcement (lower -> validate -> analyze ->
+  /// specialize -> cse -> codegen). Defaults to the STENO_ANALYZE
+  /// environment variable (off | warn | strict; unset means strict).
+  analysis::Mode Analyze = analysis::modeFromEnv();
   /// Entry symbol / readable query name.
   std::string Name = "steno_query";
 };
@@ -87,6 +92,9 @@ public:
   const quil::Chain &chain() const;
   /// Whether the §4.3 specialization fired.
   bool groupBySpecialized() const;
+  /// The analyze phase's findings and parallel-safety certificate
+  /// (empty/default when the phase ran in Off mode).
+  const analysis::AnalysisResult &analysisResult() const;
 
   /// Opaque shared state (defined in Steno.cpp).
   struct Impl;
