@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Gate the par_skew benchmark against its recorded baseline.
+
+Usage: check_par_skew.py BENCH_par_skew.json [baselines/par_skew.json]
+
+Enforces two thresholds at 8 workers:
+  - skew speedup (static seconds / steal seconds on the skewed input)
+    must not regress below min_skew_speedup_w8;
+  - uniform overhead (steal seconds / static seconds - 1 on the uniform
+    input) must not exceed max_uniform_regression_w8.
+
+Parallel speedup cannot manifest on a single hardware thread, so the
+check SKIPS (exit 0, loud message) when os.cpu_count() < 2 — it only
+enforces on multi-core runners like CI's bench-smoke job.
+"""
+
+import json
+import os
+import sys
+
+
+def die(msg):
+    print(f"check_par_skew: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    if len(sys.argv) < 2:
+        die(f"usage: {sys.argv[0]} BENCH_par_skew.json [baseline.json]")
+    bench_path = sys.argv[1]
+    baseline_path = (
+        sys.argv[2]
+        if len(sys.argv) > 2
+        else os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                          "baselines", "par_skew.json")
+    )
+
+    cpus = os.cpu_count() or 1
+    if cpus < 2:
+        print(f"check_par_skew: SKIP: only {cpus} hardware thread(s); "
+              "parallel speedup cannot manifest here. Thresholds are "
+              "enforced on multi-core CI runners.")
+        return
+
+    with open(bench_path) as f:
+        bench = json.load(f)
+    with open(baseline_path) as f:
+        baseline = json.load(f)
+
+    seconds = {r["name"]: r["seconds"] for r in bench["results"]}
+    for name in ("static_skew_w8", "steal_skew_w8", "static_uniform_w8",
+                 "steal_uniform_w8"):
+        if name not in seconds:
+            die(f"{bench_path} is missing result '{name}'")
+        if seconds[name] <= 0:
+            die(f"result '{name}' has non-positive seconds")
+
+    thresholds = baseline["thresholds"]
+    skew_speedup = seconds["static_skew_w8"] / seconds["steal_skew_w8"]
+    uniform_regression = (
+        seconds["steal_uniform_w8"] / seconds["static_uniform_w8"] - 1.0
+    )
+
+    print(f"check_par_skew: skew speedup (steal vs static, 8 workers): "
+          f"{skew_speedup:.2f}x (floor {thresholds['min_skew_speedup_w8']}x)")
+    print(f"check_par_skew: uniform overhead (steal vs static, 8 workers): "
+          f"{uniform_regression * 100:+.1f}% "
+          f"(ceiling +{thresholds['max_uniform_regression_w8'] * 100:.0f}%)")
+
+    if skew_speedup < thresholds["min_skew_speedup_w8"]:
+        die(f"work stealing no longer beats static partitioning under "
+            f"skew: {skew_speedup:.2f}x < "
+            f"{thresholds['min_skew_speedup_w8']}x")
+    if uniform_regression > thresholds["max_uniform_regression_w8"]:
+        die(f"morsel dispatch overhead regressed on uniform input: "
+            f"{uniform_regression * 100:+.1f}% > "
+            f"+{thresholds['max_uniform_regression_w8'] * 100:.0f}%")
+    print("check_par_skew: OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -2,11 +2,14 @@
 
 #include "dryad/Dist.h"
 #include "analysis/Analysis.h"
+#include "dryad/HomomorphicApply.h"
 #include "dryad/JobGraph.h"
 #include "expr/Eval.h"
 #include "obs/Metrics.h"
+#include "obs/Trace.h"
 #include "support/Error.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cstdio>
 #include <deque>
@@ -16,6 +19,20 @@ using namespace steno;
 using namespace steno::dryad;
 using expr::Value;
 
+Bindings dryad::bindingRange(const Bindings &B, unsigned Slot,
+                             std::size_t Begin, std::size_t Len) {
+  assert(Slot < B.sources().size() && "partition slot is not bound");
+  const expr::SourceBuffer &Src = B.sources()[Slot];
+  Bindings Part = B; // shares every other slot
+  if (Src.DoubleData)
+    Part.bindPointArray(Slot, Src.DoubleData + Begin * Src.Dim,
+                        static_cast<std::int64_t>(Len), Src.Dim);
+  else
+    Part.bindInt64Array(Slot, Src.Int64Data + Begin,
+                        static_cast<std::int64_t>(Len));
+  return Part;
+}
+
 std::vector<Bindings> dryad::partitionBindings(const Bindings &B,
                                                unsigned Parts,
                                                unsigned PartitionSlot) {
@@ -23,21 +40,15 @@ std::vector<Bindings> dryad::partitionBindings(const Bindings &B,
   assert(PartitionSlot < B.sources().size() &&
          "partition slot is not bound");
   const expr::SourceBuffer &Src = B.sources()[PartitionSlot];
-  std::int64_t Count = Src.Count;
-  std::int64_t Base = Count / Parts;
-  std::int64_t Extra = Count % Parts;
-  std::int64_t Pos = 0;
+  std::size_t Count = static_cast<std::size_t>(Src.Count);
+  std::size_t Base = Count / Parts;
+  std::size_t Extra = Count % Parts;
+  std::size_t Pos = 0;
   std::vector<Bindings> Out;
   Out.reserve(Parts);
   for (unsigned P = 0; P != Parts; ++P) {
-    std::int64_t Len = Base + (static_cast<std::int64_t>(P) < Extra);
-    Bindings Part = B; // shares every other slot
-    if (Src.DoubleData)
-      Part.bindPointArray(PartitionSlot, Src.DoubleData + Pos * Src.Dim,
-                          Len, Src.Dim);
-    else
-      Part.bindInt64Array(PartitionSlot, Src.Int64Data + Pos, Len);
-    Out.push_back(std::move(Part));
+    std::size_t Len = Base + (P < Extra ? 1 : 0);
+    Out.push_back(bindingRange(B, PartitionSlot, Pos, Len));
     Pos += Len;
   }
   return Out;
@@ -58,6 +69,7 @@ DistributedQuery DistributedQuery::compile(const query::Query &Q,
     Chain = quil::specializeGroupByAggregate(Chain);
 
   DistributedQuery DQ;
+  DQ.Morsels = Options.Morsels;
 
   // Semantic gate: the analyzer's parallel-safety certificate. The
   // planner below only checks chain *shape*; the certificate checks that
@@ -152,6 +164,64 @@ Combiner2 compileCombiner(const expr::Lambda &L) {
   };
 }
 
+/// True when the analyzer certified every combiner in the chain at least
+/// associative (Trusted counts: the user declared it associative and the
+/// analyzer flagged ST2006 rather than refuting it). Gates the pairwise
+/// combine tree; a left fold is the defensive fallback.
+bool certifiedAssociative(const analysis::SafetyCertificate &Cert) {
+  for (analysis::AggClass C : Cert.AggClasses)
+    if (C != analysis::AggClass::Trusted &&
+        C != analysis::AggClass::Associative &&
+        C != analysis::AggClass::AssociativeCommutative)
+      return false;
+  return true;
+}
+
+/// Pairwise combine tree over in-order partials: round k combines
+/// adjacent pairs (2i, 2i+1), so for an associative combiner the result
+/// equals the left fold while the join does log2(N) rounds instead of N-1
+/// serial applications. Rounds with enough pairs fan out on the pool —
+/// each parallel application gets a fresh environment (applyLambda), so
+/// interpreted combiners are safe to run concurrently.
+Value treeCombine(ThreadPool &Pool, std::vector<Value> Vals,
+                  const expr::Lambda &Combiner) {
+  static obs::Counter &Rounds = obs::counter("dryad.combine.tree_rounds");
+  static obs::Counter &ParallelRounds =
+      obs::counter("dryad.combine.tree_rounds_parallel");
+  assert(!Vals.empty());
+  Combiner2 Fast = compileCombiner(Combiner);
+  // Below this many pairs a round runs serially: task submission costs
+  // more than the combines themselves for scalar merges.
+  constexpr std::size_t MinParallelPairs = 8;
+  while (Vals.size() > 1) {
+    Rounds.inc();
+    std::size_t Pairs = Vals.size() / 2;
+    bool Odd = (Vals.size() & 1) != 0;
+    std::vector<Value> Next(Pairs + (Odd ? 1 : 0));
+    if (Pairs >= MinParallelPairs) {
+      ParallelRounds.inc();
+      std::vector<std::size_t> Idx(Pairs);
+      for (std::size_t I = 0; I != Pairs; ++I)
+        Idx[I] = I;
+      std::vector<Value> Combined = homomorphicApply(
+          Pool, Idx, [&Vals, &Combiner](const std::size_t &I) {
+            // apply() builds a fresh Env per call (thread-safe), unlike
+            // the shared-Env closure compileCombiner returns.
+            return apply(Combiner, {Vals[2 * I], Vals[2 * I + 1]});
+          });
+      for (std::size_t I = 0; I != Pairs; ++I)
+        Next[I] = std::move(Combined[I]);
+    } else {
+      for (std::size_t I = 0; I != Pairs; ++I)
+        Next[I] = Fast(Vals[2 * I], Vals[2 * I + 1]);
+    }
+    if (Odd)
+      Next.back() = std::move(Vals.back());
+    Vals = std::move(Next);
+  }
+  return std::move(Vals.front());
+}
+
 /// Re-homes every Vec payload (including inside pairs) into \p Arena so
 /// combined rows outlive the per-partition results.
 Value rehome(const Value &V, std::deque<std::vector<double>> &Arena) {
@@ -209,7 +279,13 @@ DistributedQuery::run(ThreadPool &Pool,
   Graph.run(Pool);
   assert(CombineRan && "combine vertex did not run");
 
-  // Stage 2: Agg* — merge the partial results.
+  return combinePartials(Pool, std::move(Partials));
+}
+
+QueryResult
+DistributedQuery::combinePartials(ThreadPool &Pool,
+                                  std::vector<QueryResult> Partials) const {
+  // Stage 2: Agg* — merge the partial results (in source order).
   switch (Plan.Kind) {
   case CombineKind::Concat: {
     // Rows may reference the per-partition arenas; re-home them into the
@@ -223,11 +299,24 @@ DistributedQuery::run(ThreadPool &Pool,
   }
 
   case CombineKind::Fold: {
-    // acc = combine(acc, partial_i); then the final result selector.
+    // Combine the partials, then the final result selector. With an
+    // associativity-certified combiner the partials merge pairwise as a
+    // tree (log-depth join); without certification — defensive, the
+    // parallel gate should already have refused — serialize left-to-
+    // right exactly as before.
     assert(!Partials.empty());
-    Value Acc = Partials.front().scalarValue();
-    for (std::size_t P = 1; P != Partials.size(); ++P)
-      Acc = apply(Plan.Combiner, {Acc, Partials[P].scalarValue()});
+    std::vector<Value> Vals;
+    Vals.reserve(Partials.size());
+    for (QueryResult &Part : Partials)
+      Vals.push_back(Part.scalarValue());
+    Value Acc;
+    if (certifiedAssociative(Cert)) {
+      Acc = treeCombine(Pool, std::move(Vals), Plan.Combiner);
+    } else {
+      Acc = std::move(Vals.front());
+      for (std::size_t P = 1; P != Vals.size(); ++P)
+        Acc = apply(Plan.Combiner, {Acc, Vals[P]});
+    }
     if (Plan.FinalResult.valid())
       Acc = apply(Plan.FinalResult, {Acc});
     auto Arena = std::make_shared<std::deque<std::vector<double>>>();
@@ -358,6 +447,49 @@ QueryResult DistributedQuery::runParallel(ThreadPool &Pool,
     SeqRuns.inc();
     return Vertex.run(B);
   }
-  return run(Pool,
-             partitionBindings(B, Pool.workerCount(), PartitionSlot));
+
+  static obs::Counter &MorselRuns = obs::counter("dryad.run.morsel");
+  MorselRuns.inc();
+  obs::Span Span("dryad.run.parallel");
+
+  assert(PartitionSlot < B.sources().size() &&
+         "partition slot is not bound");
+  const expr::SourceBuffer &Src = B.sources()[PartitionSlot];
+  std::size_t Count =
+      Src.Count > 0 ? static_cast<std::size_t>(Src.Count) : 0;
+
+  // Stage 1, morsel-driven: each morsel is a contiguous view-partition
+  // run through the shared vertex program; tagging with the morsel's
+  // source offset lets the combine stage see partials in source order,
+  // which keeps Concat/MergeSorted/MergeByKey semantics identical to
+  // static partitioning no matter how stealing interleaved.
+  using Tagged = std::pair<std::size_t, QueryResult>;
+  std::vector<std::vector<Tagged>> PerWorker(Pool.workerCount());
+  MorselStats Stats = morselFor(
+      Pool, Count, Morsels,
+      [this, &B, &PerWorker, PartitionSlot](std::size_t Begin,
+                                            std::size_t End, unsigned W) {
+        Bindings Part = bindingRange(B, PartitionSlot, Begin, End - Begin);
+        PerWorker[W].emplace_back(Begin, Vertex.run(Part));
+      });
+  Span.arg("morsels", static_cast<std::int64_t>(Stats.Morsels));
+  Span.arg("steals", static_cast<std::int64_t>(Stats.Steals));
+
+  std::vector<Tagged> All;
+  All.reserve(Stats.Morsels);
+  for (std::vector<Tagged> &Chunk : PerWorker)
+    for (Tagged &T : Chunk)
+      All.push_back(std::move(T));
+  std::sort(All.begin(), All.end(),
+            [](const Tagged &A, const Tagged &C) {
+              return A.first < C.first;
+            });
+  std::vector<QueryResult> Partials;
+  Partials.reserve(All.size() ? All.size() : 1);
+  for (Tagged &T : All)
+    Partials.push_back(std::move(T.second));
+  if (Partials.empty()) // empty source: one vertex over the empty view
+    Partials.push_back(Vertex.run(bindingRange(B, PartitionSlot, 0, 0)));
+
+  return combinePartials(Pool, std::move(Partials));
 }

@@ -13,6 +13,7 @@
 #ifndef STENO_DRYAD_DIST_H
 #define STENO_DRYAD_DIST_H
 
+#include "dryad/Morsel.h"
 #include "dryad/Plan.h"
 #include "dryad/ThreadPool.h"
 #include "query/Query.h"
@@ -33,6 +34,8 @@ struct DistOptions {
   steno::Backend Exec = steno::Backend::Native;
   /// Apply the §4.3 specialization before planning.
   bool Specialize = true;
+  /// Tuning for the morsel scheduler runParallel dispatches through.
+  MorselOptions Morsels;
   std::string Name = "dist_query";
 };
 
@@ -43,6 +46,13 @@ struct DistOptions {
 /// for strided sources). Every other slot is shared as-is.
 std::vector<Bindings> partitionBindings(const Bindings &B, unsigned Parts,
                                         unsigned PartitionSlot = 0);
+
+/// One view-partition: a copy of \p B whose source slot \p Slot points at
+/// elements [Begin, Begin+Len) of the original buffer (whole points for
+/// strided sources; no data copied). The unit the morsel scheduler hands
+/// a vertex program.
+Bindings bindingRange(const Bindings &B, unsigned Slot, std::size_t Begin,
+                      std::size_t Len);
 
 /// A query compiled for partition-parallel execution. Reusable across
 /// invocations with different partition bindings (so the one-off JIT cost
@@ -69,12 +79,17 @@ public:
   QueryResult run(ThreadPool &Pool,
                   const std::vector<Bindings> &PartitionBindings) const;
 
-  /// The multi-core PLINQ path of §6: view-partitions \p B's source slot
-  /// \p PartitionSlot across the pool's workers and runs the plan — one
-  /// indirect call per *partition*, like the HomomorphicApply operator,
-  /// instead of PLINQ's per-element iterator composition. For a
-  /// sequential-fallback query this runs the whole query unpartitioned on
-  /// the calling thread (same results, no fan-out).
+  /// The multi-core PLINQ path of §6, morsel-driven: dispatches \p B's
+  /// source slot \p PartitionSlot through the work-stealing scheduler
+  /// (dryad/Morsel.h) as dynamically sized contiguous view-partitions —
+  /// one indirect call per *morsel*, like the HomomorphicApply operator,
+  /// instead of PLINQ's per-element iterator composition, but load-
+  /// balanced under skew instead of barriering on the slowest static
+  /// chunk. Per-morsel partials are reassembled in source order before
+  /// the combine stage, so results match run() over static partitions
+  /// and the sequential reference. For a sequential-fallback query this
+  /// runs the whole query unpartitioned on the calling thread (same
+  /// results, no fan-out). Must be called from outside \p Pool's workers.
   QueryResult runParallel(ThreadPool &Pool, const Bindings &B,
                           unsigned PartitionSlot = 0) const;
 
@@ -97,9 +112,17 @@ public:
 private:
   DistributedQuery() = default;
 
+  /// The Agg* stage over in-order partials (shared by run() and
+  /// runParallel()). Fold-kind plans combine pairwise as a tree — keyed
+  /// off the analyzer's associativity certificate — instead of
+  /// serializing every partial through a single left fold at the join.
+  QueryResult combinePartials(ThreadPool &Pool,
+                              std::vector<QueryResult> Partials) const;
+
   ParallelPlan Plan;
   CompiledQuery Vertex;
   analysis::SafetyCertificate Cert;
+  MorselOptions Morsels;
   bool Sequential = false;
   std::string WhyNot;
 };

@@ -28,7 +28,10 @@ auto homomorphicApply(ThreadPool &Pool, const std::vector<In> &Parts,
   using Out = std::invoke_result_t<F, const In &>;
   std::vector<Out> Results(Parts.size());
   for (std::size_t I = 0; I != Parts.size(); ++I)
-    Pool.submit([&Results, &Parts, &Fn, I] { Results[I] = Fn(Parts[I]); });
+    if (!Pool.submit([&Results, &Parts, &Fn, I] {
+          Results[I] = Fn(Parts[I]);
+        }))
+      Results[I] = Fn(Parts[I]); // pool shutting down: degrade inline
   Pool.wait();
   return Results;
 }

@@ -43,7 +43,7 @@ void JobGraph::run(ThreadPool &Pool) {
   // The scheduler: when a vertex completes, decrement its dependents'
   // unmet-dependency counters and submit any that become ready.
   std::function<void(VertexId)> Schedule = [&](VertexId Id) {
-    Pool.submit([&, Id] {
+    auto Run = [&, Id] {
       {
         // Per-vertex span, named after the vertex so the trace shows
         // which partition/stage ran where (paper §6's vertex programs).
@@ -64,7 +64,9 @@ void JobGraph::run(ThreadPool &Pool) {
       }
       for (VertexId Ready : NowReady)
         Schedule(Ready);
-    });
+    };
+    if (!Pool.submit(Run))
+      Run(); // pool shutting down: finish the graph on this thread
   };
 
   std::vector<VertexId> Roots;

@@ -16,28 +16,39 @@ ThreadPool::ThreadPool(unsigned Workers)
     Threads.emplace_back([this] { workerLoop(); });
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { shutdown(); }
+
+void ThreadPool::shutdown() {
   {
     std::unique_lock<std::mutex> Lock(Mutex);
     ShuttingDown = true;
   }
   WorkReady.notify_all();
   for (std::thread &T : Threads)
-    T.join();
+    if (T.joinable())
+      T.join();
 }
 
-void ThreadPool::submit(std::function<void()> Task) {
+bool ThreadPool::submit(std::function<void()> Task) {
   static obs::Counter &Submitted = obs::counter("dryad.tasks.submitted");
+  static obs::Counter &Rejected =
+      obs::counter("dryad.tasks.rejected_shutdown");
   static obs::Gauge &QueueDepth = obs::gauge("dryad.queue.depth");
   {
     std::unique_lock<std::mutex> Lock(Mutex);
-    assert(!ShuttingDown && "submit after shutdown");
+    if (ShuttingDown) {
+      // Deterministic rejection: the task is never enqueued, so it can
+      // never race the worker join and be silently dropped mid-drain.
+      Rejected.inc();
+      return false;
+    }
     Queue.push_back(std::move(Task));
     ++Pending;
   }
   Submitted.inc();
   QueueDepth.add(1);
   WorkReady.notify_one();
+  return true;
 }
 
 void ThreadPool::wait() {

@@ -33,11 +33,21 @@ public:
 
   unsigned workerCount() const { return Workers; }
 
-  /// Enqueues \p Task for execution. Tasks must not throw.
-  void submit(std::function<void()> Task);
+  /// Enqueues \p Task for execution. Tasks must not throw. Returns false
+  /// — deterministically, without enqueuing — once shutdown() has begun;
+  /// a rejected task never runs, and the caller owns the fallback (run
+  /// it inline, or drop it). Before this contract, a submit racing the
+  /// destructor could enqueue a task after the last worker had already
+  /// exited, leaving it silently unexecuted and a later wait() hung.
+  bool submit(std::function<void()> Task);
 
   /// Blocks until every submitted task has finished.
   void wait();
+
+  /// Begins shutdown: every submit from this point on is rejected, the
+  /// workers drain the already-accepted queue and exit. Idempotent;
+  /// called by the destructor. Returns after all workers have joined.
+  void shutdown();
 
 private:
   void workerLoop();

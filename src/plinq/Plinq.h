@@ -12,39 +12,59 @@
 /// iterators to compose query operators, and therefore suffers from
 /// similar virtual call overheads to sequential LINQ."
 ///
-/// ParSeq<T> is exactly that: a Partitioner chunks the source across the
-/// worker pool, each worker evaluates a *lazy iterator chain* (the linq
-/// baseline) over its chunk, and aggregates combine per-partition
-/// partials. It parallelizes the work but keeps the two-virtual-calls-
-/// per-element-per-operator cost — which is why the modified DryadLINQ
-/// of §6 replaces it with HomomorphicApply over Steno-compiled bodies
-/// (see dryad/HomomorphicApply.h and bench/abl_plinq).
+/// ParSeq<T> keeps PLINQ's per-element cost model — each worker evaluates
+/// a *lazy iterator chain* (the linq baseline) — but its Partitioner is no
+/// longer static: work is dispatched as dynamically sized contiguous
+/// morsels through dryad::morselFor, so a skewed predicate or nested
+/// sub-query rebalances via work stealing instead of making the whole
+/// fan-out wait on the slowest static chunk. Aggregates fold per-worker
+/// partials (combined once at the join); toVector reassembles chunks by
+/// source offset, preserving AsOrdered semantics no matter how stealing
+/// interleaved.
+///
+/// Combiners are trusted associative and commutative, matching .NET
+/// PLINQ's Aggregate contract (a stolen morsel folds into the thief's
+/// accumulator, so worker partials cover non-adjacent ranges). The
+/// certificate-checked path — where the analyzer proves this instead of
+/// trusting it — is plinq::ParallelQuery (QueryPar.h).
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef STENO_PLINQ_PLINQ_H
 #define STENO_PLINQ_PLINQ_H
 
-#include "dryad/HomomorphicApply.h"
+#include "dryad/Morsel.h"
 #include "dryad/ThreadPool.h"
 #include "linq/Seq.h"
 #include "obs/Metrics.h"
 #include "obs/Trace.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <utility>
 #include <vector>
 
 namespace steno {
 namespace plinq {
 
-/// The Partitioner: chunks [Data, Data+Count) into near-equal contiguous
-/// ranges, one per worker.
+/// The static Partitioner of paper §6: chunks [Data, Data+Count) into
+/// near-equal contiguous ranges. Kept as the baseline the morsel
+/// scheduler is benchmarked against (bench/par_skew) and for callers
+/// that need explicit partitions. \p Parts is clamped to [1, max(1,
+/// Count)]: an empty or tiny input no longer produces degenerate empty
+/// partitions that pay fan-out overhead for no work.
 template <typename T>
 std::vector<linq::Seq<T>> partitionSpan(const T *Data, std::size_t Count,
                                         unsigned Parts) {
-  assert(Parts > 0 && "need at least one partition");
+  if (Parts < 1)
+    Parts = 1;
+  if (Count != 0 && static_cast<std::size_t>(Parts) > Count)
+    Parts = static_cast<unsigned>(Count);
+  if (Count == 0)
+    Parts = 1; // one empty partition, so aggregates still have a seed
   static obs::Counter &Partitions =
       obs::counter("plinq.partitions.created");
   Partitions.inc(Parts);
@@ -61,104 +81,151 @@ std::vector<linq::Seq<T>> partitionSpan(const T *Data, std::size_t Count,
   return Out;
 }
 
-/// ParallelEnumerable<T>: a set of per-partition lazy sequences plus the
-/// pool they evaluate on. Composable operators extend every partition's
-/// iterator chain; aggregates evaluate the chains in parallel and merge.
+/// ParallelEnumerable<T>: a source span plus the composed operator chain,
+/// evaluated lazily per morsel. Composable operators extend the chain;
+/// aggregates dispatch morsels onto the pool and merge per-worker
+/// partials.
 template <typename T> class ParSeq {
 public:
-  ParSeq(dryad::ThreadPool &Pool, std::vector<linq::Seq<T>> Partitions)
-      : Pool(&Pool), Partitions(std::move(Partitions)) {}
+  /// Builds the composed iterator chain over source elements
+  /// [Begin, End). Must be safe to call concurrently (the linq chain
+  /// factories are: they only wrap immutable shared state).
+  using ChainBuilder =
+      std::function<linq::Seq<T>(std::size_t Begin, std::size_t End)>;
 
-  /// AsParallel() over a borrowed buffer: one partition per pool worker.
+  ParSeq(dryad::ThreadPool &Pool, std::size_t Count, ChainBuilder Chain,
+         dryad::MorselOptions Opts = dryad::MorselOptions())
+      : Pool(&Pool), Count(Count), Chain(std::move(Chain)), Opts(Opts) {}
+
+  /// AsParallel() over a borrowed buffer.
   static ParSeq fromSpan(dryad::ThreadPool &Pool, const T *Data,
                          std::size_t Count) {
-    return ParSeq(Pool, partitionSpan(Data, Count, Pool.workerCount()));
+    return ParSeq(Pool, Count, [Data](std::size_t B, std::size_t E) {
+      return linq::fromSpan(Data + B, E - B);
+    });
   }
 
-  unsigned partitionCount() const {
-    return static_cast<unsigned>(Partitions.size());
+  /// Source element count (elements entering the chain, not leaving it).
+  std::size_t sourceCount() const { return Count; }
+
+  /// A copy with different scheduler tuning (tests force tiny morsels to
+  /// provoke stealing; benches widen the budget).
+  ParSeq withMorselOptions(dryad::MorselOptions NewOpts) const {
+    return ParSeq(*Pool, Count, Chain, NewOpts);
   }
 
   //===--------------------------------------------------------------===//
-  // Composable operators (homomorphic, so they lift partition-wise)
+  // Composable operators (homomorphic, so they lift morsel-wise)
   //===--------------------------------------------------------------===//
 
   template <typename F> auto select(F Fn) const {
     using U = std::invoke_result_t<F, T>;
-    std::vector<linq::Seq<U>> Out;
-    Out.reserve(Partitions.size());
-    for (const linq::Seq<T> &Part : Partitions)
-      Out.push_back(Part.select(Fn));
-    return ParSeq<U>(*Pool, std::move(Out));
+    return ParSeq<U>(
+        *Pool, Count,
+        [C = Chain, Fn](std::size_t B, std::size_t E) {
+          return C(B, E).select(Fn);
+        },
+        Opts);
   }
 
   template <typename F> ParSeq<T> where(F Pred) const {
-    std::vector<linq::Seq<T>> Out;
-    Out.reserve(Partitions.size());
-    for (const linq::Seq<T> &Part : Partitions)
-      Out.push_back(Part.where(Pred));
-    return ParSeq<T>(*Pool, std::move(Out));
+    return ParSeq<T>(
+        *Pool, Count,
+        [C = Chain, Pred](std::size_t B, std::size_t E) {
+          return C(B, E).where(Pred);
+        },
+        Opts);
   }
 
   template <typename F> auto selectMany(F Fn) const {
     using U = typename std::invoke_result_t<F, T>::value_type;
-    std::vector<linq::Seq<U>> Out;
-    Out.reserve(Partitions.size());
-    for (const linq::Seq<T> &Part : Partitions)
-      Out.push_back(Part.selectMany(Fn));
-    return ParSeq<U>(*Pool, std::move(Out));
+    return ParSeq<U>(
+        *Pool, Count,
+        [C = Chain, Fn](std::size_t B, std::size_t E) {
+          return C(B, E).selectMany(Fn);
+        },
+        Opts);
   }
 
   //===--------------------------------------------------------------===//
-  // Aggregates (parallel partials + combine, the Figure 12 shape)
+  // Aggregates (morsel partials + one combine at the join, Figure 12)
   //===--------------------------------------------------------------===//
 
   T sum() const {
-    FanoutObs Obs("plinq.sum", partitionCount());
-    std::vector<T> Partials = dryad::homomorphicApply(
-        *Pool, Partitions,
-        [](const linq::Seq<T> &Part) { return Part.sum(); });
+    FanoutObs Obs("plinq.sum", *Pool);
+    std::vector<T> Partials(Pool->workerCount(), T{});
+    dryad::morselFor(*Pool, Count, Opts,
+                     [this, &Partials](std::size_t B, std::size_t E,
+                                       unsigned W) {
+                       Partials[W] = Partials[W] + Chain(B, E).sum();
+                     });
     T Total{};
-    for (const T &V : Partials)
+    for (T &V : Partials)
       Total = Total + V;
     return Total;
   }
 
   std::int64_t count() const {
-    FanoutObs Obs("plinq.count", partitionCount());
-    std::vector<std::int64_t> Partials = dryad::homomorphicApply(
-        *Pool, Partitions,
-        [](const linq::Seq<T> &Part) { return Part.count(); });
+    FanoutObs Obs("plinq.count", *Pool);
+    std::vector<std::int64_t> Partials(Pool->workerCount(), 0);
+    dryad::morselFor(*Pool, Count, Opts,
+                     [this, &Partials](std::size_t B, std::size_t E,
+                                       unsigned W) {
+                       Partials[W] += Chain(B, E).count();
+                     });
     std::int64_t Total = 0;
     for (std::int64_t V : Partials)
       Total += V;
     return Total;
   }
 
-  /// Aggregate with an explicit associative combiner (the distributed-
-  /// aggregation interface of the paper's [33]).
+  /// Aggregate with an explicit combiner (the distributed-aggregation
+  /// interface of the paper's [33]). \p Combine must be associative and
+  /// commutative, and \p Seed its identity — .NET PLINQ's contract —
+  /// because stealing folds non-adjacent morsels into one worker
+  /// accumulator.
   template <typename U, typename FStep, typename FCombine>
   U aggregate(U Seed, FStep Step, FCombine Combine) const {
-    FanoutObs Obs("plinq.aggregate", partitionCount());
-    std::vector<U> Partials = dryad::homomorphicApply(
-        *Pool, Partitions, [&Seed, &Step](const linq::Seq<T> &Part) {
-          return Part.aggregate(Seed, Step);
-        });
+    FanoutObs Obs("plinq.aggregate", *Pool);
+    std::vector<U> Partials(Pool->workerCount(), Seed);
+    dryad::morselFor(*Pool, Count, Opts,
+                     [this, &Partials, &Step](std::size_t B, std::size_t E,
+                                              unsigned W) {
+                       Partials[W] =
+                           Chain(B, E).aggregate(std::move(Partials[W]),
+                                                 Step);
+                     });
     U Total = std::move(Seed);
     for (U &V : Partials)
       Total = Combine(std::move(Total), std::move(V));
     return Total;
   }
 
-  /// Materializes in partition order (PLINQ's AsOrdered semantics).
+  /// Materializes in source order (PLINQ's AsOrdered semantics): every
+  /// morsel's output chunk is tagged with its source offset and the
+  /// chunks are reassembled ascending, so the result is identical to the
+  /// sequential chain regardless of stealing.
   std::vector<T> toVector() const {
-    FanoutObs Obs("plinq.toVector", partitionCount());
-    std::vector<std::vector<T>> Chunks = dryad::homomorphicApply(
-        *Pool, Partitions,
-        [](const linq::Seq<T> &Part) { return Part.toVector(); });
+    FanoutObs Obs("plinq.toVector", *Pool);
+    using Tagged = std::pair<std::size_t, std::vector<T>>;
+    std::vector<std::vector<Tagged>> PerWorker(Pool->workerCount());
+    dryad::morselFor(*Pool, Count, Opts,
+                     [this, &PerWorker](std::size_t B, std::size_t E,
+                                        unsigned W) {
+                       PerWorker[W].emplace_back(B,
+                                                 Chain(B, E).toVector());
+                     });
+    std::vector<Tagged> All;
+    for (std::vector<Tagged> &Chunks : PerWorker)
+      for (Tagged &C : Chunks)
+        All.push_back(std::move(C));
+    std::sort(All.begin(), All.end(),
+              [](const Tagged &A, const Tagged &B) {
+                return A.first < B.first;
+              });
     std::vector<T> Out;
-    for (std::vector<T> &Chunk : Chunks)
-      for (T &V : Chunk)
+    for (Tagged &C : All)
+      for (T &V : C.second)
         Out.push_back(std::move(V));
     return Out;
   }
@@ -167,15 +234,18 @@ private:
   /// One span + fan-out counter per parallel aggregate evaluation.
   struct FanoutObs {
     obs::Span Span;
-    FanoutObs(const char *Name, unsigned Parts) : Span(Name) {
+    FanoutObs(const char *Name, const dryad::ThreadPool &Pool)
+        : Span(Name) {
       static obs::Counter &Fanouts = obs::counter("plinq.fanout.count");
       Fanouts.inc();
-      Span.arg("partitions", Parts);
+      Span.arg("workers", Pool.workerCount());
     }
   };
 
   dryad::ThreadPool *Pool;
-  std::vector<linq::Seq<T>> Partitions;
+  std::size_t Count;
+  ChainBuilder Chain;
+  dryad::MorselOptions Opts;
 };
 
 /// Convenience: xs.AsParallel() over a vector.

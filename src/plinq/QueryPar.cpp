@@ -3,6 +3,7 @@
 #include "plinq/QueryPar.h"
 #include "obs/Metrics.h"
 #include "obs/Trace.h"
+#include "support/Timing.h"
 
 using namespace steno;
 using namespace steno::plinq;
@@ -17,10 +18,19 @@ QueryResult ParallelQuery::run(dryad::ThreadPool &Pool, const Bindings &B,
   static obs::Counter &ParRuns = obs::counter("plinq.query.parallel_runs");
   static obs::Counter &SeqRuns =
       obs::counter("plinq.query.sequential_runs");
+  // ONE latency histogram for both paths: a sequential-fallback run lands
+  // in the same distribution as a fanned-out run, so BENCH comparisons
+  // over plinq.run.micros see the true mix instead of a parallel-only
+  // sample biased toward the happy path.
+  static obs::Histogram &RunMicros = obs::histogram(
+      "plinq.run.micros", {10, 100, 1e3, 1e4, 1e5, 1e6, 1e7});
   obs::Span S("plinq.query.run");
   S.arg("certified", DQ.parallel());
   (DQ.parallel() ? ParRuns : SeqRuns).inc();
-  return DQ.runParallel(Pool, B, PartitionSlot);
+  support::WallTimer Timer;
+  QueryResult R = DQ.runParallel(Pool, B, PartitionSlot);
+  RunMicros.observe(Timer.seconds() * 1e6);
+  return R;
 }
 
 QueryResult plinq::runParallelQuery(dryad::ThreadPool &Pool,

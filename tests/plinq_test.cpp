@@ -33,12 +33,29 @@ TEST(PlinqPartitioner, ChunksCoverEverything) {
   EXPECT_DOUBLE_EQ(Parts[1].first(), 3.0);
 }
 
-TEST(PlinqPartitioner, MorePartsThanElements) {
+TEST(PlinqPartitioner, MorePartsThanElementsClampsToCount) {
+  // Regression: requesting 4 partitions of a 1-element span used to
+  // produce 3 degenerate empty partitions that each paid fan-out cost.
   std::vector<double> Xs = {1.0};
   std::vector<linq::Seq<double>> Parts = partitionSpan(Xs.data(), 1, 4);
-  ASSERT_EQ(Parts.size(), 4u);
+  ASSERT_EQ(Parts.size(), 1u);
   EXPECT_EQ(Parts[0].count(), 1);
-  EXPECT_EQ(Parts[3].count(), 0);
+  EXPECT_DOUBLE_EQ(Parts[0].first(), 1.0);
+}
+
+TEST(PlinqPartitioner, EmptySpanYieldsOneEmptyPartition) {
+  // Count == 0: exactly one empty partition (aggregates still get a
+  // seed), never zero and never Parts empties.
+  std::vector<linq::Seq<double>> Parts = partitionSpan<double>(nullptr, 0, 8);
+  ASSERT_EQ(Parts.size(), 1u);
+  EXPECT_EQ(Parts[0].count(), 0);
+}
+
+TEST(PlinqPartitioner, ZeroPartsClampsToOne) {
+  std::vector<double> Xs = {1.0, 2.0, 3.0};
+  std::vector<linq::Seq<double>> Parts = partitionSpan(Xs.data(), 3, 0);
+  ASSERT_EQ(Parts.size(), 1u);
+  EXPECT_EQ(Parts[0].count(), 3);
 }
 
 TEST(PlinqAgg, SumMatchesSequential) {
@@ -100,10 +117,10 @@ TEST(PlinqOrder, ToVectorPreservesPartitionOrder) {
     EXPECT_DOUBLE_EQ(Out[I], 2.0 * static_cast<double>(I));
 }
 
-TEST(PlinqNested, SelectManyAcrossPartitions) {
+TEST(PlinqNested, SelectManyAcrossMorsels) {
   std::vector<int64_t> Xs = {1, 2, 3, 4, 5};
   dryad::ThreadPool Pool(2);
-  ParSeq<int64_t> P(Pool, partitionSpan(Xs.data(), Xs.size(), 2));
+  ParSeq<int64_t> P = ParSeq<int64_t>::fromSpan(Pool, Xs.data(), Xs.size());
   int64_t Total =
       P.selectMany([](int64_t X) { return linq::repeat(X, X); }).sum();
   // sum of x*x for x in 1..5 = 55.
