@@ -9,8 +9,11 @@ Enforces two thresholds at 8 workers:
   - uniform overhead (steal seconds / static seconds - 1 on the uniform
     input) must not exceed max_uniform_regression_w8.
 
-Parallel speedup cannot manifest on a single hardware thread, so the
-check SKIPS (exit 0, loud message) when os.cpu_count() < 2 — it only
+The thresholds are measured at 8 workers and need ~4+ hardware threads
+to manifest: on a 2-3 core runner the 8 static chunks already timeshare
+(the OS scheduler implicitly rebalances them), so stealing shows no
+skew win there and the gate would fail spuriously. The check therefore
+SKIPS (exit 0, loud message) when os.cpu_count() < 4 — it only
 enforces on multi-core runners like CI's bench-smoke job.
 """
 
@@ -36,10 +39,12 @@ def main():
     )
 
     cpus = os.cpu_count() or 1
-    if cpus < 2:
+    if cpus < 4:
         print(f"check_par_skew: SKIP: only {cpus} hardware thread(s); "
-              "parallel speedup cannot manifest here. Thresholds are "
-              "enforced on multi-core CI runners.")
+              "the 8-worker skew-speedup floor needs ~4+ cores (fewer "
+              "cores timeshare the static chunks, implicitly "
+              "rebalancing). Thresholds are enforced on multi-core CI "
+              "runners.")
         return
 
     with open(bench_path) as f:

@@ -24,12 +24,29 @@ Bindings dryad::bindingRange(const Bindings &B, unsigned Slot,
   assert(Slot < B.sources().size() && "partition slot is not bound");
   const expr::SourceBuffer &Src = B.sources()[Slot];
   Bindings Part = B; // shares every other slot
-  if (Src.DoubleData)
-    Part.bindPointArray(Slot, Src.DoubleData + Begin * Src.Dim,
-                        static_cast<std::int64_t>(Len), Src.Dim);
-  else
-    Part.bindInt64Array(Slot, Src.Int64Data + Begin,
+  // Branch on the declared type, never on pointer nullness: an empty
+  // source is legally bound with a null data pointer (e.g.
+  // bindDoubleArray(0, nullptr, 0)) and must keep its type when rebound.
+  // Null buffers also forbid pointer arithmetic, hence the Data guards.
+  switch (Src.Kind) {
+  case expr::SourceBufKind::Double:
+    Part.bindDoubleArray(Slot,
+                         Src.DoubleData ? Src.DoubleData + Begin : nullptr,
+                         static_cast<std::int64_t>(Len));
+    break;
+  case expr::SourceBufKind::Int64:
+    Part.bindInt64Array(Slot,
+                        Src.Int64Data ? Src.Int64Data + Begin : nullptr,
                         static_cast<std::int64_t>(Len));
+    break;
+  case expr::SourceBufKind::Point:
+    Part.bindPointArray(
+        Slot, Src.DoubleData ? Src.DoubleData + Begin * Src.Dim : nullptr,
+        static_cast<std::int64_t>(Len), Src.Dim);
+    break;
+  case expr::SourceBufKind::Unbound:
+    stenoUnreachable("partition slot bound without a source kind");
+  }
   return Part;
 }
 
@@ -488,8 +505,8 @@ QueryResult DistributedQuery::runParallel(ThreadPool &Pool,
   Partials.reserve(All.size() ? All.size() : 1);
   for (Tagged &T : All)
     Partials.push_back(std::move(T.second));
-  if (Partials.empty()) // empty source: one vertex over the empty view
-    Partials.push_back(Vertex.run(bindingRange(B, PartitionSlot, 0, 0)));
+  if (Partials.empty()) // empty source: one vertex over the original
+    Partials.push_back(Vertex.run(B)); // bindings (already an empty view)
 
   return combinePartials(Pool, std::move(Partials));
 }

@@ -8,6 +8,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <thread>
 
 using namespace steno;
@@ -82,6 +83,7 @@ void drive(SchedulerState &S, unsigned W) {
   support::SplitMix64 Rng(0x517cc1b727220a95ULL * (W + 1));
   std::uint64_t MyMorsels = 0, MySteals = 0, MyFailed = 0, MySplits = 0;
   double BusyUs = 0, IdleUs = 0;
+  unsigned FailedRounds = 0;
 
   // Processes one owned range: keep the deque stocked for thieves by
   // pushing far halves while the range is big, then run one morsel and
@@ -128,6 +130,7 @@ void drive(SchedulerState &S, unsigned W) {
   while (S.Remaining.load(std::memory_order_acquire) != 0) {
     std::uint64_t Packed;
     if (S.Deques[W].pop(Packed)) {
+      FailedRounds = 0;
       processRange(Packed);
       continue;
     }
@@ -140,15 +143,29 @@ void drive(SchedulerState &S, unsigned W) {
         Got = true;
     }
     if (Got) {
+      FailedRounds = 0;
       ++MySteals;
       processRange(Packed);
       continue;
     }
     ++MyFailed;
     // Nothing visible to steal but elements remain (another worker holds
-    // the tail of an in-flight range): yield and re-check.
+    // the tail of an in-flight range — e.g. a long morsel body or a
+    // deque-full remainder being chewed inline). Spinning on yield()
+    // would burn a full core for the whole window, so back off
+    // exponentially: yield for the first few rounds (new work usually
+    // appears within microseconds), then sleep with a doubling interval
+    // capped at 1ms so wake-up latency stays negligible next to the
+    // per-morsel budget.
     support::WallTimer T;
-    std::this_thread::yield();
+    ++FailedRounds;
+    if (FailedRounds <= 4) {
+      std::this_thread::yield();
+    } else {
+      unsigned Shift = std::min(FailedRounds - 5, 5u); // 32us..1ms
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(32u << Shift));
+    }
     IdleUs += T.seconds() * 1e6;
   }
 

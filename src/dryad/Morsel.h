@@ -27,7 +27,10 @@
 ///    morsels (low dispatch overhead) and expensive per-element work gets
 ///    small ones (fine-grained balancing);
 ///  - an idle worker steals from random victims until the global
-///    remaining-element count reaches zero.
+///    remaining-element count reaches zero, backing off exponentially
+///    (yield, then capped sleeps) when repeated steal rounds find
+///    nothing, so a long in-flight morsel elsewhere does not leave the
+///    rest of the pool spinning at 100%.
 ///
 /// Because every morsel is a contiguous [Begin, End) range, order-
 /// sensitive consumers (AsOrdered toVector, Concat/MergeSorted combines)
@@ -43,6 +46,7 @@
 #include "dryad/ThreadPool.h"
 
 #include <atomic>
+#include <cassert>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
@@ -63,9 +67,13 @@ namespace dryad {
 /// ThreadSanitizer — the scheduler stress test runs TSan-clean in CI.
 class WorkStealDeque {
 public:
-  /// \p Capacity must be a power of two.
+  /// \p Capacity must be a power of two (Mask = Capacity - 1 relies on
+  /// it; anything else silently corrupts cell indexing).
   explicit WorkStealDeque(std::size_t Capacity = 256)
-      : Mask(Capacity - 1), Cells(Capacity) {}
+      : Mask(Capacity - 1), Cells(Capacity) {
+    assert(Capacity != 0 && (Capacity & (Capacity - 1)) == 0 &&
+           "deque capacity must be a power of two");
+  }
 
   WorkStealDeque(WorkStealDeque &&Other) noexcept
       : Mask(Other.Mask), Cells(Other.Cells.size()),

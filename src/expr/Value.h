@@ -44,6 +44,12 @@ struct VecView {
   }
 };
 
+/// Declared element type of a bound source buffer. Recorded explicitly so
+/// consumers (e.g. dryad's partition re-binding) never have to infer the
+/// type from pointer nullness — an empty source is legally bound with a
+/// null data pointer and zero count.
+enum class SourceBufKind : std::uint8_t { Unbound, Double, Int64, Point };
+
 /// A bound source buffer: either a flat double array (optionally viewed as
 /// Count points of Dim doubles each) or an int64 array. The query pipeline
 /// binds one of these per source slot at invocation time (paper §3.3's
@@ -55,6 +61,9 @@ struct SourceBuffer {
   std::int64_t Count = 0;
   /// Doubles per element for point sources; 1 for scalar sources.
   std::int64_t Dim = 1;
+  /// How this slot was bound (bindDoubleArray / bindInt64Array /
+  /// bindPointArray).
+  SourceBufKind Kind = SourceBufKind::Unbound;
 };
 
 /// A dynamically typed value.

@@ -309,7 +309,8 @@ private:
     switch (Src.Kind) {
     case query::SourceKind::DoubleArray: {
       const expr::SourceBuffer &Buf = sourceAt(Src.Slot);
-      assert(Buf.DoubleData && "double source not bound to doubles");
+      assert((Buf.DoubleData || Buf.Count == 0) &&
+             "double source not bound to doubles");
       for (std::int64_t I = 0; I != Buf.Count; ++I) {
         Locals[L.ElemVar] = Value(Buf.DoubleData[I]);
         if (execList(S.Body) == Flow::Break)
@@ -319,7 +320,8 @@ private:
     }
     case query::SourceKind::Int64Array: {
       const expr::SourceBuffer &Buf = sourceAt(Src.Slot);
-      assert(Buf.Int64Data && "int64 source not bound to int64s");
+      assert((Buf.Int64Data || Buf.Count == 0) &&
+             "int64 source not bound to int64s");
       for (std::int64_t I = 0; I != Buf.Count; ++I) {
         Locals[L.ElemVar] = Value(Buf.Int64Data[I]);
         if (execList(S.Body) == Flow::Break)
@@ -329,7 +331,8 @@ private:
     }
     case query::SourceKind::PointArray: {
       const expr::SourceBuffer &Buf = sourceAt(Src.Slot);
-      assert(Buf.DoubleData && "point source not bound to doubles");
+      assert((Buf.DoubleData || Buf.Count == 0) &&
+             "point source not bound to doubles");
       for (std::int64_t I = 0; I != Buf.Count; ++I) {
         Locals[L.ElemVar] =
             Value(VecView{Buf.DoubleData + I * Buf.Dim, Buf.Dim});

@@ -28,6 +28,7 @@ public:
     expr::SourceBuffer Buf;
     Buf.DoubleData = Data;
     Buf.Count = Count;
+    Buf.Kind = expr::SourceBufKind::Double;
     slotRef(Slot) = Buf;
     return *this;
   }
@@ -38,6 +39,7 @@ public:
     expr::SourceBuffer Buf;
     Buf.Int64Data = Data;
     Buf.Count = Count;
+    Buf.Kind = expr::SourceBufKind::Int64;
     slotRef(Slot) = Buf;
     return *this;
   }
@@ -50,6 +52,7 @@ public:
     Buf.DoubleData = Data;
     Buf.Count = Count;
     Buf.Dim = Dim;
+    Buf.Kind = expr::SourceBufKind::Point;
     slotRef(Slot) = Buf;
     return *this;
   }

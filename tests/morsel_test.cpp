@@ -230,9 +230,10 @@ TEST(MorselFor, StealingRebalancesSkewedWork) {
       });
   for (std::size_t I = 0; I != N; ++I)
     ASSERT_EQ(Hits[I].load(), 1) << "element " << I;
-  if (Pool.workerCount() > 1)
+  if (Pool.workerCount() > 1) {
     EXPECT_GT(S.Steals, 0u)
         << "skewed shard 0 must shed work to idle workers";
+  }
 }
 
 TEST(MorselFor, HugeCountWindows) {
