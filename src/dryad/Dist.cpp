@@ -106,6 +106,7 @@ DistributedQuery DistributedQuery::compile(const query::Query &Q,
   VertexOptions.Exec = Options.Exec;
   VertexOptions.Name = Options.Name + "_vertex";
   VertexOptions.SpecializeGroupByAggregate = false; // already applied
+  VertexOptions.Analyze = Options.Analyze;
 
   if (!Plan) {
     // Sequential fallback: compile the whole query as one vertex and
@@ -113,10 +114,11 @@ DistributedQuery DistributedQuery::compile(const query::Query &Q,
     // safety"): queries are never rejected for being unparallelizable,
     // they just lose the speedup.
     Fallbacks.inc();
-    std::fprintf(stderr,
-                 "steno: query '%s' falls back to sequential execution: "
-                 "%s\n",
-                 Options.Name.c_str(), WhyNot.c_str());
+    if (Options.WarnSequentialFallback)
+      std::fprintf(stderr,
+                   "steno: query '%s' falls back to sequential execution: "
+                   "%s\n",
+                   Options.Name.c_str(), WhyNot.c_str());
     DQ.Sequential = true;
     DQ.WhyNot = std::move(WhyNot);
     DQ.Vertex = compileChain(Chain, VertexOptions);

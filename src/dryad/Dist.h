@@ -34,8 +34,17 @@ struct DistOptions {
   steno::Backend Exec = steno::Backend::Native;
   /// Apply the §4.3 specialization before planning.
   bool Specialize = true;
+  /// Analyze-phase enforcement for the vertex compile. The parallel-
+  /// safety certificate is always computed regardless (it gates fan-out);
+  /// this only controls diagnostics reporting/rejection in compileChain.
+  analysis::Mode Analyze = analysis::modeFromEnv();
   /// Tuning for the morsel scheduler runParallel dispatches through.
   MorselOptions Morsels;
+  /// Print the one-shot stderr warning when a query compiles into the
+  /// sequential fallback. The differential fuzzer compiles thousands of
+  /// deliberately-uncertifiable queries and turns this off; everything
+  /// else should leave it on (the fallback is a surprise worth a line).
+  bool WarnSequentialFallback = true;
   std::string Name = "dist_query";
 };
 

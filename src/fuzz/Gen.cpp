@@ -1,0 +1,429 @@
+//===- fuzz/Gen.cpp - Seeded random query-spec generator -------*- C++ -*-===//
+
+#include "fuzz/Gen.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace steno;
+using namespace steno::fuzz;
+
+namespace {
+
+/// Int64 element magnitudes are kept below this so that any fold the
+/// generator can emit (sums over at most ~4k flattened elements) stays
+/// far from the int64 overflow edge.
+constexpr double IntMagLimit = 1.0e6;
+/// Doubles cannot overflow into UB, but runaway magnitudes turn relative
+/// comparison into noise; keep them bounded too.
+constexpr double DoubleMagLimit = 1.0e9;
+/// Flattened element-count budget across SelectMany nesting.
+constexpr std::uint64_t CountLimit = 4096;
+
+struct GenCtx {
+  support::SplitMix64 &Rng;
+  const GenOptions &Opts;
+  QuerySpec Spec;
+  ElemTy Cur;
+  double Mag;            ///< Static bound on |element|.
+  std::uint64_t CountBound; ///< Static bound on pipeline length.
+
+  GenCtx(support::SplitMix64 &Rng, const GenOptions &Opts)
+      : Rng(Rng), Opts(Opts) {}
+
+  bool chance(unsigned Pct) { return Rng.nextBelow(100) < Pct; }
+  std::int64_t pickInt(std::int64_t Lo, std::int64_t Hi) {
+    return Lo + static_cast<std::int64_t>(
+                    Rng.nextBelow(static_cast<std::uint64_t>(Hi - Lo + 1)));
+  }
+
+  double magLimit() const {
+    return Cur == ElemTy::Int64 ? IntMagLimit : DoubleMagLimit;
+  }
+
+  static double sourceMag(const SourceSpec &S) {
+    return S.Ty == ElemTy::Double ? 100.0 : 50.0;
+  }
+
+  SourceSpec makeSource(unsigned Slot, std::uint32_t MaxCount) {
+    SourceSpec S;
+    S.Slot = Slot;
+    S.Ty = chance(50) ? ElemTy::Double : ElemTy::Int64;
+    // Occasionally empty or single-element: the edge cases every backend
+    // must agree on (seed vs. empty partition vs. empty morsel).
+    std::uint64_t Roll = Rng.nextBelow(100);
+    if (Roll < 6)
+      S.Count = 0;
+    else if (Roll < 12)
+      S.Count = 1;
+    else if (Roll < 30)
+      S.Count = static_cast<std::uint32_t>(2 + Rng.nextBelow(7));
+    else
+      S.Count = static_cast<std::uint32_t>(
+          1 + Rng.nextBelow(MaxCount > 1 ? MaxCount : 1));
+    S.Data = static_cast<DataClass>(Rng.nextBelow(4));
+    S.Seed = Rng.next() | 1;
+    return S;
+  }
+
+  /// Reuses or declares a nested (non-zero slot) source. Returns 0 when
+  /// the source budget is exhausted.
+  unsigned nestedSlot() {
+    if (Spec.Sources.size() > 1 && chance(50))
+      return Spec.Sources[1 + Rng.nextBelow(Spec.Sources.size() - 1)].Slot;
+    if (Spec.Sources.size() >= Opts.MaxSources)
+      return Spec.Sources.size() > 1 ? Spec.Sources[1].Slot : 0;
+    SourceSpec S =
+        makeSource(static_cast<unsigned>(Spec.Sources.size()),
+                   Opts.MaxNestedCount);
+    Spec.Sources.push_back(S);
+    return S.Slot;
+  }
+
+  const SourceSpec &sourceBySlot(unsigned Slot) const {
+    for (const SourceSpec &S : Spec.Sources)
+      if (S.Slot == Slot)
+        return S;
+    return Spec.Sources[0];
+  }
+
+  /// A threshold constant in the scale of the current elements, so
+  /// predicates are neither always-true nor always-false in practice.
+  double threshold() {
+    double Span = std::max(1.0, Mag);
+    double V = Rng.nextDouble(-Span, Span);
+    return Cur == ElemTy::Int64 ? std::floor(V) : V;
+  }
+
+  //===----------------------------------------------------------------===//
+  // Op drawing (each returns false when the template is not admissible
+  // in the current state; the caller re-rolls).
+  //===----------------------------------------------------------------===//
+
+  bool drawSelect(OpSpec &Op) {
+    Op.K = OpK::Select;
+    switch (Rng.nextBelow(9)) {
+    case 0:
+      Op.T = TransTmpl::Id;
+      return true;
+    case 1: {
+      Op.T = TransTmpl::AddC;
+      Op.DArg = Cur == ElemTy::Int64
+                    ? static_cast<double>(pickInt(-5, 5))
+                    : Rng.nextDouble(-10.0, 10.0);
+      if (Mag + std::abs(Op.DArg) > magLimit())
+        return false;
+      Mag += std::abs(Op.DArg);
+      return true;
+    }
+    case 2: {
+      Op.T = TransTmpl::MulC;
+      static const double IntC[] = {2.0, 3.0, -2.0};
+      static const double DblC[] = {2.0, 3.0, -2.0, 0.5, -0.25};
+      Op.DArg = Cur == ElemTy::Int64 ? IntC[Rng.nextBelow(3)]
+                                     : DblC[Rng.nextBelow(5)];
+      if (Mag * std::abs(Op.DArg) > magLimit())
+        return false;
+      Mag *= std::abs(Op.DArg);
+      return true;
+    }
+    case 3:
+      Op.T = TransTmpl::Square;
+      if (Mag * Mag > magLimit())
+        return false;
+      Mag *= Mag;
+      return true;
+    case 4:
+      if (Cur != ElemTy::Double)
+        return false;
+      Op.T = TransTmpl::SqrtAbs;
+      Mag = std::max(1.0, std::sqrt(Mag));
+      return true;
+    case 5:
+      Op.T = TransTmpl::Negate;
+      return true;
+    case 6: {
+      Op.T = TransTmpl::CapScale;
+      double CapMag;
+      if (Cur == ElemTy::Double) {
+        if (!Spec.HasCaptureD)
+          return false;
+        CapMag = std::abs(Spec.CaptureD);
+      } else {
+        if (!Spec.HasCaptureI)
+          return false;
+        CapMag = static_cast<double>(std::abs(Spec.CaptureI));
+      }
+      if (Mag * std::max(1.0, CapMag) > magLimit())
+        return false;
+      Mag *= std::max(1.0, CapMag);
+      return true;
+    }
+    case 7:
+      if (Cur != ElemTy::Double || Mag > IntMagLimit)
+        return false;
+      Op.T = TransTmpl::ToInt64;
+      Cur = ElemTy::Int64;
+      return true;
+    case 8:
+      if (Cur != ElemTy::Int64)
+        return false;
+      Op.T = TransTmpl::ToDouble;
+      Cur = ElemTy::Double;
+      return true;
+    }
+    return false;
+  }
+
+  bool drawPred(OpSpec &Op, OpK K) {
+    Op.K = K;
+    switch (Rng.nextBelow(6)) {
+    case 0:
+      Op.P = PredTmpl::True;
+      return true;
+    case 1:
+      Op.P = PredTmpl::False;
+      return true;
+    case 2:
+      Op.P = PredTmpl::GtC;
+      Op.DArg = threshold();
+      return true;
+    case 3:
+      Op.P = PredTmpl::LtC;
+      Op.DArg = threshold();
+      return true;
+    case 4:
+      Op.P = PredTmpl::AbsGtC;
+      Op.DArg = std::abs(threshold());
+      return true;
+    case 5:
+      if (Cur != ElemTy::Int64)
+        return false;
+      Op.P = PredTmpl::EvenInt;
+      return true;
+    }
+    return false;
+  }
+
+  bool drawKey(OpSpec &Op) {
+    switch (Rng.nextBelow(4)) {
+    case 0:
+      Op.Key = KeyTmpl::Id;
+      return true;
+    case 1:
+      Op.Key = KeyTmpl::Abs;
+      return true;
+    case 2:
+      Op.Key = KeyTmpl::Negate;
+      return true;
+    case 3:
+      Op.Key = KeyTmpl::Bucket;
+      Op.DArg = Cur == ElemTy::Double
+                    ? (chance(50) ? 7.5 : 3.0)
+                    : static_cast<double>(pickInt(2, 7));
+      return true;
+    }
+    return false;
+  }
+
+  bool drawNested(OpSpec &Op, OpK K) {
+    Op.K = K;
+    if (K == OpK::SelectManyRange) {
+      if (Cur != ElemTy::Int64)
+        return false;
+      Op.N = static_cast<NestedTmpl>(Rng.nextBelow(2));
+      Op.IArg = pickInt(1, 8);
+      std::uint64_t NewBound =
+          CountBound * static_cast<std::uint64_t>(Op.IArg);
+      double NewMag = Op.N == NestedTmpl::AddXY
+                          ? Mag + static_cast<double>(Op.IArg)
+                          : Mag * static_cast<double>(Op.IArg);
+      if (NewBound > CountLimit || NewMag > IntMagLimit)
+        return false;
+      CountBound = NewBound;
+      Mag = NewMag;
+      return true;
+    }
+
+    Op.Slot = nestedSlot();
+    if (Op.Slot == 0)
+      return false;
+    const SourceSpec &Inner = sourceBySlot(Op.Slot);
+    ElemTy OutTy = (Cur == ElemTy::Double || Inner.Ty == ElemTy::Double)
+                       ? ElemTy::Double
+                       : ElemTy::Int64;
+    Op.N = static_cast<NestedTmpl>(Rng.nextBelow(2));
+    double BodyMag = Op.N == NestedTmpl::AddXY ? Mag + sourceMag(Inner)
+                                               : Mag * sourceMag(Inner);
+    double Limit = OutTy == ElemTy::Int64 ? IntMagLimit : DoubleMagLimit;
+
+    switch (K) {
+    case OpK::SelectMany: {
+      Op.IArg = chance(30) ? pickInt(1, Inner.Count + 1) : 0;
+      std::uint64_t InnerN = Op.IArg > 0
+                                 ? std::min<std::uint64_t>(
+                                       static_cast<std::uint64_t>(Op.IArg),
+                                       Inner.Count)
+                                 : Inner.Count;
+      std::uint64_t NewBound = CountBound * std::max<std::uint64_t>(InnerN, 1);
+      if (NewBound > CountLimit || BodyMag > Limit)
+        return false;
+      CountBound = NewBound;
+      Mag = BodyMag;
+      Cur = OutTy;
+      return true;
+    }
+    case OpK::SelectNestedSum: {
+      double SumMag = BodyMag * std::max<std::uint32_t>(Inner.Count, 1);
+      if (SumMag > Limit)
+        return false;
+      Mag = SumMag;
+      Cur = OutTy;
+      return true;
+    }
+    case OpK::WhereNestedAny:
+      return true;
+    default:
+      return false;
+    }
+  }
+
+  bool drawGroupAgg(OpSpec &Op) {
+    if (chance(40)) {
+      Op.K = OpK::GroupAggDense;
+      Op.IArg = pickInt(2, 16);
+    } else {
+      Op.K = OpK::GroupAgg;
+      if (!drawKey(Op))
+        return false;
+      if (Cur == ElemTy::Double && Op.Key != KeyTmpl::Bucket)
+        return false;
+    }
+    Op.G = static_cast<GroupStep>(Rng.nextBelow(3));
+    Op.Combine = chance(70);
+    return true;
+  }
+
+  bool drawAgg(OpSpec &Op) {
+    Op.K = OpK::Agg;
+    Op.A = static_cast<AggKind>(Rng.nextBelow(13));
+    switch (Op.A) {
+    case AggKind::Average:
+      return Cur == ElemTy::Double;
+    case AggKind::Contains:
+      if (Cur != ElemTy::Int64)
+        return false;
+      Op.DArg = static_cast<double>(pickInt(-10, 10));
+      return true;
+    case AggKind::AllGtC:
+      Op.DArg = threshold();
+      return true;
+    case AggKind::First:
+      Op.DArg = Cur == ElemTy::Int64 ? static_cast<double>(pickInt(-9, 9))
+                                     : Rng.nextDouble(-9.0, 9.0);
+      return true;
+    default:
+      return true;
+    }
+  }
+
+  bool drawOp(OpSpec &Op) {
+    Op = OpSpec();
+    std::uint64_t Roll = Rng.nextBelow(100);
+    if (Roll < 28)
+      return drawSelect(Op);
+    if (Roll < 46)
+      return drawPred(Op, OpK::Where);
+    if (Roll < 52) {
+      Op.K = OpK::Take;
+      Op.IArg = pickInt(0, static_cast<std::int64_t>(CountBound) + 2);
+      return true;
+    }
+    if (Roll < 58) {
+      Op.K = OpK::Skip;
+      Op.IArg = pickInt(0, static_cast<std::int64_t>(CountBound) + 2);
+      return true;
+    }
+    if (Roll < 63)
+      return drawPred(Op, OpK::TakeWhile);
+    if (Roll < 68)
+      return drawPred(Op, OpK::SkipWhile);
+    if (Roll < 75) {
+      Op.K = OpK::OrderBy;
+      return drawKey(Op);
+    }
+    if (Roll < 79) {
+      Op.K = OpK::ToArray;
+      return true;
+    }
+    if (Roll < 86)
+      return drawNested(Op, OpK::SelectMany);
+    if (Roll < 90)
+      return drawNested(Op, OpK::SelectManyRange);
+    if (Roll < 96)
+      return drawNested(Op, OpK::SelectNestedSum);
+    return drawNested(Op, OpK::WhereNestedAny);
+  }
+};
+
+} // namespace
+
+QuerySpec fuzz::generateSpec(support::SplitMix64 &Rng,
+                             const GenOptions &Opts) {
+  GenCtx Ctx(Rng, Opts);
+  if (Ctx.chance(35)) {
+    Ctx.Spec.HasCaptureD = true;
+    Ctx.Spec.CaptureD = Rng.nextDouble(-3.0, 3.0);
+  }
+  if (Ctx.chance(35)) {
+    Ctx.Spec.HasCaptureI = true;
+    Ctx.Spec.CaptureI = Ctx.pickInt(-3, 3);
+  }
+  Ctx.Spec.Sources.push_back(Ctx.makeSource(0, Opts.MaxCount));
+  Ctx.Cur = Ctx.Spec.Sources[0].Ty;
+  Ctx.Mag = GenCtx::sourceMag(Ctx.Spec.Sources[0]);
+  Ctx.CountBound = std::max<std::uint32_t>(Ctx.Spec.Sources[0].Count, 1);
+
+  unsigned NumOps =
+      static_cast<unsigned>(Rng.nextBelow(Opts.MaxOps + 1));
+  for (unsigned I = 0; I != NumOps; ++I) {
+    OpSpec Op;
+    bool Ok = false;
+    // Re-roll inadmissible templates a few times; a dry streak just means
+    // a shorter pipeline.
+    for (unsigned Try = 0; Try != 16 && !Ok; ++Try) {
+      GenCtx Save = Ctx; // cheap: vectors of PODs
+      Ok = Ctx.drawOp(Op);
+      if (!Ok) {
+        Ctx.Spec = std::move(Save.Spec);
+        Ctx.Cur = Save.Cur;
+        Ctx.Mag = Save.Mag;
+        Ctx.CountBound = Save.CountBound;
+      }
+    }
+    if (!Ok)
+      break;
+    Ctx.Spec.Ops.push_back(Op);
+  }
+
+  // Terminal: scalar aggregate, group sink, or leave it a collection
+  // query (Src..Sink Ret) — all three shapes must round-trip every
+  // backend.
+  std::uint64_t Roll = Rng.nextBelow(100);
+  if (Roll < 45) {
+    OpSpec Op;
+    for (unsigned Try = 0; Try != 16; ++Try)
+      if (Ctx.drawAgg(Op)) {
+        Ctx.Spec.Ops.push_back(Op);
+        break;
+      }
+  } else if (Roll < 70) {
+    OpSpec Op;
+    for (unsigned Try = 0; Try != 16; ++Try)
+      if (Ctx.drawGroupAgg(Op)) {
+        Ctx.Spec.Ops.push_back(Op);
+        break;
+      }
+  }
+  return Ctx.Spec;
+}

@@ -1,0 +1,48 @@
+//===- fuzz/Gen.h - Seeded random query-spec generator ---------*- C++ -*-===//
+//
+// Part of the Steno/C++ reproduction of Murray, Isard & Yu,
+// "Steno: Automatic Optimization of Declarative Queries" (PLDI 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Draws random QuerySpecs covering all six QUIL symbol classes plus the
+/// nested-query (pushdown-automaton) path. Generation is well-typed by
+/// construction: each operator template is only offered when the current
+/// pipeline element type admits it, and a static magnitude budget bounds
+/// int64 arithmetic so no generated query can overflow (signed overflow
+/// would be UB, and a UB-poisoned backend cannot be differentially
+/// compared). Traps are excluded the same way: division/modulo only ever
+/// appears with nonzero constants.
+///
+/// Specs from here are still *candidates*: the harness pre-screens each
+/// one through lower/validate/analyze and regenerates on rejection, so
+/// strict-mode compilation can never abort the fuzz process.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STENO_FUZZ_GEN_H
+#define STENO_FUZZ_GEN_H
+
+#include "fuzz/Spec.h"
+#include "support/Random.h"
+
+namespace steno {
+namespace fuzz {
+
+struct GenOptions {
+  unsigned MaxOps = 6;          ///< Pipeline length cap (pre-terminal).
+  unsigned MaxSources = 3;      ///< Primary + nested sources.
+  std::uint32_t MaxCount = 64;  ///< Primary source size cap. Small on
+                                ///< purpose: mismatch search wants many
+                                ///< queries, not big data.
+  std::uint32_t MaxNestedCount = 16; ///< Nested source size cap.
+};
+
+/// Draws one well-typed, overflow-free candidate spec from \p Rng.
+QuerySpec generateSpec(support::SplitMix64 &Rng, const GenOptions &Opts);
+
+} // namespace fuzz
+} // namespace steno
+
+#endif // STENO_FUZZ_GEN_H

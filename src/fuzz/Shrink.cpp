@@ -1,0 +1,123 @@
+//===- fuzz/Shrink.cpp - Greedy spec minimization --------------*- C++ -*-===//
+
+#include "fuzz/Shrink.h"
+
+#include "obs/Metrics.h"
+
+using namespace steno;
+using namespace steno::fuzz;
+
+namespace {
+
+/// All one-step reductions of \p Spec, roughly most-aggressive first so
+/// the greedy loop takes big bites before polishing.
+std::vector<QuerySpec> reductions(const QuerySpec &Spec) {
+  std::vector<QuerySpec> Out;
+
+  // Drop one operator.
+  for (std::size_t I = 0; I != Spec.Ops.size(); ++I) {
+    QuerySpec S = Spec;
+    S.Ops.erase(S.Ops.begin() + static_cast<std::ptrdiff_t>(I));
+    Out.push_back(std::move(S));
+  }
+
+  // Shrink one source: empty, singleton, half.
+  for (std::size_t I = 0; I != Spec.Sources.size(); ++I) {
+    const SourceSpec &Src = Spec.Sources[I];
+    for (std::uint32_t NewCount :
+         {std::uint32_t{0}, std::uint32_t{1}, Src.Count / 2}) {
+      if (NewCount >= Src.Count)
+        continue;
+      QuerySpec S = Spec;
+      S.Sources[I].Count = NewCount;
+      Out.push_back(std::move(S));
+    }
+    if (Src.Data != DataClass::Constant) {
+      QuerySpec S = Spec;
+      S.Sources[I].Data = DataClass::Constant;
+      Out.push_back(std::move(S));
+    }
+  }
+
+  // Simplify one operator template in place.
+  for (std::size_t I = 0; I != Spec.Ops.size(); ++I) {
+    const OpSpec &Op = Spec.Ops[I];
+    QuerySpec S = Spec;
+    switch (Op.K) {
+    case OpK::Select:
+      if (Op.T == TransTmpl::Id)
+        continue;
+      S.Ops[I].T = TransTmpl::Id;
+      S.Ops[I].DArg = 0.0;
+      break;
+    case OpK::Where:
+    case OpK::TakeWhile:
+    case OpK::SkipWhile:
+      if (Op.P == PredTmpl::True)
+        continue;
+      S.Ops[I].P = PredTmpl::True;
+      S.Ops[I].DArg = 0.0;
+      break;
+    case OpK::OrderBy:
+      if (Op.Key == KeyTmpl::Id)
+        continue;
+      S.Ops[I].Key = KeyTmpl::Id;
+      break;
+    case OpK::SelectMany:
+      if (Op.IArg == 1)
+        continue;
+      S.Ops[I].IArg = 1; // nested take(1)
+      break;
+    case OpK::SelectManyRange:
+      if (Op.IArg <= 1)
+        continue;
+      S.Ops[I].IArg = 1;
+      break;
+    default:
+      continue;
+    }
+    Out.push_back(std::move(S));
+  }
+
+  // Drop captures (only valid when no remaining op reads them; an
+  // invalid candidate is rejected by the check's BuildError path).
+  if (Spec.HasCaptureD) {
+    QuerySpec S = Spec;
+    S.HasCaptureD = false;
+    Out.push_back(std::move(S));
+  }
+  if (Spec.HasCaptureI) {
+    QuerySpec S = Spec;
+    S.HasCaptureI = false;
+    Out.push_back(std::move(S));
+  }
+  return Out;
+}
+
+} // namespace
+
+QuerySpec fuzz::shrinkSpec(DiffHarness &Harness, const QuerySpec &Spec,
+                           const DiffOptions &DOpts,
+                           const ShrinkOptions &Opts, ShrinkStats &Stats) {
+  static obs::Counter &ShrinkSteps = obs::counter("fuzz.shrink_steps");
+
+  QuerySpec Best = Spec;
+  bool Improved = true;
+  while (Improved && Stats.Steps < Opts.MaxSteps) {
+    Improved = false;
+    for (QuerySpec &Cand : reductions(Best)) {
+      if (Stats.Steps >= Opts.MaxSteps)
+        break;
+      ++Stats.Steps;
+      ShrinkSteps.inc();
+      DiffResult R = Harness.check(Cand, DOpts);
+      if (R.BuildError || !R.Mismatch)
+        continue;
+      Best = std::move(Cand);
+      ++Stats.Reductions;
+      Improved = true;
+      break; // restart from the smaller spec
+    }
+  }
+  return Best;
+}

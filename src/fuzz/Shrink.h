@@ -1,0 +1,48 @@
+//===- fuzz/Shrink.h - Greedy spec minimization ----------------*- C++ -*-===//
+//
+// Part of the Steno/C++ reproduction of Murray, Isard & Yu,
+// "Steno: Automatic Optimization of Declarative Queries" (PLDI 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Given a spec whose differential check fails, greedily applies
+/// description-level reductions — drop an operator, empty or halve a
+/// source, simplify a template to Id/True, drop a capture, collapse data
+/// to Constant — keeping a candidate only when the check still fails.
+/// Runs to a fixpoint (or a step budget), so the corpus file a mismatch
+/// leaves behind is the local minimum of that failure, not a 6-operator
+/// haystack.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STENO_FUZZ_SHRINK_H
+#define STENO_FUZZ_SHRINK_H
+
+#include "fuzz/Diff.h"
+#include "fuzz/Spec.h"
+
+namespace steno {
+namespace fuzz {
+
+struct ShrinkOptions {
+  /// Candidate-evaluation budget (each candidate costs one full
+  /// differential check).
+  unsigned MaxSteps = 400;
+};
+
+struct ShrinkStats {
+  unsigned Steps = 0;      ///< Candidates evaluated.
+  unsigned Reductions = 0; ///< Candidates accepted.
+};
+
+/// Minimizes \p Spec, which must currently fail check() under \p DOpts.
+/// Returns the smallest failing spec found.
+QuerySpec shrinkSpec(DiffHarness &Harness, const QuerySpec &Spec,
+                     const DiffOptions &DOpts, const ShrinkOptions &Opts,
+                     ShrinkStats &Stats);
+
+} // namespace fuzz
+} // namespace steno
+
+#endif // STENO_FUZZ_SHRINK_H

@@ -9,22 +9,31 @@
 #include "support/TempFile.h"
 
 #include <cerrno>
+#include <cstdio>
 #include <cstring>
 #include <sstream>
 #include <sys/stat.h>
+#include <unistd.h>
 
 using namespace steno;
 
 namespace {
 
-/// Minimal line-based metadata codec. Format (one key per line):
+/// Minimal line-based metadata codec. Format:
+///   steno-pcache v1
 ///   entry <symbol>
 ///   scalar <0|1>
 ///   result <type serialization>
 ///   srcslots <n...>
 ///   valslots <n...>
+///   end
+/// The version header and the `end` sentinel exist for crash consistency:
+/// a metadata file from an interrupted write (truncated anywhere, even
+/// mid-line) fails to decode and the entry misses cleanly, instead of
+/// rehydrating a query with half its slot-usage records — which would
+/// silently skip binding validation at run time.
 std::string encodeMeta(const PersistedQueryArtifact &A) {
-  std::string Out;
+  std::string Out = "steno-pcache v1\n";
   Out += "entry " + A.EntrySymbol + "\n";
   Out += std::string("scalar ") + (A.ScalarResult ? "1" : "0") + "\n";
   Out += "result " + A.ResultType->serialize() + "\n";
@@ -34,26 +43,37 @@ std::string encodeMeta(const PersistedQueryArtifact &A) {
   Out += "\nvalslots";
   for (unsigned Slot : A.Slots.ValueSlots)
     Out += " " + std::to_string(Slot);
-  Out += "\n";
+  Out += "\nend\n";
   return Out;
 }
 
 bool decodeMeta(const std::string &Text, PersistedQueryArtifact &A) {
   std::istringstream In(Text);
   std::string Line;
+  if (!std::getline(In, Line) || Line != "steno-pcache v1")
+    return false; // unknown/older format: miss and recompile
   bool SawEntry = false;
+  bool SawScalar = false;
   bool SawResult = false;
+  bool SawSrc = false;
+  bool SawVal = false;
+  bool SawEnd = false;
   while (std::getline(In, Line)) {
+    if (SawEnd)
+      return false; // trailing garbage
     std::istringstream Fields(Line);
     std::string Key;
-    Fields >> Key;
+    if (!(Fields >> Key))
+      return false; // blank line: not something encodeMeta emits
     if (Key == "entry") {
       Fields >> A.EntrySymbol;
       SawEntry = !A.EntrySymbol.empty();
     } else if (Key == "scalar") {
       int V = 0;
-      Fields >> V;
+      if (!(Fields >> V))
+        return false;
       A.ScalarResult = V != 0;
+      SawScalar = true;
     } else if (Key == "result") {
       std::string Ty;
       Fields >> Ty;
@@ -63,13 +83,19 @@ bool decodeMeta(const std::string &Text, PersistedQueryArtifact &A) {
       unsigned Slot;
       while (Fields >> Slot)
         A.Slots.SourceSlots.insert(Slot);
+      SawSrc = true;
     } else if (Key == "valslots") {
       unsigned Slot;
       while (Fields >> Slot)
         A.Slots.ValueSlots.insert(Slot);
+      SawVal = true;
+    } else if (Key == "end") {
+      SawEnd = true;
+    } else {
+      return false; // unknown key: corrupt or future format
     }
   }
-  return SawEntry && SawResult;
+  return SawEntry && SawScalar && SawResult && SawSrc && SawVal && SawEnd;
 }
 
 void ensureDir(const std::string &Path) {
@@ -83,13 +109,26 @@ bool fileExists(const std::string &Path) {
   return ::stat(Path.c_str(), &St) == 0;
 }
 
+/// Write-then-rename so a crash mid-write can never leave a partially
+/// written file at the final path (rename within a directory is atomic
+/// on POSIX). The temp name is pid-qualified so two processes filling
+/// the same entry don't interleave their temp writes.
+void writeFileAtomic(const std::string &Path, const std::string &Contents) {
+  std::string Tmp =
+      Path + support::strFormat(".tmp%d", static_cast<int>(::getpid()));
+  support::writeFile(Tmp, Contents);
+  if (::rename(Tmp.c_str(), Path.c_str()) != 0)
+    support::fatalError("cannot move " + Tmp + " into place: " +
+                        std::strerror(errno));
+}
+
 /// Copies a file (the compiled .so lives in the JIT temp dir; the cache
 /// keeps its own copy that outlives the process).
 bool copyFile(const std::string &From, const std::string &To) {
   std::string Data = support::readFileOrEmpty(From);
   if (Data.empty())
     return false;
-  support::writeFile(To, Data);
+  writeFileAtomic(To, Data);
   return true;
 }
 
@@ -152,7 +191,9 @@ PersistentQueryCache::getOrCompile(const query::Query &Q,
   if (!copyFile(A.SharedObjectPath, SoPath))
     support::fatalError("cannot persist compiled object from " +
                         A.SharedObjectPath);
-  support::writeFile(SourcePath, A.Source);
-  support::writeFile(MetaPath, encodeMeta(A));
+  writeFileAtomic(SourcePath, A.Source);
+  // Metadata last: an entry is visible only once its object and source
+  // are already in place, so readers can never observe meta-without-so.
+  writeFileAtomic(MetaPath, encodeMeta(A));
   return Compiled;
 }

@@ -7,6 +7,8 @@
 #include "support/Timing.h"
 
 #include <cstdlib>
+#include <filesystem>
+#include <utility>
 
 #include "gtest/gtest.h"
 
@@ -290,6 +292,77 @@ TEST(PersistentCacheTest, CorruptEntryRecompiles) {
   Bindings B;
   B.bindDoubleArray(0, Xs.data(), 1);
   EXPECT_DOUBLE_EQ(CQ.run(B).scalarValue().asDouble(), 4.0);
+}
+
+namespace {
+
+/// The meta.txt of the single entry under \p Dir.
+std::string onlyMetaPath(const std::string &Dir) {
+  for (const auto &Entry : std::filesystem::directory_iterator(Dir)) {
+    std::string Meta = Entry.path().string() + "/meta.txt";
+    if (std::filesystem::exists(Meta))
+      return Meta;
+  }
+  return "";
+}
+
+} // namespace
+
+TEST(PersistentCacheTest, CrashDamagedMetaMissesCleanly) {
+  // Crash-consistency: any torn or tampered metadata must read as a
+  // clean miss (recompile, correct results) — never an abort and never
+  // a rehydrated query with partial slot-usage records, which would
+  // silently skip binding validation.
+  std::string Dir = freshCacheDir("crash");
+  {
+    PersistentQueryCache Cache(Dir);
+    Cache.getOrCompile(sumSq());
+  }
+  std::string MetaPath = onlyMetaPath(Dir);
+  ASSERT_FALSE(MetaPath.empty());
+  std::string Good = support::readFileOrEmpty(MetaPath);
+  ASSERT_NE(Good.find("steno-pcache v1"), std::string::npos);
+  ASSERT_NE(Good.find("\nend\n"), std::string::npos);
+
+  const std::pair<const char *, std::string> Corruptions[] = {
+      // Torn write: truncated mid-file (drops the slot lines and the
+      // sentinel). The pre-fix decoder accepted this.
+      {"truncated", Good.substr(0, Good.find("srcslots"))},
+      // Torn write: truncated mid-line.
+      {"mid-line", Good.substr(0, Good.size() / 2)},
+      // Pre-versioning format (no header, no sentinel).
+      {"old-format", Good.substr(Good.find('\n') + 1)},
+      // Arbitrary garbage and empty file.
+      {"garbage", "entry \x01\xff not a meta file"},
+      {"empty", ""},
+  };
+  std::vector<double> Xs = {1.0, 2.0};
+  Bindings B;
+  B.bindDoubleArray(0, Xs.data(), 2);
+  for (const auto &[Tag, Bad] : Corruptions) {
+    support::writeFile(MetaPath, Bad);
+    PersistentQueryCache Cache(Dir);
+    CompiledQuery CQ = Cache.getOrCompile(sumSq());
+    EXPECT_EQ(Cache.misses(), 1u) << Tag << ": damaged meta must miss";
+    EXPECT_EQ(Cache.hits(), 0u) << Tag;
+    EXPECT_DOUBLE_EQ(CQ.run(B).scalarValue().asDouble(), 5.0) << Tag;
+    // The recompile healed the entry: a fresh instance hits again.
+    PersistentQueryCache Healed(Dir);
+    Healed.getOrCompile(sumSq());
+    EXPECT_EQ(Healed.hits(), 1u) << Tag << ": entry did not heal";
+  }
+}
+
+TEST(PersistentCacheTest, NoTemporaryFilesLeftBehind) {
+  // All entry files are written via write-to-temp + rename; nothing
+  // with a .tmp suffix may survive a successful fill.
+  std::string Dir = freshCacheDir("tmpfiles");
+  PersistentQueryCache Cache(Dir);
+  Cache.getOrCompile(sumSq());
+  for (const auto &Entry :
+       std::filesystem::recursive_directory_iterator(Dir))
+    EXPECT_EQ(Entry.path().string().find(".tmp"), std::string::npos)
+        << Entry.path();
 }
 
 TEST(PersistentCacheTest, ComplexResultTypesRoundTrip) {

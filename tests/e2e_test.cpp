@@ -269,3 +269,76 @@ TEST(E2E, Figure1QueryShape) {
     Hand += V * V;
   EXPECT_DOUBLE_EQ(CQ.run(F.B).scalarValue().asDouble(), Hand);
 }
+
+//===--------------------------------------------------------------------===//
+// Analysis-mode matrix: the same workloads under STENO_ANALYZE=strict and
+// =off (set here explicitly via CompileOptions so the test is independent
+// of the environment). Strict must accept every well-formed paper query
+// with identical results to Off — the analyzer may only reject, never
+// change semantics — and must reject a query with an error finding that
+// Off happily runs.
+//===--------------------------------------------------------------------===//
+
+namespace {
+
+double runWithMode(const Query &Q, const Bindings &B, Backend Exec,
+                   analysis::Mode Mode) {
+  CompileOptions Options;
+  Options.Exec = Exec;
+  Options.Analyze = Mode;
+  Options.Name = Mode == analysis::Mode::Strict ? "e2e_strict" : "e2e_off";
+  return compileQuery(Q, Options).run(B).scalarValue().asDouble();
+}
+
+} // namespace
+
+TEST(E2EAnalysisMatrix, StrictAndOffAgreeOnPaperQueries) {
+  Fixture F;
+  auto X = param("x", Type::doubleTy());
+  auto Y = param("y", Type::doubleTy());
+
+  std::vector<Query> Matrix;
+  // §7.1 Sum / SumSq / filtered SumSq.
+  Matrix.push_back(Query::doubleArray(0).sum());
+  Matrix.push_back(
+      Query::doubleArray(0).select(lambda({X}, X * X)).sum());
+  Matrix.push_back(Query::doubleArray(0)
+                       .where(lambda({X}, X > E(500.0)))
+                       .select(lambda({X}, X * X))
+                       .sum());
+  // §7.1 Cart: nested iteration.
+  Matrix.push_back(
+      Query::doubleArray(0)
+          .selectMany(X, Query::doubleArray(1).select(lambda({Y}, X * Y)))
+          .sum());
+  // Positional pipeline (order-sensitive, certificate-denied shape).
+  Matrix.push_back(Query::doubleArray(0)
+                       .skip(E(std::int64_t{5}))
+                       .take(E(std::int64_t{100}))
+                       .sum());
+
+  for (std::size_t I = 0; I != Matrix.size(); ++I) {
+    for (Backend Exec : {Backend::Interp, Backend::Native}) {
+      double Strict =
+          runWithMode(Matrix[I], F.B, Exec, analysis::Mode::Strict);
+      double Off = runWithMode(Matrix[I], F.B, Exec, analysis::Mode::Off);
+      EXPECT_DOUBLE_EQ(Strict, Off)
+          << "query " << I << " backend "
+          << (Exec == Backend::Native ? "native" : "interp");
+    }
+  }
+}
+
+TEST(E2EAnalysisMatrix, StrictRejectsWhatOffRuns) {
+  // take(-1): a constant-range error (ST4xxx NegativeCount). Off-mode
+  // compiles and yields the empty-prefix sum; strict mode must reject at
+  // compile time, before codegen.
+  Fixture F;
+  Query Q = Query::doubleArray(0).take(E(std::int64_t{-1})).sum();
+  EXPECT_DOUBLE_EQ(runWithMode(Q, F.B, Backend::Interp, analysis::Mode::Off),
+                   0.0);
+  CompileOptions Strict;
+  Strict.Analyze = analysis::Mode::Strict;
+  Strict.Name = "e2e_negative_take";
+  EXPECT_DEATH(compileQuery(Q, Strict), "rejected by static analysis");
+}
