@@ -1,0 +1,118 @@
+//===- jit/Async.cpp - Bounded background compile queue --------*- C++ -*-===//
+
+#include "jit/Async.h"
+
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
+
+using namespace steno;
+using namespace steno::jit;
+
+namespace {
+
+obs::Counter &submittedCounter() {
+  static obs::Counter &C = obs::counter("jit.async.submitted");
+  return C;
+}
+obs::Counter &rejectedCounter() {
+  static obs::Counter &C = obs::counter("jit.async.rejected");
+  return C;
+}
+obs::Counter &compiledCounter() {
+  static obs::Counter &C = obs::counter("jit.async.compiled");
+  return C;
+}
+obs::Counter &failedCounter() {
+  static obs::Counter &C = obs::counter("jit.async.failed");
+  return C;
+}
+obs::Gauge &pendingGauge() {
+  static obs::Gauge &G = obs::gauge("jit.async.pending");
+  return G;
+}
+
+} // namespace
+
+CompileQueue::CompileQueue(unsigned Workers, std::size_t MaxPending)
+    : MaxPending(MaxPending) {
+  if (Workers == 0)
+    Workers = 1;
+  Threads.reserve(Workers);
+  for (unsigned I = 0; I != Workers; ++I)
+    Threads.emplace_back([this] { workerLoop(); });
+}
+
+CompileQueue::~CompileQueue() {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    ShuttingDown = true; // reject new submits; accepted jobs still run
+  }
+  WorkReady.notify_all();
+  for (std::thread &T : Threads)
+    T.join();
+}
+
+bool CompileQueue::trySubmit(std::string Source, std::string EntrySymbol,
+                             DoneFn Done) {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    if (ShuttingDown || Queue.size() + Active >= MaxPending) {
+      rejectedCounter().inc();
+      return false;
+    }
+    Queue.push_back(
+        Job{std::move(Source), std::move(EntrySymbol), std::move(Done)});
+    submittedCounter().inc();
+    pendingGauge().add(1);
+  }
+  WorkReady.notify_one();
+  return true;
+}
+
+std::size_t CompileQueue::pending() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Queue.size() + Active;
+}
+
+bool CompileQueue::saturated() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return ShuttingDown || Queue.size() + Active >= MaxPending;
+}
+
+void CompileQueue::drain() {
+  std::unique_lock<std::mutex> Lock(Mutex);
+  AllDone.wait(Lock, [this] { return Queue.empty() && Active == 0; });
+}
+
+void CompileQueue::workerLoop() {
+  for (;;) {
+    Job J;
+    {
+      std::unique_lock<std::mutex> Lock(Mutex);
+      WorkReady.wait(Lock,
+                     [this] { return ShuttingDown || !Queue.empty(); });
+      if (Queue.empty()) // ShuttingDown and drained
+        return;
+      J = std::move(Queue.front());
+      Queue.pop_front();
+      ++Active;
+    }
+
+    std::string Err;
+    std::unique_ptr<CompiledModule> Module;
+    {
+      obs::Span S("jit.async.compile");
+      Module = CompiledModule::compile(J.Source, J.EntrySymbol, &Err);
+    }
+    (Module ? compiledCounter() : failedCounter()).inc();
+    if (J.Done)
+      J.Done(std::move(Module), std::move(Err));
+
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      --Active;
+      pendingGauge().sub(1);
+    }
+    AllDone.notify_all();
+  }
+}

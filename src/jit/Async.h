@@ -1,0 +1,100 @@
+//===- jit/Async.h - Bounded background compile queue ----------*- C++ -*-===//
+//
+// Part of the Steno/C++ reproduction of Murray, Isard & Yu,
+// "Steno: Automatic Optimization of Declarative Queries" (PLDI 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The asynchronous half of the native backend. A serving layer cannot
+/// afford to block a request on the external compiler invocation (§7.1
+/// measures ~69 ms with csc; hundreds of ms with a C++ toolchain), so
+/// compiles are queued here and run on dedicated background threads while
+/// requests execute on whatever plan is already loaded. The queue is
+/// deliberately *bounded*: under a compile storm, trySubmit rejects
+/// instead of buffering unboundedly, and the caller stays on its current
+/// (interpreter) plan — graceful degradation, not queue collapse.
+///
+/// Every accepted job runs exactly one completion callback, on a queue
+/// worker thread, whether the compile succeeded or failed. The destructor
+/// finishes all accepted jobs before returning, so a callback never fires
+/// after its owner has started tearing down members the callback uses —
+/// as long as the owner declares its CompileQueue after those members.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STENO_JIT_ASYNC_H
+#define STENO_JIT_ASYNC_H
+
+#include "jit/Jit.h"
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace steno {
+namespace jit {
+
+/// Fixed worker pool draining a bounded FIFO of source-to-module compile
+/// jobs. Metrics: jit.async.{submitted,rejected,compiled,failed} counters
+/// and the jit.async.pending gauge.
+class CompileQueue {
+public:
+  /// Called with the loaded module (or nullptr) and the error text (empty
+  /// on success). Runs on a queue worker; must not throw.
+  using DoneFn =
+      std::function<void(std::unique_ptr<CompiledModule>, std::string)>;
+
+  /// Spawns \p Workers threads (at least one). \p MaxPending bounds
+  /// queued-plus-running jobs; 0 makes every trySubmit reject, which
+  /// models a permanently saturated compiler for tests.
+  explicit CompileQueue(unsigned Workers = 1, std::size_t MaxPending = 8);
+
+  /// Drains every accepted job, then joins the workers.
+  ~CompileQueue();
+
+  CompileQueue(const CompileQueue &) = delete;
+  CompileQueue &operator=(const CompileQueue &) = delete;
+
+  /// Enqueues a compile of \p Source resolving \p EntrySymbol. Returns
+  /// false without enqueuing when the queue is saturated (or shutting
+  /// down); \p Done is then never called.
+  bool trySubmit(std::string Source, std::string EntrySymbol, DoneFn Done);
+
+  /// Queued plus currently compiling jobs.
+  std::size_t pending() const;
+
+  /// True when a trySubmit issued now would be rejected.
+  bool saturated() const;
+
+  /// Blocks until every accepted job (and its callback) has finished.
+  void drain();
+
+private:
+  struct Job {
+    std::string Source;
+    std::string EntrySymbol;
+    DoneFn Done;
+  };
+
+  void workerLoop();
+
+  const std::size_t MaxPending;
+  mutable std::mutex Mutex;
+  std::condition_variable WorkReady;
+  std::condition_variable AllDone;
+  std::deque<Job> Queue;
+  std::size_t Active = 0; ///< Jobs popped but not yet completed.
+  bool ShuttingDown = false;
+  std::vector<std::thread> Threads;
+};
+
+} // namespace jit
+} // namespace steno
+
+#endif // STENO_JIT_ASYNC_H

@@ -1,0 +1,398 @@
+//===- serve/Serve.cpp - Concurrent query service --------------*- C++ -*-===//
+
+#include "serve/Serve.h"
+
+#include "analysis/Analysis.h"
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
+#include "quil/Quil.h"
+#include "support/Timing.h"
+
+#include <cstdio>
+#include <future>
+
+using namespace steno;
+using namespace steno::serve;
+
+const char *serve::statusName(Status S) {
+  switch (S) {
+  case Status::Ok:
+    return "ok";
+  case Status::Timeout:
+    return "timeout";
+  case Status::Shed:
+    return "shed";
+  case Status::Error:
+    return "error";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Backends are compiled with analysis off: prepare() already screened
+/// the chain, and strict mode inside compileQuery would abort the
+/// process on what should be a per-request error.
+CompileOptions planOptions(Backend B) {
+  CompileOptions CO;
+  CO.Exec = B;
+  CO.Analyze = analysis::Mode::Off;
+  CO.Name = "serve_query";
+  return CO;
+}
+
+struct ServeMetrics {
+  obs::Counter &Sessions = obs::counter("serve.sessions");
+  obs::Counter &Prepares = obs::counter("serve.prepares");
+  obs::Counter &Requests = obs::counter("serve.requests");
+  obs::Counter &Ok = obs::counter("serve.ok");
+  obs::Counter &Shed = obs::counter("serve.admission.shed");
+  obs::Counter &Timeouts = obs::counter("serve.timeouts");
+  obs::Counter &Errors = obs::counter("serve.errors");
+  obs::Counter &Degraded = obs::counter("serve.degraded_runs");
+  obs::Counter &NativeRuns = obs::counter("serve.native_runs");
+  obs::Counter &RecompSched = obs::counter("serve.recompile.scheduled");
+  obs::Counter &RecompDone = obs::counter("serve.recompile.done");
+  obs::Counter &RecompFailed = obs::counter("serve.recompile.failed");
+  obs::Counter &RecompSaturated =
+      obs::counter("serve.recompile.saturated");
+  obs::Gauge &QueueDepth = obs::gauge("serve.queue.depth");
+  obs::Histogram &RequestMicros = obs::histogram(
+      "serve.request.micros", {10, 100, 1e3, 1e4, 1e5, 1e6, 1e7});
+  obs::Histogram &QueueMicros = obs::histogram(
+      "serve.queue.micros", {10, 100, 1e3, 1e4, 1e5, 1e6, 1e7});
+};
+
+ServeMetrics &metrics() {
+  static ServeMetrics M;
+  return M;
+}
+
+} // namespace
+
+double PreparedQuery::nativeCompileMillis() const {
+  if (!NativeReady.load(std::memory_order_acquire))
+    return 0.0;
+  return NativePlan.compileMillis();
+}
+
+//===--------------------------------------------------------------------===//
+// Session
+//===--------------------------------------------------------------------===//
+
+PreparedHandle Session::prepare(const std::string &SpecText,
+                                std::string *Err) {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    auto It = Prepared.find(SpecText);
+    if (It != Prepared.end())
+      return It->second;
+  }
+  PreparedHandle P = Svc.prepare(SpecText, Err);
+  if (!P)
+    return nullptr;
+  std::lock_guard<std::mutex> Lock(Mutex);
+  // Another thread on this session may have prepared meanwhile; keep the
+  // first so the session's handle for one text stays stable.
+  return Prepared.emplace(SpecText, P).first->second;
+}
+
+Response Session::execute(const PreparedHandle &P,
+                          std::chrono::milliseconds Deadline) {
+  return Svc.execute(P, Deadline);
+}
+
+Response Session::execute(const PreparedHandle &P) {
+  return Svc.execute(P, Svc.options().DefaultDeadline);
+}
+
+Response Session::executeSpec(const std::string &SpecText,
+                              std::chrono::milliseconds Deadline) {
+  std::string Err;
+  PreparedHandle P = prepare(SpecText, &Err);
+  if (!P) {
+    Response R;
+    R.St = Status::Error;
+    R.Message = Err;
+    return R;
+  }
+  return execute(P, Deadline);
+}
+
+//===--------------------------------------------------------------------===//
+// QueryService
+//===--------------------------------------------------------------------===//
+
+struct QueryService::RequestState {
+  std::promise<Response> Promise;
+  PreparedHandle P;
+  std::chrono::steady_clock::time_point Deadline;
+  support::WallTimer QueueTimer;
+  std::uint64_t Id = 0;
+};
+
+QueryService::QueryService(const ServeOptions &O)
+    : Options(O), OwnedCache(O.Cache ? nullptr : new QueryCache()),
+      Cache(O.Cache ? O.Cache : OwnedCache.get()),
+      CompileQ(O.CompileWorkers, O.MaxCompileQueue),
+      Exec(O.Workers ? O.Workers : 1) {}
+
+QueryService::~QueryService() {
+  Closed.store(true, std::memory_order_relaxed);
+  // Members destroy in reverse declaration order: the execution pool
+  // drains its accepted requests first (fulfilling every outstanding
+  // promise), then the compile queue finishes its jobs (whose callbacks
+  // still see live stats and cache), then the rest of the service.
+}
+
+std::shared_ptr<Session> QueryService::openSession() {
+  metrics().Sessions.inc();
+  NSessions.fetch_add(1, std::memory_order_relaxed);
+  std::uint64_t Id = NextSessionId.fetch_add(1, std::memory_order_relaxed);
+  // make_shared needs a public constructor; Session's is private to us.
+  return std::shared_ptr<Session>(new Session(*this, Id));
+}
+
+PreparedHandle QueryService::prepare(const std::string &SpecText,
+                                     std::string *Err) {
+  auto fail = [&](const std::string &M) {
+    if (Err)
+      *Err = M;
+    return PreparedHandle();
+  };
+  if (Closed.load(std::memory_order_relaxed))
+    return fail("service is shutting down");
+
+  obs::Span Span("serve.prepare");
+  fuzz::QuerySpec Spec;
+  std::string E;
+  if (!fuzz::parseSpec(SpecText, Spec, &E))
+    return fail("spec parse error: " + E);
+
+  auto P = std::make_shared<PreparedQuery>();
+  P->Spec = Spec;
+  P->SpecText = SpecText;
+  if (!fuzz::buildSpec(Spec, P->Built, &E))
+    return fail("spec build error: " + E);
+
+  // Pre-screen through the front end so a bad request is a clean error,
+  // never a strict-mode abort inside compileQuery.
+  quil::Chain Chain = quil::lower(P->Built.Q);
+  if (auto VErr = quil::validate(Chain))
+    return fail("invalid query: " + *VErr);
+  analysis::AnalysisResult Analyzed = analysis::analyzeChain(Chain);
+  if (!Analyzed.ok())
+    return fail("rejected by analysis: " +
+                Analyzed.Diags.render(analysis::Severity::Error));
+
+  // The interpreter plan is ready in milliseconds; the native plan (if
+  // wanted) arrives later via the background swap. QueryCache makes
+  // re-preparing a structurally equal query a hit sharing one module.
+  P->InterpPlan = Cache->getOrCompile(P->Built.Q,
+                                      planOptions(Backend::Interp));
+
+  metrics().Prepares.inc();
+  NPrepares.fetch_add(1, std::memory_order_relaxed);
+
+  if (Options.BackgroundRecompile)
+    scheduleRecompile(P);
+  return P;
+}
+
+bool QueryService::scheduleRecompile(const PreparedHandle &P) {
+  if (!P || P->NativeReady.load(std::memory_order_acquire))
+    return false;
+  int Expected = 0;
+  if (!P->RecompileState.compare_exchange_strong(
+          Expected, 1, std::memory_order_acq_rel))
+    return false; // already in flight or done
+
+  // Another handle for the same structure may have finished first; the
+  // cache peek turns that into an immediate swap with no compiler run.
+  CompiledQuery Cached =
+      Cache->lookup(P->Built.Q, planOptions(Backend::Native));
+  if (Cached.valid()) {
+    P->NativePlan = std::move(Cached);
+    P->NativeReady.store(true, std::memory_order_release);
+    P->RecompileState.store(2, std::memory_order_release);
+    metrics().RecompDone.inc();
+    NRecompDone.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+
+  PreparedHandle Handle = P; // keep the query alive across the compile
+  bool Submitted = CompileQ.trySubmit(
+      P->InterpPlan.generatedSource(), P->InterpPlan.program().Name,
+      [this, Handle](std::unique_ptr<jit::CompiledModule> Module,
+                     std::string Err) {
+        if (!Module) {
+          // Back to idle: a later execute may retry once the toolchain
+          // recovers. The request path is unaffected (stays interpreted).
+          Handle->RecompileState.store(0, std::memory_order_release);
+          metrics().RecompFailed.inc();
+          NRecompFailed.fetch_add(1, std::memory_order_relaxed);
+          std::fprintf(stderr, "steno-serve: background recompile of '%s' "
+                               "failed: %s\n",
+                       Handle->InterpPlan.program().Name.c_str(),
+                       Err.c_str());
+          return;
+        }
+        CompiledQuery Native =
+            Handle->InterpPlan.withNativeModule(std::move(Module));
+        // Publish to the cache first (first insert wins, so concurrent
+        // recompiles of equal queries converge on one module), then swap.
+        Native = Cache->insert(Handle->Built.Q,
+                               planOptions(Backend::Native),
+                               std::move(Native));
+        Handle->NativePlan = std::move(Native);
+        Handle->NativeReady.store(true, std::memory_order_release);
+        Handle->RecompileState.store(2, std::memory_order_release);
+        metrics().RecompDone.inc();
+        NRecompDone.fetch_add(1, std::memory_order_relaxed);
+      });
+
+  if (!Submitted) {
+    // Saturated compile queue: degrade (stay interpreted) and leave the
+    // state idle so a later execute retries.
+    P->RecompileState.store(0, std::memory_order_release);
+    metrics().RecompSaturated.inc();
+    NRecompSaturated.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  metrics().RecompSched.inc();
+  NRecompSched.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void QueryService::drainRecompiles() { CompileQ.drain(); }
+
+Response QueryService::execute(const PreparedHandle &P,
+                               std::chrono::milliseconds Deadline) {
+  ServeMetrics &M = metrics();
+  Response Rsp;
+  Rsp.Id = NextRequestId.fetch_add(1, std::memory_order_relaxed);
+
+  if (!P) {
+    Rsp.St = Status::Error;
+    Rsp.Message = "null prepared handle";
+    M.Errors.inc();
+    NErrors.fetch_add(1, std::memory_order_relaxed);
+    return Rsp;
+  }
+  if (Closed.load(std::memory_order_relaxed)) {
+    Rsp.St = Status::Error;
+    Rsp.Message = "service is shutting down";
+    M.Errors.inc();
+    NErrors.fetch_add(1, std::memory_order_relaxed);
+    return Rsp;
+  }
+
+  // A handle that degraded because the compile queue was saturated at
+  // prepare time retries its upgrade here, once the queue has room.
+  if (Options.BackgroundRecompile && !P->nativeReady() &&
+      P->RecompileState.load(std::memory_order_acquire) == 0 &&
+      !CompileQ.saturated())
+    scheduleRecompile(P);
+
+  // Admission gate: bound queued + executing requests.
+  std::int64_t Depth = InFlight.fetch_add(1, std::memory_order_acq_rel) + 1;
+  if (Depth > static_cast<std::int64_t>(Options.MaxQueue)) {
+    InFlight.fetch_sub(1, std::memory_order_acq_rel);
+    Rsp.St = Status::Shed;
+    M.Shed.inc();
+    NShed.fetch_add(1, std::memory_order_relaxed);
+    return Rsp;
+  }
+  M.QueueDepth.set(Depth);
+  M.Requests.inc();
+  NAccepted.fetch_add(1, std::memory_order_relaxed);
+
+  auto R = std::make_shared<RequestState>();
+  R->P = P;
+  R->Deadline = std::chrono::steady_clock::now() + Deadline;
+  R->Id = Rsp.Id;
+  std::future<Response> Fut = R->Promise.get_future();
+
+  if (!Exec.submit([this, R] { runRequest(R); })) {
+    // Pool shutting down: answer inline (still exactly one response).
+    Rsp.St = Status::Error;
+    Rsp.Message = "service is shutting down";
+    M.Errors.inc();
+    NErrors.fetch_add(1, std::memory_order_relaxed);
+    InFlight.fetch_sub(1, std::memory_order_acq_rel);
+    return Rsp;
+  }
+  return Fut.get();
+}
+
+void QueryService::runRequest(const std::shared_ptr<RequestState> &R) {
+  ServeMetrics &M = metrics();
+  Response Rsp;
+  Rsp.Id = R->Id;
+  Rsp.QueueMicros = R->QueueTimer.seconds() * 1e6;
+  M.QueueMicros.observe(Rsp.QueueMicros);
+
+  if (std::chrono::steady_clock::now() > R->Deadline) {
+    Rsp.St = Status::Timeout;
+    M.Timeouts.inc();
+    NTimeouts.fetch_add(1, std::memory_order_relaxed);
+    finish(*R, std::move(Rsp));
+    return;
+  }
+
+  if (Options.ExecHook)
+    Options.ExecHook();
+
+  PreparedQuery &P = *R->P;
+  bool Native = P.NativeReady.load(std::memory_order_acquire);
+  // InterpPlan is immutable after prepare; NativePlan is published by the
+  // release store NativeReady observes (see PreparedQuery).
+  const CompiledQuery &Plan = Native ? P.NativePlan : P.InterpPlan;
+
+  support::WallTimer RunTimer;
+  Rsp.Result = Plan.run(P.bindings());
+  Rsp.RunMicros = RunTimer.seconds() * 1e6;
+  Rsp.St = Status::Ok;
+  Rsp.NativePlan = Native;
+  Rsp.Degraded = !Native && Options.BackgroundRecompile;
+
+  P.Execs.fetch_add(1, std::memory_order_relaxed);
+  M.Ok.inc();
+  NOk.fetch_add(1, std::memory_order_relaxed);
+  if (Native) {
+    M.NativeRuns.inc();
+    NNativeRuns.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (Rsp.Degraded) {
+    M.Degraded.inc();
+    NDegraded.fetch_add(1, std::memory_order_relaxed);
+  }
+  M.RequestMicros.observe(Rsp.QueueMicros + Rsp.RunMicros);
+  finish(*R, std::move(Rsp));
+}
+
+void QueryService::finish(RequestState &R, Response Rsp) {
+  std::int64_t Depth =
+      InFlight.fetch_sub(1, std::memory_order_acq_rel) - 1;
+  metrics().QueueDepth.set(Depth);
+  R.Promise.set_value(std::move(Rsp));
+}
+
+QueryService::Stats QueryService::stats() const {
+  Stats S;
+  S.Sessions = NSessions.load(std::memory_order_relaxed);
+  S.Prepares = NPrepares.load(std::memory_order_relaxed);
+  S.Accepted = NAccepted.load(std::memory_order_relaxed);
+  S.Ok = NOk.load(std::memory_order_relaxed);
+  S.Shed = NShed.load(std::memory_order_relaxed);
+  S.Timeouts = NTimeouts.load(std::memory_order_relaxed);
+  S.Errors = NErrors.load(std::memory_order_relaxed);
+  S.DegradedRuns = NDegraded.load(std::memory_order_relaxed);
+  S.NativeRuns = NNativeRuns.load(std::memory_order_relaxed);
+  S.RecompilesScheduled = NRecompSched.load(std::memory_order_relaxed);
+  S.RecompilesDone = NRecompDone.load(std::memory_order_relaxed);
+  S.RecompilesFailed = NRecompFailed.load(std::memory_order_relaxed);
+  S.RecompilesSaturated = NRecompSaturated.load(std::memory_order_relaxed);
+  S.QueueDepth = InFlight.load(std::memory_order_relaxed);
+  return S;
+}

@@ -1,0 +1,284 @@
+//===- serve/Serve.h - Concurrent query service ----------------*- C++ -*-===//
+//
+// Part of the Steno/C++ reproduction of Murray, Isard & Yu,
+// "Steno: Automatic Optimization of Declarative Queries" (PLDI 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The serving layer the paper's break-even analysis (§7.1) implies:
+/// compiled queries only pay off when one compilation is amortized over
+/// many executions, which means a long-lived process fielding a stream of
+/// requests. QueryService is that process's core — a multi-client,
+/// admission-controlled query service over the whole stack:
+///
+///   admit -> prepare -> execute -> (degrade | respond)
+///
+/// * **Wire format.** Queries arrive as textual `steno-fuzz v1` specs
+///   (fuzz/Spec.h): self-contained recipes carrying both the pipeline and
+///   the input-data description, so a spec alone is a complete request.
+///   Specs are pre-screened through lower/validate/analyze; a rejected
+///   spec is a clean prepare error, never a process abort.
+///
+/// * **Prepared handles.** prepare() parses and builds the spec once and
+///   returns a PreparedHandle; the compiled plan underneath comes from a
+///   QueryCache, so structurally equal queries — across sessions and
+///   across handles — share one compiled module.
+///
+/// * **Admission control.** Accepted requests are bounded by MaxQueue
+///   (queued + executing). Beyond that the service load-sheds: the
+///   request is rejected immediately with Status::Shed instead of growing
+///   an unbounded backlog. Each request carries a deadline; a request
+///   whose deadline passes while it waits in the queue is answered with
+///   Status::Timeout without executing.
+///
+/// * **Graceful degradation.** prepare() never blocks on the external
+///   compiler: it produces an interpreter-backend plan synchronously
+///   (milliseconds) and queues a native compile on jit::CompileQueue in
+///   the background. Requests run on whatever plan is ready — interpreter
+///   first (a *degraded* run), then the native plan is swapped in
+///   atomically on compile completion and subsequent runs take it. When
+///   the compile queue is saturated, the handle simply stays on the
+///   interpreter and retries the upgrade on a later execute; a short
+///   request deadline is likewise never extended by compilation, because
+///   no request ever waits for the JIT.
+///
+/// Execution runs on the existing dryad::ThreadPool (one request = one
+/// worker; intra-query morsel parallelism is deliberately not nested
+/// inside request workers — see DESIGN.md §5f for the pool-deadlock
+/// argument). Metrics: serve.* (inventory in DESIGN.md §5f).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STENO_SERVE_SERVE_H
+#define STENO_SERVE_SERVE_H
+
+#include "dryad/ThreadPool.h"
+#include "fuzz/Spec.h"
+#include "jit/Async.h"
+#include "steno/QueryCache.h"
+#include "steno/Result.h"
+#include "steno/Steno.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+namespace steno {
+namespace serve {
+
+/// Response classes — the service's "HTTP status line".
+enum class Status : unsigned {
+  Ok = 0,  ///< Executed; Result is valid.
+  Timeout, ///< Deadline passed while the request waited in the queue.
+  Shed,    ///< Admission queue full; rejected without queuing.
+  Error    ///< Malformed spec, unknown handle, or service shutdown.
+};
+
+const char *statusName(Status S);
+
+/// Service configuration.
+struct ServeOptions {
+  unsigned Workers = 4;   ///< Execution pool (dryad::ThreadPool) size.
+  unsigned MaxQueue = 64; ///< Admission bound: queued + executing requests.
+  unsigned CompileWorkers = 1;  ///< Background JIT threads.
+  unsigned MaxCompileQueue = 8; ///< JIT queue bound; 0 = never recompile
+                                ///< natively (permanently "saturated").
+  /// Deadline applied when execute() is called without one.
+  std::chrono::milliseconds DefaultDeadline{5000};
+  /// Upgrade interpreter plans to native in the background. Off = every
+  /// run stays on the interpreter (and is not counted as degraded).
+  bool BackgroundRecompile = true;
+  /// Plan cache; defaults to a service-private cache when null. Not
+  /// owned.
+  QueryCache *Cache = nullptr;
+  /// Test instrumentation: invoked on the worker thread immediately
+  /// before a request executes (after the deadline check). Lets tests
+  /// hold workers at a barrier to fill the admission queue
+  /// deterministically. Never set in production.
+  std::function<void()> ExecHook;
+};
+
+/// One request's answer. Exactly one Response is produced per accepted
+/// execute() call (and per shed/timeout), carrying a service-unique Id.
+struct Response {
+  Status St = Status::Error;
+  std::uint64_t Id = 0;   ///< Service-unique request id (0 = never admitted).
+  std::string Message;    ///< Error detail (St == Error).
+  QueryResult Result;     ///< Valid when St == Ok.
+  bool Degraded = false;  ///< Ran interpreted while a native plan was wanted.
+  bool NativePlan = false; ///< Executed the JIT-compiled plan.
+  double QueueMicros = 0;  ///< Admission-to-execution wait.
+  double RunMicros = 0;    ///< Plan execution time.
+
+  bool ok() const { return St == Status::Ok; }
+};
+
+class QueryService;
+
+/// A prepared query: the parsed spec, its synthesized input buffers, and
+/// the current plan (interpreter immediately; native after the background
+/// swap). Immutable to callers; thread-safe to execute from any number of
+/// threads concurrently, including across the plan swap.
+class PreparedQuery {
+public:
+  const fuzz::QuerySpec &spec() const { return Spec; }
+  const query::Query &query() const { return Built.Q; }
+  const Bindings &bindings() const { return Built.B; }
+  const std::string &specText() const { return SpecText; }
+
+  /// True once the native plan has been swapped in.
+  bool nativeReady() const {
+    return NativeReady.load(std::memory_order_acquire);
+  }
+  std::uint64_t executions() const {
+    return Execs.load(std::memory_order_relaxed);
+  }
+  /// One-off native compile cost once nativeReady(), else 0.
+  double nativeCompileMillis() const;
+
+private:
+  friend class QueryService;
+
+  fuzz::QuerySpec Spec;
+  fuzz::BuiltQuery Built;
+  std::string SpecText;
+  CompiledQuery InterpPlan; ///< Set once before publication; then const.
+  /// Publish protocol: the recompile callback writes NativePlan, then
+  /// stores NativeReady with release; executors load NativeReady with
+  /// acquire before reading NativePlan. RecompileState guards against a
+  /// second writer ever racing the first.
+  CompiledQuery NativePlan;
+  std::atomic<bool> NativeReady{false};
+  std::atomic<int> RecompileState{0}; ///< 0 idle, 1 in flight, 2 done.
+  std::atomic<std::uint64_t> Execs{0};
+};
+
+/// Mutation (the plan swap) is QueryService-private; handle holders only
+/// see the accessors above.
+using PreparedHandle = std::shared_ptr<PreparedQuery>;
+
+/// A client's view of the service. Sessions are cheap; one per client
+/// connection. prepare() memoizes by spec text per session (re-preparing
+/// the same text returns the same handle); handles are interchangeable
+/// across sessions. execute() is thread-safe; prepare() serializes on a
+/// per-session mutex.
+class Session {
+public:
+  std::uint64_t id() const { return Id; }
+
+  /// Parses, screens and builds \p SpecText; returns null and fills
+  /// \p Err on a malformed or analysis-rejected spec.
+  PreparedHandle prepare(const std::string &SpecText, std::string *Err);
+
+  /// Admits and runs one request against \p P with an explicit deadline
+  /// budget. Blocks until the response (closed-loop client model).
+  Response execute(const PreparedHandle &P,
+                   std::chrono::milliseconds Deadline);
+  /// execute() with the service's DefaultDeadline.
+  Response execute(const PreparedHandle &P);
+
+  /// One-shot convenience: prepare (memoized) then execute.
+  Response executeSpec(const std::string &SpecText,
+                       std::chrono::milliseconds Deadline);
+
+private:
+  friend class QueryService;
+  Session(QueryService &Svc, std::uint64_t Id) : Svc(Svc), Id(Id) {}
+
+  QueryService &Svc;
+  std::uint64_t Id;
+  std::mutex Mutex; ///< Guards Prepared.
+  std::unordered_map<std::string, PreparedHandle> Prepared;
+};
+
+/// The service. One instance per process (or per test); owns the
+/// execution pool, the background compile queue, and (by default) the
+/// plan cache. Destruction drains in-flight work.
+class QueryService {
+public:
+  explicit QueryService(const ServeOptions &Options = ServeOptions());
+  ~QueryService();
+
+  QueryService(const QueryService &) = delete;
+  QueryService &operator=(const QueryService &) = delete;
+
+  std::shared_ptr<Session> openSession();
+
+  /// Session-independent prepare (sessions delegate here after their
+  /// memoization layer).
+  PreparedHandle prepare(const std::string &SpecText, std::string *Err);
+
+  /// Session-independent execute (thread-safe).
+  Response execute(const PreparedHandle &P,
+                   std::chrono::milliseconds Deadline);
+
+  /// Queues a native recompile for \p P now (normally scheduled by
+  /// prepare). Returns false when the compile queue is saturated, the
+  /// native plan already exists, or a compile is already in flight. Used
+  /// by the soak tests to force the swap mid-stream.
+  bool scheduleRecompile(const PreparedHandle &P);
+
+  /// Blocks until the background compile queue is empty (tests,
+  /// shutdown).
+  void drainRecompiles();
+
+  const ServeOptions &options() const { return Options; }
+  QueryCache &cache() { return *Cache; }
+
+  /// Instance-local monotonic statistics (the serve.* obs instruments
+  /// aggregate across instances; tests read these).
+  struct Stats {
+    std::uint64_t Sessions = 0;
+    std::uint64_t Prepares = 0;
+    std::uint64_t Accepted = 0;
+    std::uint64_t Ok = 0;
+    std::uint64_t Shed = 0;
+    std::uint64_t Timeouts = 0;
+    std::uint64_t Errors = 0;
+    std::uint64_t DegradedRuns = 0;
+    std::uint64_t NativeRuns = 0;
+    std::uint64_t RecompilesScheduled = 0;
+    std::uint64_t RecompilesDone = 0;
+    std::uint64_t RecompilesFailed = 0;
+    std::uint64_t RecompilesSaturated = 0;
+    std::int64_t QueueDepth = 0;
+  };
+  Stats stats() const;
+
+private:
+  struct RequestState;
+
+  void runRequest(const std::shared_ptr<RequestState> &R);
+  void finish(RequestState &R, Response Rsp);
+
+  ServeOptions Options;
+  std::unique_ptr<QueryCache> OwnedCache; ///< When Options.Cache == null.
+  QueryCache *Cache = nullptr;
+
+  std::atomic<std::uint64_t> NextSessionId{1};
+  std::atomic<std::uint64_t> NextRequestId{1};
+  std::atomic<std::int64_t> InFlight{0};
+  std::atomic<bool> Closed{false};
+
+  // Instance stats (relaxed atomics; read via stats()).
+  std::atomic<std::uint64_t> NSessions{0}, NPrepares{0}, NAccepted{0},
+      NOk{0}, NShed{0}, NTimeouts{0}, NErrors{0}, NDegraded{0},
+      NNativeRuns{0}, NRecompSched{0}, NRecompDone{0}, NRecompFailed{0},
+      NRecompSaturated{0};
+
+  // Declared last: destroyed first, so worker threads and compile
+  // callbacks never outlive the state above.
+  jit::CompileQueue CompileQ;
+  dryad::ThreadPool Exec;
+};
+
+} // namespace serve
+} // namespace steno
+
+#endif // STENO_SERVE_SERVE_H

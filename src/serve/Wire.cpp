@@ -1,0 +1,331 @@
+//===- serve/Wire.cpp - Line protocol for steno_serve ----------*- C++ -*-===//
+
+#include "serve/Wire.h"
+
+#include "fuzz/Diff.h" // fuzzValueStr: the stable row renderer
+#include "support/StringUtil.h"
+
+#include <cerrno>
+#include <sstream>
+#include <unistd.h>
+
+using namespace steno;
+using namespace steno::serve;
+
+//===--------------------------------------------------------------------===//
+// FdStream
+//===--------------------------------------------------------------------===//
+
+bool FdStream::readLine(std::string &Line) {
+  Line.clear();
+  for (;;) {
+    while (Pos < Buf.size()) {
+      char C = Buf[Pos++];
+      if (C == '\n') {
+        if (!Line.empty() && Line.back() == '\r')
+          Line.pop_back();
+        return true;
+      }
+      Line.push_back(C);
+    }
+    Buf.clear();
+    Pos = 0;
+    char Chunk[4096];
+    ssize_t N = ::read(Fd, Chunk, sizeof Chunk);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return false;
+    }
+    if (N == 0)
+      return false; // EOF; a partial unterminated line is dropped
+    Buf.assign(Chunk, static_cast<std::size_t>(N));
+  }
+}
+
+bool FdStream::writeAll(const std::string &Bytes) {
+  std::size_t Off = 0;
+  while (Off < Bytes.size()) {
+    ssize_t N = ::write(Fd, Bytes.data() + Off, Bytes.size() - Off);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return false;
+    }
+    Off += static_cast<std::size_t>(N);
+  }
+  return true;
+}
+
+//===--------------------------------------------------------------------===//
+// Frames
+//===--------------------------------------------------------------------===//
+
+namespace {
+
+std::string oneLine(std::string S) {
+  for (std::size_t I = 0; (I = S.find('\n', I)) != std::string::npos;)
+    S.replace(I, 1, "; ");
+  return S;
+}
+
+std::string errorFrame(const std::string &Message) {
+  return "error " + oneLine(Message) + "\n";
+}
+
+std::string statsJson(const QueryService::Stats &S) {
+  char Buf[512];
+  std::snprintf(
+      Buf, sizeof Buf,
+      "{\"sessions\":%llu,\"prepares\":%llu,\"accepted\":%llu,"
+      "\"ok\":%llu,\"shed\":%llu,\"timeouts\":%llu,\"errors\":%llu,"
+      "\"degraded_runs\":%llu,\"native_runs\":%llu,"
+      "\"recompiles_scheduled\":%llu,\"recompiles_done\":%llu,"
+      "\"recompiles_failed\":%llu,\"recompiles_saturated\":%llu,"
+      "\"queue_depth\":%lld}",
+      static_cast<unsigned long long>(S.Sessions),
+      static_cast<unsigned long long>(S.Prepares),
+      static_cast<unsigned long long>(S.Accepted),
+      static_cast<unsigned long long>(S.Ok),
+      static_cast<unsigned long long>(S.Shed),
+      static_cast<unsigned long long>(S.Timeouts),
+      static_cast<unsigned long long>(S.Errors),
+      static_cast<unsigned long long>(S.DegradedRuns),
+      static_cast<unsigned long long>(S.NativeRuns),
+      static_cast<unsigned long long>(S.RecompilesScheduled),
+      static_cast<unsigned long long>(S.RecompilesDone),
+      static_cast<unsigned long long>(S.RecompilesFailed),
+      static_cast<unsigned long long>(S.RecompilesSaturated),
+      static_cast<long long>(S.QueueDepth));
+  return Buf;
+}
+
+} // namespace
+
+std::string serve::renderResponse(const Response &R) {
+  switch (R.St) {
+  case Status::Timeout:
+    return support::strFormat("timeout %llu\n",
+                              static_cast<unsigned long long>(R.Id));
+  case Status::Shed:
+    return support::strFormat("shed %llu\n",
+                              static_cast<unsigned long long>(R.Id));
+  case Status::Error:
+    return errorFrame(R.Message.empty() ? "internal error" : R.Message);
+  case Status::Ok:
+    break;
+  }
+  std::string Out = support::strFormat(
+      "result %llu %s %zu degraded=%d native=%d queue_us=%.1f "
+      "run_us=%.1f\n",
+      static_cast<unsigned long long>(R.Id),
+      R.Result.isScalar() ? "scalar" : "rows", R.Result.rows().size(),
+      R.Degraded ? 1 : 0, R.NativePlan ? 1 : 0, R.QueueMicros,
+      R.RunMicros);
+  for (const expr::Value &V : R.Result.rows())
+    Out += "row " + fuzz::fuzzValueStr(V) + "\n";
+  Out += "done\n";
+  return Out;
+}
+
+//===--------------------------------------------------------------------===//
+// Server side
+//===--------------------------------------------------------------------===//
+
+void serve::serveConnection(QueryService &Svc, int Fd) {
+  FdStream S(Fd);
+  std::shared_ptr<Session> Sess = Svc.openSession();
+  std::vector<PreparedHandle> Handles; // connection-local handle table
+
+  std::string Line;
+  while (S.readLine(Line)) {
+    std::istringstream Fields(Line);
+    std::string Cmd;
+    if (!(Fields >> Cmd))
+      continue; // blank line
+
+    if (Cmd == "quit") {
+      S.writeAll("bye\n");
+      return;
+    }
+
+    if (Cmd == "prepare") {
+      // The spec's own `end` line frames the payload.
+      std::string SpecText, SpecLine;
+      bool SawEnd = false;
+      while (S.readLine(SpecLine)) {
+        SpecText += SpecLine;
+        SpecText += '\n';
+        if (SpecLine == "end") {
+          SawEnd = true;
+          break;
+        }
+      }
+      if (!SawEnd)
+        return; // EOF mid-spec: drop the connection
+      std::string Err;
+      PreparedHandle P = Sess->prepare(SpecText, &Err);
+      if (!P) {
+        if (!S.writeAll(errorFrame(Err)))
+          return;
+        continue;
+      }
+      Handles.push_back(P);
+      if (!S.writeAll(support::strFormat("prepared %zu\n",
+                                         Handles.size() - 1)))
+        return;
+      continue;
+    }
+
+    if (Cmd == "exec") {
+      std::size_t Handle = 0;
+      long long DeadlineMs = -1;
+      if (!(Fields >> Handle)) {
+        if (!S.writeAll(errorFrame("exec needs a handle")))
+          return;
+        continue;
+      }
+      Fields >> DeadlineMs; // optional; default deadline when absent
+      if (Handle >= Handles.size()) {
+        if (!S.writeAll(errorFrame(support::strFormat(
+                "unknown handle %zu", Handle))))
+          return;
+        continue;
+      }
+      Response R =
+          DeadlineMs >= 0
+              ? Sess->execute(Handles[Handle],
+                              std::chrono::milliseconds(DeadlineMs))
+              : Sess->execute(Handles[Handle]);
+      if (!S.writeAll(renderResponse(R)))
+        return;
+      continue;
+    }
+
+    if (Cmd == "stats") {
+      if (!S.writeAll("stats " + statsJson(Svc.stats()) + "\n"))
+        return;
+      continue;
+    }
+
+    if (!S.writeAll(errorFrame("unknown command '" + Cmd + "'")))
+      return;
+  }
+}
+
+//===--------------------------------------------------------------------===//
+// Client side
+//===--------------------------------------------------------------------===//
+
+bool WireClient::prepare(const std::string &SpecText, std::uint64_t &Handle,
+                         std::string &Err) {
+  std::string Frame = "prepare\n" + SpecText;
+  if (Frame.back() != '\n')
+    Frame += '\n';
+  if (!S.writeAll(Frame)) {
+    Err = "write failed";
+    return false;
+  }
+  std::string Line;
+  if (!S.readLine(Line)) {
+    Err = "connection closed";
+    return false;
+  }
+  std::istringstream Fields(Line);
+  std::string Tok;
+  Fields >> Tok;
+  if (Tok == "prepared") {
+    unsigned long long H = 0;
+    if (!(Fields >> H)) {
+      Err = "malformed prepared frame: " + Line;
+      return false;
+    }
+    Handle = H;
+    return true;
+  }
+  if (Tok == "error") {
+    Err = Line.size() > 6 ? Line.substr(6) : "unspecified error";
+    return false;
+  }
+  Err = "unexpected frame: " + Line;
+  return false;
+}
+
+bool WireClient::exec(std::uint64_t Handle, std::int64_t DeadlineMs,
+                      ExecResult &Out) {
+  Out = ExecResult();
+  std::string Frame =
+      DeadlineMs >= 0
+          ? support::strFormat("exec %llu %lld\n",
+                               static_cast<unsigned long long>(Handle),
+                               static_cast<long long>(DeadlineMs))
+          : support::strFormat("exec %llu\n",
+                               static_cast<unsigned long long>(Handle));
+  if (!S.writeAll(Frame))
+    return false;
+  std::string Line;
+  if (!S.readLine(Line))
+    return false;
+  std::istringstream Fields(Line);
+  std::string Tok;
+  Fields >> Tok;
+
+  if (Tok == "timeout" || Tok == "shed") {
+    Out.St = Tok == "timeout" ? Status::Timeout : Status::Shed;
+    unsigned long long Id = 0;
+    Fields >> Id;
+    Out.Id = Id;
+    return true;
+  }
+  if (Tok == "error") {
+    Out.St = Status::Error;
+    Out.Error = Line.size() > 6 ? Line.substr(6) : "unspecified error";
+    return true;
+  }
+  if (Tok != "result")
+    return false;
+
+  unsigned long long Id = 0;
+  std::string Shape;
+  std::size_t NRows = 0;
+  std::string DegTok, NatTok, QueueTok, RunTok;
+  if (!(Fields >> Id >> Shape >> NRows >> DegTok >> NatTok >> QueueTok >>
+        RunTok))
+    return false;
+  Out.St = Status::Ok;
+  Out.Id = Id;
+  Out.Scalar = Shape == "scalar";
+  Out.Degraded = DegTok == "degraded=1";
+  Out.Native = NatTok == "native=1";
+  if (QueueTok.rfind("queue_us=", 0) == 0)
+    Out.QueueMicros = std::atof(QueueTok.c_str() + 9);
+  if (RunTok.rfind("run_us=", 0) == 0)
+    Out.RunMicros = std::atof(RunTok.c_str() + 7);
+
+  Out.Rows.reserve(NRows);
+  for (std::size_t I = 0; I != NRows; ++I) {
+    if (!S.readLine(Line) || Line.rfind("row ", 0) != 0)
+      return false;
+    Out.Rows.push_back(Line.substr(4));
+  }
+  if (!S.readLine(Line) || Line != "done")
+    return false;
+  return true;
+}
+
+bool WireClient::stats(std::string &Json) {
+  if (!S.writeAll("stats\n"))
+    return false;
+  std::string Line;
+  if (!S.readLine(Line) || Line.rfind("stats ", 0) != 0)
+    return false;
+  Json = Line.substr(6);
+  return true;
+}
+
+void WireClient::quit() {
+  if (!S.writeAll("quit\n"))
+    return;
+  std::string Line;
+  S.readLine(Line); // bye
+}

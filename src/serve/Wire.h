@@ -1,0 +1,124 @@
+//===- serve/Wire.h - Line protocol for steno_serve ------------*- C++ -*-===//
+//
+// Part of the Steno/C++ reproduction of Murray, Isard & Yu,
+// "Steno: Automatic Optimization of Declarative Queries" (PLDI 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The textual protocol steno_serve speaks over a local (Unix-domain)
+/// socket. Line-oriented, human-debuggable with `nc -U`:
+///
+///   client                              server
+///   ------                              ------
+///   prepare
+///   steno-fuzz v1
+///   source 0 double 64 uniform 7
+///   op select square 0
+///   op agg sum 0
+///   end
+///                                       prepared 0
+///   exec 0 250
+///                                       result <id> scalar 1 degraded=1
+///                                           native=0 queue_us=.. run_us=..
+///                                       row 12345.678
+///                                       done
+///   stats
+///                                       stats {"accepted":1,...}
+///   quit
+///                                       bye
+///
+/// The spec payload is framed by the grammar's own `end` terminator, so
+/// no byte counting is needed. Error responses are a single
+/// `error <message>` line (embedded newlines become "; "). exec answers
+/// are exactly one of result/timeout/shed/error — the admission-control
+/// statuses map onto the wire one-to-one.
+///
+/// The protocol logic lives here (not in the tool) so the framing and a
+/// full socketpair round trip are unit-testable without a real listener.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STENO_SERVE_WIRE_H
+#define STENO_SERVE_WIRE_H
+
+#include "serve/Serve.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace steno {
+namespace serve {
+
+/// Buffered line I/O over a file descriptor (socket or pipe). Does not
+/// own the descriptor.
+class FdStream {
+public:
+  explicit FdStream(int Fd) : Fd(Fd) {}
+
+  /// Reads up to the next '\n' (consumed, not returned; a trailing '\r'
+  /// is stripped). Returns false on EOF or error with nothing buffered.
+  bool readLine(std::string &Line);
+
+  /// Writes all of \p Bytes. Returns false on error.
+  bool writeAll(const std::string &Bytes);
+
+  int fd() const { return Fd; }
+
+private:
+  int Fd;
+  std::string Buf;
+  std::size_t Pos = 0;
+};
+
+/// Renders an execute() Response in wire form (result/timeout/shed/error
+/// frames as documented above). Exposed for tests.
+std::string renderResponse(const Response &R);
+
+/// Serves one connection: opens a Session on \p Svc and processes
+/// requests from \p Fd until EOF, `quit`, or a write failure. Blocking;
+/// run one thread per connection.
+void serveConnection(QueryService &Svc, int Fd);
+
+/// Client half of the protocol, for the loadgen's socket mode and the
+/// end-to-end tests.
+class WireClient {
+public:
+  explicit WireClient(int Fd) : S(Fd) {}
+
+  /// Sends a prepare frame; true on `prepared`, false with \p Err set on
+  /// `error` or protocol failure.
+  bool prepare(const std::string &SpecText, std::uint64_t &Handle,
+               std::string &Err);
+
+  struct ExecResult {
+    Status St = Status::Error;
+    std::uint64_t Id = 0;
+    bool Scalar = false;
+    bool Degraded = false;
+    bool Native = false;
+    double QueueMicros = 0;
+    double RunMicros = 0;
+    std::vector<std::string> Rows; ///< fuzzValueStr-rendered rows.
+    std::string Error;
+  };
+
+  /// Sends `exec`; false only on protocol breakdown (timeout/shed/error
+  /// statuses are successful protocol exchanges reported in \p Out).
+  bool exec(std::uint64_t Handle, std::int64_t DeadlineMs, ExecResult &Out);
+
+  /// Fetches the service stats line (one JSON object).
+  bool stats(std::string &Json);
+
+  /// Sends `quit` and reads the `bye`.
+  void quit();
+
+private:
+  FdStream S;
+};
+
+} // namespace serve
+} // namespace steno
+
+#endif // STENO_SERVE_WIRE_H

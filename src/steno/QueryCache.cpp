@@ -160,17 +160,72 @@ CompiledQuery QueryCache::getOrCompile(const query::Query &Q,
       }
     }
   }
-  // Compile outside the lock (compilation can take hundreds of ms).
+  // Compile outside the lock (compilation can take hundreds of ms). A
+  // concurrent getOrCompile for the same key may be compiling too; the
+  // re-scan inside insert() makes the first finisher canonical and drops
+  // the duplicate module, so every caller shares one entry.
   CompiledQuery Compiled = compileQuery(Q, Options);
-  {
-    std::lock_guard<std::mutex> Lock(Mutex);
-    Misses.fetch_add(1, std::memory_order_relaxed);
-    MissCount.inc();
-    Buckets[Key].push_back(
-        Entry{Q, Options.Exec, Options.SpecializeGroupByAggregate,
-              Compiled});
+  Misses.fetch_add(1, std::memory_order_relaxed);
+  MissCount.inc();
+  return insert(Q, Options, std::move(Compiled));
+}
+
+CompiledQuery QueryCache::lookup(const query::Query &Q,
+                                 const CompileOptions &Options) const {
+  std::uint64_t Key = hashQuery(Q);
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto It = Buckets.find(Key);
+  if (It == Buckets.end())
+    return CompiledQuery();
+  for (const Entry &E : It->second)
+    if (E.Exec == Options.Exec &&
+        E.Specialize == Options.SpecializeGroupByAggregate &&
+        equalQueries(E.Query, Q))
+      return E.Compiled;
+  return CompiledQuery();
+}
+
+CompiledQuery QueryCache::insert(const query::Query &Q,
+                                 const CompileOptions &Options,
+                                 CompiledQuery Compiled) {
+  static obs::Counter &DupDroppedCount =
+      obs::counter("steno.cache.duplicate_compiles_dropped");
+  std::uint64_t Key = hashQuery(Q);
+  std::lock_guard<std::mutex> Lock(Mutex);
+  for (const Entry &E : Buckets[Key]) {
+    if (E.Exec == Options.Exec &&
+        E.Specialize == Options.SpecializeGroupByAggregate &&
+        equalQueries(E.Query, Q)) {
+      DupDropped.fetch_add(1, std::memory_order_relaxed);
+      DupDroppedCount.inc();
+      return E.Compiled; // first insert won; drop the duplicate
+    }
   }
+  Buckets[Key].push_back(Entry{
+      Q, Options.Exec, Options.SpecializeGroupByAggregate, Compiled});
   return Compiled;
+}
+
+bool QueryCache::evict(const query::Query &Q, const CompileOptions &Options) {
+  static obs::Counter &Evictions = obs::counter("steno.cache.evictions");
+  std::uint64_t Key = hashQuery(Q);
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto It = Buckets.find(Key);
+  if (It == Buckets.end())
+    return false;
+  std::vector<Entry> &Entries = It->second;
+  for (std::size_t I = 0; I != Entries.size(); ++I) {
+    if (Entries[I].Exec == Options.Exec &&
+        Entries[I].Specialize == Options.SpecializeGroupByAggregate &&
+        equalQueries(Entries[I].Query, Q)) {
+      Entries.erase(Entries.begin() + static_cast<std::ptrdiff_t>(I));
+      if (Entries.empty())
+        Buckets.erase(It);
+      Evictions.inc();
+      return true;
+    }
+  }
+  return false;
 }
 
 std::size_t QueryCache::size() const {

@@ -44,9 +44,32 @@ bool equalQueries(const query::Query &A, const query::Query &B);
 class QueryCache {
 public:
   /// Returns the cached compiled query for a structurally equal prior
-  /// request, or compiles, caches and returns.
+  /// request, or compiles, caches and returns. Concurrent misses on the
+  /// same key may compile in parallel (compilation runs outside the
+  /// cache mutex), but insertion is first-wins: every caller receives the
+  /// one canonical entry, duplicates are dropped, and size() never counts
+  /// the same (query, options) twice.
   CompiledQuery getOrCompile(const query::Query &Q,
                              const CompileOptions &Options = CompileOptions());
+
+  /// Cache peek without compiling: the cached entry for (Q, Options), or
+  /// an invalid handle on a miss. Does not move hits()/misses() — those
+  /// count getOrCompile outcomes only.
+  CompiledQuery lookup(const query::Query &Q,
+                       const CompileOptions &Options = CompileOptions()) const;
+
+  /// Publishes an externally compiled query (e.g. a background native
+  /// recompile finishing off-thread) under (Q, Options). First insert
+  /// wins: if a structurally equal entry already exists, \p Compiled is
+  /// dropped and the canonical entry is returned, so every handle for one
+  /// key shares one compiled module.
+  CompiledQuery insert(const query::Query &Q, const CompileOptions &Options,
+                       CompiledQuery Compiled);
+
+  /// Removes the entry for (Q, Options). Returns false when absent.
+  /// Outstanding CompiledQuery handles stay valid (shared state).
+  bool evict(const query::Query &Q,
+             const CompileOptions &Options = CompileOptions());
 
   /// Number of distinct compiled entries.
   std::size_t size() const;
@@ -58,6 +81,11 @@ public:
   }
   std::uint64_t misses() const {
     return Misses.load(std::memory_order_relaxed);
+  }
+  /// Modules compiled by a losing racer and discarded by first-wins
+  /// insertion (concurrent misses, background recompiles).
+  std::uint64_t duplicateCompilesDropped() const {
+    return DupDropped.load(std::memory_order_relaxed);
   }
 
   /// Drops every entry (compiled modules stay alive while CompiledQuery
@@ -79,6 +107,7 @@ private:
   std::unordered_map<std::uint64_t, std::vector<Entry>> Buckets;
   std::atomic<std::uint64_t> Hits{0};
   std::atomic<std::uint64_t> Misses{0};
+  std::atomic<std::uint64_t> DupDropped{0};
 };
 
 } // namespace steno

@@ -131,6 +131,30 @@ const std::string &CompiledQuery::generatedSource() const {
   return I->Source;
 }
 
+Backend CompiledQuery::backend() const { return I->ExecBackend; }
+
+CompiledQuery CompiledQuery::withNativeModule(
+    std::unique_ptr<jit::CompiledModule> Module) const {
+  if (!I)
+    support::fatalError(
+        "withNativeModule on a default-constructed CompiledQuery");
+  if (!Module)
+    support::fatalError("withNativeModule: null module for query '" +
+                        I->Program.Name + "'");
+  auto Impl = std::make_shared<CompiledQuery::Impl>();
+  Impl->Chain = I->Chain;
+  Impl->Program = I->Program;
+  Impl->Slots = I->Slots;
+  Impl->Source = I->Source;
+  Impl->Specialized = I->Specialized;
+  Impl->Analysis = I->Analysis;
+  Impl->ExecBackend = Backend::Native;
+  Impl->Module = std::move(Module);
+  CompiledQuery CQ;
+  CQ.I = std::move(Impl);
+  return CQ;
+}
+
 double CompiledQuery::compileMillis() const {
   return I->Module ? I->Module->compileMillis() : 0.0;
 }

@@ -82,6 +82,18 @@ public:
   /// uses is unbound or has the wrong buffer kind.
   QueryResult run(const Bindings &B) const;
 
+  /// Which engine run() dispatches to.
+  Backend backend() const;
+
+  /// The background-recompile hook (steno::serve): wraps \p Module — which
+  /// must have been compiled from generatedSource() resolving
+  /// program().Name, e.g. via jit::CompileQueue — as the Native-backend
+  /// twin of this query. Chain, program, slot usage and analysis state are
+  /// shared; only the execution engine changes. Aborts on an invalid
+  /// handle or a null module.
+  CompiledQuery
+  withNativeModule(std::unique_ptr<jit::CompiledModule> Module) const;
+
   /// The generated C++ source (available for both backends).
   const std::string &generatedSource() const;
   /// One-off compile+load cost in ms (0 for the Interp backend).

@@ -6,9 +6,12 @@
 #include "support/TempFile.h"
 #include "support/Timing.h"
 
+#include <atomic>
 #include <cstdlib>
 #include <filesystem>
+#include <thread>
 #include <utility>
+#include <vector>
 
 #include "gtest/gtest.h"
 
@@ -207,6 +210,132 @@ TEST(QueryCacheTest, GlobalInstanceIsShared) {
   QueryCache &A = QueryCache::global();
   QueryCache &B = QueryCache::global();
   EXPECT_EQ(&A, &B);
+}
+
+TEST(QueryCacheTest, LookupPeeksWithoutCompiling) {
+  QueryCache Cache;
+  CompileOptions Options;
+  Options.Exec = Backend::Interp;
+  EXPECT_FALSE(Cache.lookup(sumSq(), Options).valid());
+  EXPECT_EQ(Cache.misses(), 0u) << "lookup must not count as a miss";
+  CompiledQuery Compiled = Cache.getOrCompile(sumSq(), Options);
+  CompiledQuery Peeked = Cache.lookup(sumSq(), Options);
+  ASSERT_TRUE(Peeked.valid());
+  EXPECT_EQ(&Peeked.generatedSource(), &Compiled.generatedSource());
+  EXPECT_EQ(Cache.hits(), 0u) << "lookup must not count as a hit";
+}
+
+TEST(QueryCacheTest, InsertIsFirstWins) {
+  QueryCache Cache;
+  CompileOptions Options;
+  Options.Exec = Backend::Interp;
+  // Two independently compiled modules for one key: the second insert
+  // must drop its argument and return the canonical first entry.
+  CompiledQuery A = compileQuery(sumSq(), Options);
+  CompiledQuery B = compileQuery(sumSq(), Options);
+  CompiledQuery InA = Cache.insert(sumSq(), Options, A);
+  CompiledQuery InB = Cache.insert(sumSq(), Options, B);
+  EXPECT_EQ(Cache.size(), 1u);
+  EXPECT_EQ(&InA.generatedSource(), &InB.generatedSource());
+  EXPECT_EQ(&InB.generatedSource(), &A.generatedSource());
+  EXPECT_EQ(Cache.duplicateCompilesDropped(), 1u);
+}
+
+TEST(QueryCacheTest, EvictRemovesExactlyTheKeyedEntry) {
+  QueryCache Cache;
+  CompileOptions Interp;
+  Interp.Exec = Backend::Interp;
+  CompileOptions NoSpec = Interp;
+  NoSpec.SpecializeGroupByAggregate = false;
+  CompiledQuery Kept = Cache.getOrCompile(sumSq(), Interp);
+  Cache.getOrCompile(sumSq(), NoSpec);
+  ASSERT_EQ(Cache.size(), 2u);
+  EXPECT_TRUE(Cache.evict(sumSq(), NoSpec));
+  EXPECT_EQ(Cache.size(), 1u);
+  EXPECT_FALSE(Cache.evict(sumSq(), NoSpec)) << "already gone";
+  EXPECT_TRUE(Cache.lookup(sumSq(), Interp).valid())
+      << "the other options-key survives";
+  // Evicted handles keep working (shared module state).
+  std::vector<double> Xs = {2.0};
+  Bindings B;
+  B.bindDoubleArray(0, Xs.data(), 1);
+  EXPECT_TRUE(Cache.evict(sumSq(), Interp));
+  EXPECT_DOUBLE_EQ(Kept.run(B).scalarValue().asDouble(), 4.0);
+}
+
+TEST(QueryCacheTest, ConcurrentMissesConvergeOnOneEntry) {
+  // The duplicate-insert race: N threads miss the same key at once, all
+  // compile (compilation is outside the lock), but first-wins insertion
+  // must leave exactly one entry, and every caller must receive it.
+  constexpr unsigned Threads = 8;
+  QueryCache Cache;
+  CompileOptions Options;
+  Options.Exec = Backend::Interp;
+  std::vector<const std::string *> Sources(Threads);
+  std::vector<std::thread> Pool;
+  for (unsigned T = 0; T < Threads; ++T)
+    Pool.emplace_back([&, T] {
+      CompiledQuery CQ = Cache.getOrCompile(sumSq(), Options);
+      Sources[T] = &CQ.generatedSource();
+    });
+  for (std::thread &T : Pool)
+    T.join();
+  EXPECT_EQ(Cache.size(), 1u) << "duplicate entries for one key";
+  for (unsigned T = 1; T < Threads; ++T)
+    EXPECT_EQ(Sources[T], Sources[0])
+        << "caller " << T << " got a non-canonical module";
+  EXPECT_EQ(Cache.hits() + Cache.misses(), Threads);
+  EXPECT_GE(Cache.misses(), 1u);
+}
+
+TEST(QueryCacheTest, ConcurrentInsertLookupEvictSameKey) {
+  // Hammer one key from three kinds of threads; the cache must stay
+  // coherent: size is always 0 or 1 for the key, lookups only ever see
+  // the canonical entry, and nothing crashes or deadlocks.
+  constexpr unsigned Iters = 200;
+  QueryCache Cache;
+  CompileOptions Options;
+  Options.Exec = Backend::Interp;
+  CompiledQuery Seed = compileQuery(sumSq(), Options);
+  std::atomic<bool> Stop{false};
+  std::atomic<std::uint64_t> Inserted{0}, Evicted{0};
+
+  std::vector<std::thread> Pool;
+  for (int T = 0; T < 2; ++T)
+    Pool.emplace_back([&] {
+      for (unsigned I = 0; I < Iters; ++I) {
+        CompiledQuery Canon = Cache.insert(sumSq(), Options, Seed);
+        EXPECT_TRUE(Canon.valid());
+        Inserted.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  Pool.emplace_back([&] {
+    for (unsigned I = 0; I < Iters; ++I)
+      if (Cache.evict(sumSq(), Options))
+        Evicted.fetch_add(1, std::memory_order_relaxed);
+  });
+  Pool.emplace_back([&] {
+    while (!Stop.load(std::memory_order_relaxed)) {
+      CompiledQuery Peek = Cache.lookup(sumSq(), Options);
+      if (Peek.valid()) {
+        EXPECT_EQ(&Peek.generatedSource(), &Seed.generatedSource());
+      }
+      EXPECT_LE(Cache.size(), 1u);
+    }
+  });
+  for (std::size_t I = 0; I + 1 < Pool.size(); ++I)
+    Pool[I].join();
+  Stop.store(true, std::memory_order_relaxed);
+  Pool.back().join();
+
+  EXPECT_EQ(Inserted.load(), 2u * Iters) << "every insert returned";
+  EXPECT_LE(Cache.size(), 1u);
+  // The entry (if present) is still runnable.
+  CompiledQuery Final = Cache.getOrCompile(sumSq(), Options);
+  std::vector<double> Xs = {1.0, 2.0};
+  Bindings B;
+  B.bindDoubleArray(0, Xs.data(), 2);
+  EXPECT_DOUBLE_EQ(Final.run(B).scalarValue().asDouble(), 5.0);
 }
 
 //===--------------------------------------------------------------------===//

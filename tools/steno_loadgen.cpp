@@ -1,0 +1,439 @@
+//===- tools/steno_loadgen.cpp - Closed-loop load generator --------------===//
+//
+// Part of the Steno/C++ reproduction of Murray, Isard & Yu,
+// "Steno: Automatic Optimization of Declarative Queries" (PLDI 2011).
+//
+//===----------------------------------------------------------------------===//
+//
+// Drives an in-process serve::QueryService with N closed-loop clients
+// (each waits for its response before sending the next request) over a
+// mix of paper-shaped queries plus generated fuzz specs, verifying every
+// Ok response against the reference interpreter and every response id
+// for uniqueness. This is the serving-layer acceptance harness: it
+// writes BENCH_serve.json and exits nonzero when anything was lost,
+// duplicated, mismatched, or errored.
+//
+//   steno_loadgen --clients 8 --seconds 30 --seed 1     # CI configuration
+//
+// Exit status: 0 clean; 1 on lost/duplicate/mismatched/errored
+// responses; 2 on usage or setup errors.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Diff.h"
+#include "fuzz/Gen.h"
+#include "serve/Serve.h"
+#include "steno/RefExec.h"
+#include "support/Random.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+using namespace steno;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: steno_loadgen [options]\n"
+      "  --clients N        closed-loop client threads (default 8)\n"
+      "  --seconds N        run duration (default 10)\n"
+      "  --seed N           generated-spec seed (default 1)\n"
+      "  --gen N            generated specs added to the mix (default 4)\n"
+      "  --deadline-ms N    per-request deadline (default 5000)\n"
+      "  --workers N        service execution pool (default 4)\n"
+      "  --max-queue N      admission bound (default 64)\n"
+      "  --compile-workers N  background JIT threads (default 1)\n"
+      "  --no-recompile     stay on the interpreter backend\n");
+}
+
+bool parseUnsigned(const char *S, unsigned long long &Out) {
+  char *End = nullptr;
+  Out = std::strtoull(S, &End, 10);
+  return End && *End == '\0' && End != S;
+}
+
+/// The paper-shaped core of the query mix (EXPERIMENTS.md benchmarks,
+/// restated as fuzz specs): Sum, Scale, filtered Count, Ret-pop's nested
+/// flatten, Group, Sort, and the forced-sequential non-associative fold.
+std::vector<fuzz::QuerySpec> paperMix() {
+  using namespace fuzz;
+  std::vector<QuerySpec> Mix;
+
+  { // Sum: xs.Select(x => x*x).Sum()
+    QuerySpec S;
+    S.Sources.push_back({0, ElemTy::Double, DataClass::Uniform, 4096, 11});
+    OpSpec Sel;
+    Sel.K = OpK::Select;
+    Sel.T = TransTmpl::Square;
+    OpSpec Agg;
+    Agg.K = OpK::Agg;
+    Agg.A = AggKind::Sum;
+    S.Ops = {Sel, Agg};
+    Mix.push_back(S);
+  }
+  { // Scale: xs.Select(x => x * k).Sum() with a captured k
+    QuerySpec S;
+    S.Sources.push_back({0, ElemTy::Double, DataClass::Uniform, 4096, 12});
+    S.HasCaptureD = true;
+    S.CaptureD = 2.5;
+    OpSpec Sel;
+    Sel.K = OpK::Select;
+    Sel.T = TransTmpl::CapScale;
+    OpSpec Agg;
+    Agg.K = OpK::Agg;
+    Agg.A = AggKind::Sum;
+    S.Ops = {Sel, Agg};
+    Mix.push_back(S);
+  }
+  { // Filtered count: xs.Where(x => x > 10).Count()
+    QuerySpec S;
+    S.Sources.push_back({0, ElemTy::Double, DataClass::Skewed, 4096, 13});
+    OpSpec Wh;
+    Wh.K = OpK::Where;
+    Wh.P = PredTmpl::GtC;
+    Wh.DArg = 10.0;
+    OpSpec Agg;
+    Agg.K = OpK::Agg;
+    Agg.A = AggKind::Count;
+    S.Ops = {Wh, Agg};
+    Mix.push_back(S);
+  }
+  { // Ret-pop shape: xs.SelectMany(ys).Sum() (Figure 11's flatten)
+    QuerySpec S;
+    S.Sources.push_back({0, ElemTy::Double, DataClass::Uniform, 256, 14});
+    S.Sources.push_back({1, ElemTy::Double, DataClass::Uniform, 16, 15});
+    OpSpec SM;
+    SM.K = OpK::SelectMany;
+    SM.Slot = 1;
+    OpSpec Agg;
+    Agg.K = OpK::Agg;
+    Agg.A = AggKind::Sum;
+    S.Ops = {SM, Agg};
+    Mix.push_back(S);
+  }
+  { // Group: bucketed GroupByAggregate over a Gaussian-ish skew
+    QuerySpec S;
+    S.Sources.push_back({0, ElemTy::Double, DataClass::Skewed, 4096, 16});
+    OpSpec GA;
+    GA.K = OpK::GroupAgg;
+    GA.Key = KeyTmpl::Bucket;
+    GA.DArg = 25.0;
+    GA.G = GroupStep::Sum;
+    S.Ops = {GA};
+    Mix.push_back(S);
+  }
+  { // Sort: xs.OrderBy(abs).ToArray()
+    QuerySpec S;
+    S.Sources.push_back({0, ElemTy::Double, DataClass::Uniform, 2048, 17});
+    OpSpec Ord;
+    Ord.K = OpK::OrderBy;
+    Ord.Key = KeyTmpl::Abs;
+    OpSpec Arr;
+    Arr.K = OpK::ToArray;
+    S.Ops = {Ord, Arr};
+    Mix.push_back(S);
+  }
+  { // Non-associative fold: certified unsafe, forced sequential
+    QuerySpec S;
+    S.Sources.push_back({0, ElemTy::Int64, DataClass::Uniform, 2048, 18});
+    OpSpec Agg;
+    Agg.K = OpK::Agg;
+    Agg.A = AggKind::FoldNonAssoc;
+    S.Ops = {Agg};
+    Mix.push_back(S);
+  }
+  return Mix;
+}
+
+struct MixEntry {
+  std::string Text;
+  serve::PreparedHandle Handle;
+  QueryResult Expected;
+};
+
+struct ClientOutcome {
+  std::uint64_t Sent = 0;
+  std::uint64_t Ok = 0, Shed = 0, Timeouts = 0, Errors = 0;
+  std::uint64_t Mismatches = 0;
+  std::uint64_t Degraded = 0, Native = 0;
+  std::vector<double> LatencyMicros;
+  std::vector<std::uint64_t> Ids;
+  std::string FirstMismatch;
+};
+
+bool resultsMatch(const QueryResult &Got, const QueryResult &Want) {
+  if (Got.isScalar() != Want.isScalar() ||
+      Got.rows().size() != Want.rows().size())
+    return false;
+  for (std::size_t I = 0; I != Got.rows().size(); ++I)
+    if (!fuzz::fuzzValueNear(Got.rows()[I], Want.rows()[I]))
+      return false;
+  return true;
+}
+
+double percentile(std::vector<double> &Sorted, double P) {
+  if (Sorted.empty())
+    return 0;
+  double Idx = P * static_cast<double>(Sorted.size() - 1);
+  return Sorted[static_cast<std::size_t>(Idx + 0.5)];
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  unsigned Clients = 8;
+  unsigned Seconds = 10;
+  std::uint64_t Seed = 1;
+  unsigned GenCount = 4;
+  std::chrono::milliseconds Deadline{5000};
+  serve::ServeOptions Opts;
+
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    auto next = [&]() -> const char * {
+      if (I + 1 >= Argc) {
+        std::fprintf(stderr, "steno_loadgen: %s needs a value\n",
+                     Arg.c_str());
+        std::exit(2);
+      }
+      return Argv[++I];
+    };
+    unsigned long long N = 0;
+    if (Arg == "--clients" && parseUnsigned(next(), N)) {
+      Clients = static_cast<unsigned>(N);
+    } else if (Arg == "--seconds" && parseUnsigned(next(), N)) {
+      Seconds = static_cast<unsigned>(N);
+    } else if (Arg == "--seed" && parseUnsigned(next(), N)) {
+      Seed = N;
+    } else if (Arg == "--gen" && parseUnsigned(next(), N)) {
+      GenCount = static_cast<unsigned>(N);
+    } else if (Arg == "--deadline-ms" && parseUnsigned(next(), N)) {
+      Deadline = std::chrono::milliseconds(N);
+    } else if (Arg == "--workers" && parseUnsigned(next(), N)) {
+      Opts.Workers = static_cast<unsigned>(N);
+    } else if (Arg == "--max-queue" && parseUnsigned(next(), N)) {
+      Opts.MaxQueue = static_cast<unsigned>(N);
+    } else if (Arg == "--compile-workers" && parseUnsigned(next(), N)) {
+      Opts.CompileWorkers = static_cast<unsigned>(N);
+    } else if (Arg == "--no-recompile") {
+      Opts.BackgroundRecompile = false;
+    } else {
+      usage();
+      return 2;
+    }
+  }
+  if (Clients == 0) {
+    usage();
+    return 2;
+  }
+
+  serve::QueryService Svc(Opts);
+  std::shared_ptr<serve::Session> Setup = Svc.openSession();
+
+  // Assemble the mix: the paper queries plus prescreened generated specs.
+  std::vector<fuzz::QuerySpec> Specs = paperMix();
+  {
+    support::SplitMix64 Rng(Seed);
+    fuzz::GenOptions GOpts;
+    unsigned Added = 0, Attempts = 0;
+    while (Added < GenCount && Attempts < GenCount * 50 + 50) {
+      ++Attempts;
+      fuzz::QuerySpec S = fuzz::generateSpec(Rng, GOpts);
+      std::string Err;
+      if (Setup->prepare(fuzz::serializeSpec(S), &Err)) {
+        Specs.push_back(S);
+        ++Added;
+      }
+    }
+  }
+
+  // Prepare each spec once (handles are shared by every client — exactly
+  // the long-lived prepared-statement usage the cache exists for) and
+  // compute its expected result with the reference interpreter.
+  std::vector<MixEntry> Mix;
+  for (const fuzz::QuerySpec &S : Specs) {
+    MixEntry E;
+    E.Text = fuzz::serializeSpec(S);
+    std::string Err;
+    E.Handle = Setup->prepare(E.Text, &Err);
+    if (!E.Handle) {
+      std::fprintf(stderr, "steno_loadgen: prepare failed: %s\n%s\n",
+                   Err.c_str(), E.Text.c_str());
+      return 2;
+    }
+    E.Expected = runReference(E.Handle->query(), E.Handle->bindings());
+    Mix.push_back(std::move(E));
+  }
+  std::fprintf(stderr, "steno_loadgen: %zu specs in the mix\n", Mix.size());
+
+  // The closed loop: each client owns a session, cycles the mix, and
+  // verifies in place.
+  Clock::time_point End = Clock::now() + std::chrono::seconds(Seconds);
+  std::vector<ClientOutcome> Outcomes(Clients);
+  std::vector<std::thread> Threads;
+  for (unsigned C = 0; C < Clients; ++C) {
+    Threads.emplace_back([&, C] {
+      ClientOutcome &Out = Outcomes[C];
+      std::shared_ptr<serve::Session> Sess = Svc.openSession();
+      std::size_t Cursor = C; // stagger the mix across clients
+      while (Clock::now() < End) {
+        const MixEntry &E = Mix[Cursor++ % Mix.size()];
+        ++Out.Sent;
+        Clock::time_point T0 = Clock::now();
+        serve::Response R = Sess->execute(E.Handle, Deadline);
+        double Micros = std::chrono::duration<double, std::micro>(
+                            Clock::now() - T0)
+                            .count();
+        Out.LatencyMicros.push_back(Micros);
+        Out.Ids.push_back(R.Id);
+        switch (R.St) {
+        case serve::Status::Ok:
+          ++Out.Ok;
+          if (R.Degraded)
+            ++Out.Degraded;
+          if (R.NativePlan)
+            ++Out.Native;
+          if (!resultsMatch(R.Result, E.Expected)) {
+            ++Out.Mismatches;
+            if (Out.FirstMismatch.empty())
+              Out.FirstMismatch = E.Text;
+          }
+          break;
+        case serve::Status::Shed:
+          ++Out.Shed;
+          break;
+        case serve::Status::Timeout:
+          ++Out.Timeouts;
+          break;
+        case serve::Status::Error:
+          ++Out.Errors;
+          break;
+        }
+      }
+    });
+  }
+  for (std::thread &T : Threads)
+    T.join();
+  Svc.drainRecompiles();
+
+  // Merge and audit.
+  ClientOutcome Total;
+  std::vector<double> Lat;
+  std::unordered_set<std::uint64_t> SeenIds;
+  std::uint64_t DuplicateIds = 0, Responses = 0;
+  for (const ClientOutcome &O : Outcomes) {
+    Total.Sent += O.Sent;
+    Total.Ok += O.Ok;
+    Total.Shed += O.Shed;
+    Total.Timeouts += O.Timeouts;
+    Total.Errors += O.Errors;
+    Total.Mismatches += O.Mismatches;
+    Total.Degraded += O.Degraded;
+    Total.Native += O.Native;
+    if (Total.FirstMismatch.empty())
+      Total.FirstMismatch = O.FirstMismatch;
+    Lat.insert(Lat.end(), O.LatencyMicros.begin(), O.LatencyMicros.end());
+    Responses += O.Ids.size();
+    for (std::uint64_t Id : O.Ids)
+      if (Id != 0 && !SeenIds.insert(Id).second)
+        ++DuplicateIds;
+  }
+  std::uint64_t Lost = Total.Sent - Responses;
+  std::sort(Lat.begin(), Lat.end());
+  double P50 = percentile(Lat, 0.50), P90 = percentile(Lat, 0.90),
+         P99 = percentile(Lat, 0.99);
+  double Rps = Seconds > 0 ? static_cast<double>(Total.Sent) / Seconds : 0;
+
+  // The amortization headline: a prepared execution vs the one-off
+  // native compile the background upgrade paid (§7.1 break-even).
+  double ColdCompileMillis = 0;
+  unsigned NativeHandles = 0;
+  for (const MixEntry &E : Mix)
+    if (E.Handle->nativeReady()) {
+      ColdCompileMillis += E.Handle->nativeCompileMillis();
+      ++NativeHandles;
+    }
+  if (NativeHandles)
+    ColdCompileMillis /= NativeHandles;
+  double Speedup =
+      P50 > 0 && ColdCompileMillis > 0 ? ColdCompileMillis * 1000 / P50 : 0;
+
+  serve::QueryService::Stats S = Svc.stats();
+  std::printf("steno_loadgen: %llu requests in %us (%.0f rps), "
+              "%llu ok / %llu shed / %llu timeout / %llu error\n",
+              static_cast<unsigned long long>(Total.Sent), Seconds, Rps,
+              static_cast<unsigned long long>(Total.Ok),
+              static_cast<unsigned long long>(Total.Shed),
+              static_cast<unsigned long long>(Total.Timeouts),
+              static_cast<unsigned long long>(Total.Errors));
+  std::printf("  latency p50 %.1fus p90 %.1fus p99 %.1fus; degraded %llu, "
+              "native %llu\n",
+              P50, P90, P99,
+              static_cast<unsigned long long>(Total.Degraded),
+              static_cast<unsigned long long>(Total.Native));
+  std::printf("  lost %llu, duplicate ids %llu, mismatches %llu\n",
+              static_cast<unsigned long long>(Lost),
+              static_cast<unsigned long long>(DuplicateIds),
+              static_cast<unsigned long long>(Total.Mismatches));
+  if (ColdCompileMillis > 0)
+    std::printf("  cold native compile %.1fms vs prepared p50 %.1fus "
+                "(%.0fx amortization)\n",
+                ColdCompileMillis, P50, Speedup);
+  if (!Total.FirstMismatch.empty())
+    std::fprintf(stderr, "steno_loadgen: first mismatching spec:\n%s\n",
+                 Total.FirstMismatch.c_str());
+
+  const char *Dir = std::getenv("STENO_BENCH_OUT");
+  std::string Path =
+      (Dir && *Dir ? std::string(Dir) + "/" : std::string()) +
+      "BENCH_serve.json";
+  if (std::FILE *F = std::fopen(Path.c_str(), "w")) {
+    std::fprintf(
+        F,
+        "{\n  \"binary\": \"serve\",\n  \"clients\": %u,\n"
+        "  \"seconds\": %u,\n  \"specs\": %zu,\n  \"requests\": %llu,\n"
+        "  \"throughput_rps\": %.1f,\n  \"ok\": %llu,\n  \"shed\": %llu,\n"
+        "  \"timeouts\": %llu,\n  \"errors\": %llu,\n"
+        "  \"degraded_runs\": %llu,\n  \"native_runs\": %llu,\n"
+        "  \"lost\": %llu,\n  \"duplicate_ids\": %llu,\n"
+        "  \"mismatches\": %llu,\n  \"latency_p50_micros\": %.1f,\n"
+        "  \"latency_p90_micros\": %.1f,\n  \"latency_p99_micros\": %.1f,\n"
+        "  \"prepared_p50_micros\": %.1f,\n"
+        "  \"cold_compile_millis\": %.2f,\n"
+        "  \"amortization_x\": %.1f,\n"
+        "  \"recompiles_done\": %llu,\n  \"recompiles_failed\": %llu\n}\n",
+        Clients, Seconds, Mix.size(),
+        static_cast<unsigned long long>(Total.Sent), Rps,
+        static_cast<unsigned long long>(Total.Ok),
+        static_cast<unsigned long long>(Total.Shed),
+        static_cast<unsigned long long>(Total.Timeouts),
+        static_cast<unsigned long long>(Total.Errors),
+        static_cast<unsigned long long>(Total.Degraded),
+        static_cast<unsigned long long>(Total.Native),
+        static_cast<unsigned long long>(Lost),
+        static_cast<unsigned long long>(DuplicateIds),
+        static_cast<unsigned long long>(Total.Mismatches), P50, P90, P99,
+        P50, ColdCompileMillis, Speedup,
+        static_cast<unsigned long long>(S.RecompilesDone),
+        static_cast<unsigned long long>(S.RecompilesFailed));
+    std::fclose(F);
+    std::fprintf(stderr, "steno_loadgen: wrote %s\n", Path.c_str());
+  } else {
+    std::fprintf(stderr, "steno_loadgen: cannot write %s\n", Path.c_str());
+  }
+
+  bool Bad = Lost || DuplicateIds || Total.Mismatches || Total.Errors;
+  return Bad ? 1 : 0;
+}
