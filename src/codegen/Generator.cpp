@@ -79,6 +79,10 @@ private:
     SinkDecl Decl;
     Lambda GbaResult; ///< GroupByAggregate result selector (key, acc) -> R.
     TypeRef OutElem;  ///< Element type produced when the sink is iterated.
+    /// Profiled-op index of the sink (NoProf when unprofiled): its
+    /// rows-out counter is deferred to the head of the sink-iteration
+    /// loop.
+    unsigned ProfOp = ~0u;
   };
 
   //===--------------------------------------------------------------===//
@@ -156,6 +160,57 @@ private:
   }
 
   //===--------------------------------------------------------------===//
+  // Profiling instrumentation
+  //===--------------------------------------------------------------===//
+
+  static constexpr unsigned NoProf = ~0u;
+
+  /// Registers profiled op K, emits its rows-in counter at the current μ
+  /// and marks the μ tail; everything appended to μ until the matching
+  /// profEnd() (including CSE-hoisted locals) becomes the op's timed
+  /// body. No-op (returns NoProf) when profiling is off, so unprofiled
+  /// plans carry zero instrumentation.
+  unsigned profBegin(const char *Label, bool Timed) {
+    if (!Options.Profile)
+      return NoProf;
+    unsigned K = static_cast<unsigned>(Program.ProfOps.size());
+    Program.ProfOps.push_back({Label, Stack.back().LoopDepth, Timed});
+    mu().push_back(Stmt::profileCount(2 * K));
+    ProfMark = mu().size();
+    return K;
+  }
+
+  /// Wraps the μ statements appended since profBegin() in a ProfileTimed
+  /// node, then emits the rows-out counter — placed after the timed body
+  /// so an op that rejects its element (continue) never counts it as
+  /// output; observed selectivity is exactly rows_out / rows_in. Sinks
+  /// pass CountOut=false: their rows-out is the number of sink-loop
+  /// iterations, counted at the head of the loop openPendingSinkLoop()
+  /// later creates.
+  void profEnd(unsigned K, bool CountOut = true) {
+    if (K == NoProf)
+      return;
+    StmtList &M = mu();
+    assert(ProfMark <= M.size() && "profile mark out of range");
+    StmtList Body(M.begin() + static_cast<std::ptrdiff_t>(ProfMark),
+                  M.end());
+    M.erase(M.begin() + static_cast<std::ptrdiff_t>(ProfMark), M.end());
+    M.push_back(Stmt::profileTimed(K, std::move(Body)));
+    if (CountOut)
+      M.push_back(Stmt::profileCount(2 * K + 1));
+  }
+
+  /// Untimed rows-out-only op (Src at its loop head, Ret at its emit
+  /// site): registers the op and appends the counter to \p Where.
+  void profCountOnly(const char *Label, StmtList &Where) {
+    if (!Options.Profile)
+      return;
+    unsigned K = static_cast<unsigned>(Program.ProfOps.size());
+    Program.ProfOps.push_back({Label, Stack.back().LoopDepth, false});
+    Where.push_back(Stmt::profileCount(2 * K + 1));
+  }
+
+  //===--------------------------------------------------------------===//
   // Loop creation
   //===--------------------------------------------------------------===//
 
@@ -228,6 +283,11 @@ private:
     Stack.back() = {&A->Body, &LoopStmt->Body, &O->Body,
                     Stack.back().LoopDepth};
 
+    // The sink op's deferred rows-out: one count per collected entry,
+    // at the head of the loop that iterates the sink.
+    if (Sink.ProfOp != NoProf)
+      mu().push_back(Stmt::profileCount(2 * Sink.ProfOp + 1));
+
     if (Sink.Decl.Kind == SinkKind::GroupAgg) {
       // Apply the (key, acc) -> R result selector to produce the element.
       assert(Sink.GbaResult.valid() && "GroupAgg sink lost its selector");
@@ -293,6 +353,9 @@ private:
         assert(St == State::Start && "Src must open the query");
         openSourceLoop(O.Src, O.OutElem);
         St = State::Iterating;
+        // Untimed: the loop header isn't separable from the iteration
+        // itself; rows-out at the body head counts produced elements.
+        profCountOnly("Src", mu());
         break;
       case Sym::Trans:
         genTrans(O);
@@ -318,22 +381,41 @@ private:
 
   void genTrans(const Op &O) {
     ensureIterating();
+    unsigned PK = profBegin("Trans", /*Timed=*/true);
     std::string Name = fresh("elem");
     mu().push_back(Stmt::declareLocal(Name, O.OutElem,
                                       cse(inline1(O.Fn, curElemRef()))));
     CurElem = Name;
     CurElemTy = O.OutElem;
+    profEnd(PK);
+  }
+
+  static const char *predLabel(PredOp P) {
+    switch (P) {
+    case PredOp::Where:
+      return "Where";
+    case PredOp::Take:
+      return "Take";
+    case PredOp::Skip:
+      return "Skip";
+    case PredOp::TakeWhile:
+      return "TakeWhile";
+    case PredOp::SkipWhile:
+      return "SkipWhile";
+    }
+    stenoUnreachable("bad PredOp");
   }
 
   void genPred(const Op &O) {
     ensureIterating();
+    unsigned PK = profBegin(predLabel(O.P), /*Timed=*/true);
     TypeRef I64 = Type::int64Ty();
     switch (O.P) {
     case PredOp::Where: {
       ExprRef Cond = cse(inline1(O.Fn, curElemRef()));
       mu().push_back(Stmt::ifThen(Expr::unary(expr::UnaryOp::Not, Cond),
                                   {Stmt::continueStmt()}));
-      return;
+      break;
     }
     case PredOp::Take: {
       std::string Cnt = fresh("take");
@@ -346,7 +428,7 @@ private:
       mu().push_back(Stmt::assign(
           Cnt, Expr::binary(expr::BinaryOp::Add, CntRef,
                             Expr::constInt64(1))));
-      return;
+      break;
     }
     case PredOp::Skip: {
       std::string Cnt = fresh("skip");
@@ -358,7 +440,7 @@ private:
           {Stmt::assign(Cnt, Expr::binary(expr::BinaryOp::Add, CntRef,
                                           Expr::constInt64(1))),
            Stmt::continueStmt()}));
-      return;
+      break;
     }
     case PredOp::TakeWhile: {
       std::string Flag = fresh("done");
@@ -371,7 +453,7 @@ private:
           Expr::unary(expr::UnaryOp::Not, Cond),
           {Stmt::assign(Flag, Expr::constBool(true)),
            Stmt::continueStmt()}));
-      return;
+      break;
     }
     case PredOp::SkipWhile: {
       std::string Flag = fresh("skipping");
@@ -382,14 +464,31 @@ private:
       mu().push_back(Stmt::ifThen(
           FlagRef, {Stmt::ifThen(Cond, {Stmt::continueStmt()}),
                     Stmt::assign(Flag, Expr::constBool(false))}));
-      return;
+      break;
     }
     }
-    stenoUnreachable("bad PredOp");
+    // The rows-out counter lands after the timed body, so elements the
+    // predicate rejects (continue) are counted in but not out.
+    profEnd(PK);
+  }
+
+  static const char *sinkLabel(SinkOp K) {
+    switch (K) {
+    case SinkOp::GroupBy:
+      return "GroupBy";
+    case SinkOp::GroupByAggregate:
+      return "GroupByAggregate";
+    case SinkOp::OrderBy:
+      return "OrderBy";
+    case SinkOp::ToArray:
+      return "ToArray";
+    }
+    stenoUnreachable("bad SinkOp");
   }
 
   void genSink(const Op &O) {
     ensureIterating();
+    unsigned PK = profBegin(sinkLabel(O.K), /*Timed=*/true);
     std::string Name = fresh("sink");
     SinkDecl Decl;
     switch (O.K) {
@@ -442,17 +541,26 @@ private:
       break;
     }
     }
+    // Rows-out of a sink is the number of collected entries, counted at
+    // the head of the sink-iteration loop once it exists.
+    profEnd(PK, /*CountOut=*/false);
+    PendingSink.ProfOp = PK;
     St = State::Sinking;
   }
 
   void genAgg(const Op &O) {
     ensureIterating();
+    unsigned PK = profBegin("Agg", /*Timed=*/true);
     std::string Var = fresh("agg");
     TypeRef AccTy = O.Seed->type();
     alpha().push_back(Stmt::declareLocal(Var, AccTy, substOuter(O.Seed)));
     ExprRef Update =
         cse(inline2(O.Fn2, Expr::param(Var, AccTy), curElemRef()));
     mu().push_back(Stmt::assign(Var, Update));
+    // Close the profiled region before the early exit so the stop-flag
+    // check genEarlyExit may prepend to μ lands outside it (elements
+    // skipped after the stop never reach the op, so they count nowhere).
+    profEnd(PK);
     if (O.StopWhen.valid())
       genEarlyExit(O, Var, AccTy);
     CurAgg = {Var, AccTy, O.Fn3};
@@ -535,6 +643,7 @@ private:
                            : Expr::param(CurAgg.Var, CurAgg.AccTy);
       if (!Nested) {
         omega().push_back(Stmt::emit(Result));
+        profCountOnly("Ret", omega());
       } else {
         // Figure 10(a): elem_{i+1} = agg_j in the nested postlude, then
         // pop one triple.
@@ -551,6 +660,7 @@ private:
       if (!Nested) {
         openPendingSinkLoop();
         mu().push_back(Stmt::emit(curElemRef()));
+        profCountOnly("Ret", mu());
       } else if (Role == NestedRole::Flatten) {
         openPendingSinkLoop();
         spliceNestedIntoOuter();
@@ -574,6 +684,7 @@ private:
         // (Figure 8(c)); with the emitter protocol the element row is
         // pushed to the caller from the loop body.
         mu().push_back(Stmt::emit(curElemRef()));
+        profCountOnly("Ret", mu());
       } else {
         assert(Role == NestedRole::Flatten &&
                "nested Trans/Pred query must end with Agg or Sink");
@@ -599,6 +710,8 @@ private:
   SinkInfo PendingSink;
   std::map<std::string, ExprRef> OuterSubst;
   unsigned Counter = 0;
+  /// μ length at the last profBegin(); profEnd() wraps [ProfMark, end).
+  std::size_t ProfMark = 0;
 };
 
 } // namespace

@@ -38,6 +38,10 @@ struct GenOptions {
   /// Fold literal subexpressions and boolean/conditional identities
   /// before emission.
   bool EnableConstFold = true;
+  /// Instrument each operator with profile hooks (ProfileCount /
+  /// ProfileTimed statements + Program::ProfOps descriptors). Off by
+  /// default: unprofiled plans carry zero instrumentation.
+  bool Profile = false;
 };
 
 /// Generates the fused loop program for \p Chain. \p EntryName becomes the

@@ -126,3 +126,18 @@ StmtRef Stmt::emit(expr::ExprRef Elem) {
   S->E = std::move(Elem);
   return S;
 }
+
+StmtRef Stmt::profileCount(unsigned Slot) {
+  auto S = std::make_shared<Stmt>();
+  S->K = StmtKind::ProfileCount;
+  S->ProfSlot = Slot;
+  return S;
+}
+
+StmtRef Stmt::profileTimed(unsigned OpIndex, StmtList Body) {
+  auto S = std::make_shared<Stmt>();
+  S->K = StmtKind::ProfileTimed;
+  S->ProfSlot = OpIndex;
+  S->Body = std::move(Body);
+  return S;
+}

@@ -79,7 +79,13 @@ enum class StmtKind {
   SinkGroupAggUpdate, ///< auto &s = sink.slot(key, seed); s = update;
   SinkVecPush,        ///< sink.push_back(elem);
   SortSinkVec,        ///< stable_sort of a Vec sink by an inlined key.
-  Emit                ///< Emit an element/scalar row to the caller.
+  Emit,               ///< Emit an element/scalar row to the caller.
+  ProfileCount,       ///< ++prof_c_[slot]; — a profile row counter bump.
+  ProfileTimed        ///< RAII-timed statement run: a ProfTimer charging
+                      ///< prof_ns_[slot] is live across Body, stopping at
+                      ///< the end of Body or on any continue/break out of
+                      ///< it. Body is NOT a C++ scope: declarations inside
+                      ///< stay visible to following statements.
 };
 
 /// What a Loop statement iterates.
@@ -138,6 +144,10 @@ struct Stmt {
   expr::Lambda KeyFn;
   bool Descending = false;
 
+  /// ProfileCount: counter slot index (2k = op k rows in, 2k+1 = rows
+  /// out). ProfileTimed: op index k charged to prof_ns_[k].
+  unsigned ProfSlot = 0;
+
   //===--------------------------------------------------------------===//
   // Factories
   //===--------------------------------------------------------------===//
@@ -161,6 +171,18 @@ struct Stmt {
   static StmtRef sortSinkVec(std::string SinkName, expr::TypeRef ElemType,
                              expr::Lambda KeyFn, bool Descending);
   static StmtRef emit(expr::ExprRef Elem);
+  static StmtRef profileCount(unsigned Slot);
+  static StmtRef profileTimed(unsigned OpIndex, StmtList Body);
+};
+
+/// Static descriptor of one profiled operator: display label, loop
+/// nesting depth (tree indentation) and whether a nanosecond timer is
+/// attached. Plain data so cpptree stays independent of the obs layer;
+/// the steno facade converts these into an obs::PlanDesc.
+struct ProfOp {
+  std::string Label;
+  unsigned Depth = 0;
+  bool Timed = false;
 };
 
 /// A whole generated query body.
@@ -171,6 +193,10 @@ struct Program {
   /// Scalar result type, or element type for collection results.
   expr::TypeRef ResultType;
   bool ScalarResult = false;
+  /// Profiled operators, in instrumentation order; op k owns counter
+  /// slots 2k/2k+1 and nanos slot k. Empty unless the generator ran with
+  /// GenOptions::Profile.
+  std::vector<ProfOp> ProfOps;
 };
 
 } // namespace cpptree

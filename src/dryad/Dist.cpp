@@ -6,6 +6,7 @@
 #include "dryad/JobGraph.h"
 #include "expr/Eval.h"
 #include "obs/Metrics.h"
+#include "obs/Profile.h"
 #include "obs/Trace.h"
 #include "support/Error.h"
 
@@ -107,6 +108,7 @@ DistributedQuery DistributedQuery::compile(const query::Query &Q,
   VertexOptions.Name = Options.Name + "_vertex";
   VertexOptions.SpecializeGroupByAggregate = false; // already applied
   VertexOptions.Analyze = Options.Analyze;
+  VertexOptions.Profile = Options.Profile;
 
   if (!Plan) {
     // Sequential fallback: compile the whole query as one vertex and
@@ -488,6 +490,9 @@ QueryResult DistributedQuery::runParallel(ThreadPool &Pool,
       Pool, Count, Morsels,
       [this, &B, &PerWorker, PartitionSlot](std::size_t Begin,
                                             std::size_t End, unsigned W) {
+        // Tag the vertex run's ProfileStore merge with the executing
+        // worker, so profiles show how stealing spread the morsels.
+        obs::ProfileWorkerScope ProfScope(W);
         Bindings Part = bindingRange(B, PartitionSlot, Begin, End - Begin);
         PerWorker[W].emplace_back(Begin, Vertex.run(Part));
       });

@@ -45,6 +45,10 @@ struct DistOptions {
   /// deliberately-uncertifiable queries and turns this off; everything
   /// else should leave it on (the fallback is a surprise worth a line).
   bool WarnSequentialFallback = true;
+  /// Profile the vertex program: every vertex run (one per partition or
+  /// morsel) merges per-operator statistics into the ProfileStore under
+  /// vertexPlanHash(), tagged with the executing worker's id.
+  bool Profile = obs::profilingEnvEnabled();
   std::string Name = "dist_query";
 };
 
@@ -104,6 +108,10 @@ public:
 
   /// One-off compile cost of the vertex program (ms).
   double compileMillis() const { return Vertex.compileMillis(); }
+  /// ProfileStore key of the vertex program. The planner rewrites the
+  /// chain into a per-partition vertex, so this differs from the hash of
+  /// the whole-query plan compiled standalone.
+  std::uint64_t vertexPlanHash() const { return Vertex.planHash(); }
   /// The generated vertex source.
   const std::string &vertexSource() const {
     return Vertex.generatedSource();

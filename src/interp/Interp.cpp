@@ -8,6 +8,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <unordered_map>
 
 using namespace steno;
@@ -79,7 +80,8 @@ enum class Flow { Normal, Continue, Break };
 
 class Executor {
 public:
-  Executor(const cpptree::Program &P, const RunInput &In) : P(P) {
+  Executor(const cpptree::Program &P, const RunInput &In)
+      : P(P), Prof(In.Profile) {
     Arena = std::make_shared<std::deque<std::vector<double>>>();
     if (In.Values)
       Environment.setCaptures(In.Values);
@@ -239,6 +241,23 @@ private:
     case StmtKind::Emit:
       Rows.push_back(deepCopy(eval(S.E)));
       return Flow::Normal;
+    case StmtKind::ProfileCount:
+      if (Prof)
+        ++Prof->Counts[S.ProfSlot];
+      return Flow::Normal;
+    case StmtKind::ProfileTimed: {
+      if (!Prof)
+        return execList(S.Body);
+      // Time the body and charge the op even when control escapes via
+      // continue/break (mirrors the generated ProfTimer destructor).
+      auto T0 = std::chrono::steady_clock::now();
+      Flow F = execList(S.Body);
+      Prof->Nanos[S.ProfSlot] += static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - T0)
+              .count());
+      return F;
+    }
     }
     stenoUnreachable("bad StmtKind");
   }
@@ -372,6 +391,7 @@ private:
   }
 
   const cpptree::Program &P;
+  obs::ProfileSink *Prof = nullptr;
   expr::Env Environment;
   const std::vector<expr::SourceBuffer> *Sources = nullptr;
   std::unordered_map<std::string, Value> Locals;

@@ -21,6 +21,7 @@
 
 #include "cpptree/Tree.h"
 #include "expr/Value.h"
+#include "obs/Profile.h"
 
 #include <deque>
 #include <memory>
@@ -33,6 +34,10 @@ namespace interp {
 struct RunInput {
   const std::vector<expr::SourceBuffer> *Sources = nullptr;
   const std::vector<expr::Value> *Values = nullptr;
+  /// When non-null, ProfileCount/ProfileTimed statements accumulate into
+  /// this per-run sink (sized for the program's ProfOps); null runs the
+  /// instrumentation as cheap no-ops.
+  obs::ProfileSink *Profile = nullptr;
 };
 
 /// Execution result. Emitted rows are deep copies: Vec payloads are

@@ -222,7 +222,8 @@ rt::CaptureValue bindCapture(const Value &V) {
 ExecOutput jit::run(EntryFn Fn,
                     const std::vector<expr::SourceBuffer> &Sources,
                     const std::vector<Value> &Values,
-                    const TypeRef &RowType) {
+                    const TypeRef &RowType, std::uint64_t *ProfCounts,
+                    std::uint64_t *ProfNanos) {
   assert(Fn && "running a null entry point");
   std::vector<rt::SourceBinding> BoundSources;
   BoundSources.reserve(Sources.size());
@@ -244,6 +245,8 @@ ExecOutput jit::run(EntryFn Fn,
   Caps.NumSources = static_cast<std::int64_t>(BoundSources.size());
   Caps.Values = BoundValues.data();
   Caps.NumValues = static_cast<std::int64_t>(BoundValues.size());
+  Caps.ProfCounts = ProfCounts;
+  Caps.ProfNanos = ProfNanos;
 
   ExecOutput Out;
   Out.Arena = std::make_shared<std::deque<std::vector<double>>>();

@@ -81,10 +81,14 @@ struct ExecOutput {
 };
 
 /// Binds sources/captures into the rt ABI, invokes \p Fn and decodes the
-/// emitted rows according to \p RowType.
+/// emitted rows according to \p RowType. ProfCounts/ProfNanos, when
+/// non-null, receive the profile flush of a TU generated with profiling
+/// hooks (sized 2*NumOps and NumOps respectively); leave null otherwise.
 ExecOutput run(EntryFn Fn, const std::vector<expr::SourceBuffer> &Sources,
                const std::vector<expr::Value> &Values,
-               const expr::TypeRef &RowType);
+               const expr::TypeRef &RowType,
+               std::uint64_t *ProfCounts = nullptr,
+               std::uint64_t *ProfNanos = nullptr);
 
 } // namespace jit
 } // namespace steno

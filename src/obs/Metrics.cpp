@@ -30,6 +30,50 @@ void Histogram::observe(double X) {
   }
 }
 
+void Histogram::merge(const Histogram &Other) {
+  assert(Bounds == Other.Bounds &&
+         "merging histograms with different bucket bounds");
+  for (std::size_t I = 0; I != Buckets.size(); ++I) {
+    std::uint64_t C = Other.Buckets[I].load(std::memory_order_relaxed);
+    if (C)
+      Buckets[I].fetch_add(C, std::memory_order_relaxed);
+  }
+  N.fetch_add(Other.N.load(std::memory_order_relaxed),
+              std::memory_order_relaxed);
+  double Add = Other.Sum.load(std::memory_order_relaxed);
+  double Cur = Sum.load(std::memory_order_relaxed);
+  while (!Sum.compare_exchange_weak(Cur, Cur + Add,
+                                    std::memory_order_relaxed)) {
+  }
+}
+
+double Histogram::percentile(double Q) const {
+  std::uint64_t Total = count();
+  if (Total == 0)
+    return 0.0;
+  if (Q < 0.0)
+    Q = 0.0;
+  if (Q > 1.0)
+    Q = 1.0;
+  double Rank = Q * static_cast<double>(Total);
+  std::uint64_t Cum = 0;
+  for (std::size_t I = 0; I != Bounds.size(); ++I) {
+    std::uint64_t C = bucketCount(I);
+    if (C && static_cast<double>(Cum + C) >= Rank) {
+      double Lo = I == 0 ? 0.0 : Bounds[I - 1];
+      double Frac = (Rank - static_cast<double>(Cum)) /
+                    static_cast<double>(C);
+      if (Frac < 0.0)
+        Frac = 0.0;
+      return Lo + (Bounds[I] - Lo) * Frac;
+    }
+    Cum += C;
+  }
+  // Rank fell in the +inf bucket: the best bounded estimate is the last
+  // finite bound.
+  return Bounds.empty() ? 0.0 : Bounds.back();
+}
+
 void Histogram::reset() {
   for (std::atomic<std::uint64_t> &B : Buckets)
     B.store(0, std::memory_order_relaxed);
@@ -48,8 +92,11 @@ struct Registry {
   std::map<std::string, std::unique_ptr<Histogram>> Histograms;
 
   static Registry &get() {
-    static Registry *R = new Registry(); // never destroyed: call sites
-    return *R;                           // hold references across exit
+    static Registry *R = [] {
+      registerMetricsExportAtExit(); // honor STENO_METRICS_OUT
+      return new Registry();         // never destroyed: call sites
+    }();                             // hold references across exit
+    return *R;
   }
 };
 
@@ -83,6 +130,21 @@ std::string fmtDouble(double V) {
   std::ostringstream Out;
   Out << V;
   return Out.str();
+}
+
+/// Prometheus metric names may only contain [a-zA-Z0-9_:]; we map every
+/// other character (the registry uses '.') to '_'.
+std::string promName(const std::string &Name) {
+  std::string Out;
+  Out.reserve(Name.size());
+  for (char C : Name) {
+    bool Ok = (C >= 'a' && C <= 'z') || (C >= 'A' && C <= 'Z') ||
+              (C >= '0' && C <= '9') || C == '_';
+    Out += Ok ? C : '_';
+  }
+  if (Out.empty() || (Out[0] >= '0' && Out[0] <= '9'))
+    Out.insert(Out.begin(), '_');
+  return Out;
 }
 
 } // namespace
@@ -181,6 +243,38 @@ std::string obs::dumpMetricsJson() {
     Out += "]}";
   }
   Out += "}}";
+  return Out;
+}
+
+std::string obs::dumpMetricsPrometheus() {
+  Registry &R = Registry::get();
+  std::lock_guard<std::mutex> Lock(R.Mutex);
+  std::string Out;
+  for (const auto &[Name, C] : R.Counters) {
+    std::string P = promName(Name);
+    Out += "# TYPE " + P + " counter\n";
+    Out += P + " " + std::to_string(C->value()) + "\n";
+  }
+  for (const auto &[Name, G] : R.Gauges) {
+    std::string P = promName(Name);
+    Out += "# TYPE " + P + " gauge\n";
+    Out += P + " " + std::to_string(G->value()) + "\n";
+    Out += "# TYPE " + P + "_max gauge\n";
+    Out += P + "_max " + std::to_string(G->maxValue()) + "\n";
+  }
+  for (const auto &[Name, H] : R.Histograms) {
+    std::string P = promName(Name);
+    Out += "# TYPE " + P + " histogram\n";
+    std::uint64_t Cum = 0;
+    for (std::size_t I = 0; I != H->bounds().size(); ++I) {
+      Cum += H->bucketCount(I);
+      Out += P + "_bucket{le=\"" + fmtDouble(H->bounds()[I]) + "\"} " +
+             std::to_string(Cum) + "\n";
+    }
+    Out += P + "_bucket{le=\"+Inf\"} " + std::to_string(H->count()) + "\n";
+    Out += P + "_sum " + fmtDouble(H->sum()) + "\n";
+    Out += P + "_count " + std::to_string(H->count()) + "\n";
+  }
   return Out;
 }
 

@@ -81,11 +81,14 @@ private:
   std::atomic<std::int64_t> Max{0};
 };
 
-/// Fixed-bucket distribution. An observation X lands in the first bucket
-/// whose upper bound satisfies X <= bound (Prometheus "le" semantics);
-/// anything above the last bound lands in the implicit +inf bucket.
-/// observe() is lock-free: one atomic increment plus a CAS loop on the
-/// running sum.
+/// Fixed-bucket distribution. Buckets are half-open intervals
+/// (prev_bound, bound]: an observation X lands in the FIRST bucket whose
+/// upper bound satisfies X <= bound (Prometheus "le" semantics), so a
+/// value exactly equal to a bound deterministically lands in that
+/// bound's own bucket — observe(10) with bounds {10, 20} counts in the
+/// le=10 bucket, observe(10 + epsilon) in le=20. Anything above the last
+/// bound lands in the implicit +inf bucket. observe() is lock-free: one
+/// atomic increment plus a CAS loop on the running sum.
 class Histogram {
 public:
   /// \p UpperBounds must be sorted ascending; the +inf bucket is implicit.
@@ -101,6 +104,15 @@ public:
   std::uint64_t bucketCount(std::size_t I) const {
     return Buckets[I].load(std::memory_order_relaxed);
   }
+  /// Folds another histogram with IDENTICAL bounds into this one
+  /// (per-worker histograms merged after a parallel phase). Asserts on a
+  /// bounds mismatch.
+  void merge(const Histogram &Other);
+  /// Estimated quantile (\p Q in [0, 1]) by linear interpolation inside
+  /// the bucket where the cumulative count crosses Q * count(). Returns
+  /// 0 for an empty histogram; observations in the +inf bucket clamp the
+  /// estimate to the last finite bound.
+  double percentile(double Q) const;
   void reset();
 
 private:
@@ -119,12 +131,25 @@ Gauge &gauge(const std::string &Name);
 Histogram &histogram(const std::string &Name, std::vector<double> Bounds);
 
 /// Sorted human-readable exposition of every registered instrument.
+/// Iteration order is deterministic (the registry is a name-sorted map),
+/// so repeated dumps diff cleanly.
 std::string dumpMetrics();
 /// The same data as one JSON object:
 /// {"counters":{..},"gauges":{..},"histograms":{..}}.
 std::string dumpMetricsJson();
+/// Prometheus text-format exposition of every registered instrument,
+/// name-sorted within each instrument class. Names are sanitized to
+/// [A-Za-z0-9_] ("steno.run.count" -> "steno_run_count"); gauges also
+/// emit a "<name>_max" high-water series; histogram buckets are
+/// cumulative le-counts per the exposition format.
+std::string dumpMetricsPrometheus();
 /// Zeroes every registered instrument (tests and benchmark harnesses).
 void resetMetrics();
+
+/// Installs a std::atexit hook that writes exportPrometheus() to the
+/// path in $STENO_METRICS_OUT (no-op when unset). Idempotent; invoked
+/// automatically on first registry use. Defined in Profile.cpp.
+bool registerMetricsExportAtExit();
 
 } // namespace obs
 } // namespace steno

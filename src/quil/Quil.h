@@ -134,6 +134,13 @@ std::optional<std::string> validate(const Chain &C);
 /// rewritten) chain and reports via \p Applied whether it fired.
 Chain specializeGroupByAggregate(const Chain &C, bool *Applied = nullptr);
 
+/// Structural hash of a chain: stable across processes and independent
+/// of entry-symbol naming (which carries a per-process counter), covering
+/// every operator's symbol, payload lambdas/exprs, source descriptors and
+/// nested chains. Structurally equal chains — e.g. the interp and native
+/// plans of one query — hash equal; this is the ProfileStore key.
+std::uint64_t hashChain(const Chain &C);
+
 /// Names used by tests: one-token spelling of a symbol.
 const char *symName(Sym S);
 

@@ -33,10 +33,11 @@ namespace {
 /// Backends are compiled with analysis off: prepare() already screened
 /// the chain, and strict mode inside compileQuery would abort the
 /// process on what should be a per-request error.
-CompileOptions planOptions(Backend B) {
+CompileOptions planOptions(Backend B, bool Profile) {
   CompileOptions CO;
   CO.Exec = B;
   CO.Analyze = analysis::Mode::Off;
+  CO.Profile = Profile;
   CO.Name = "serve_query";
   return CO;
 }
@@ -188,8 +189,8 @@ PreparedHandle QueryService::prepare(const std::string &SpecText,
   // The interpreter plan is ready in milliseconds; the native plan (if
   // wanted) arrives later via the background swap. QueryCache makes
   // re-preparing a structurally equal query a hit sharing one module.
-  P->InterpPlan = Cache->getOrCompile(P->Built.Q,
-                                      planOptions(Backend::Interp));
+  P->InterpPlan = Cache->getOrCompile(
+      P->Built.Q, planOptions(Backend::Interp, Options.Profile));
 
   metrics().Prepares.inc();
   NPrepares.fetch_add(1, std::memory_order_relaxed);
@@ -209,8 +210,8 @@ bool QueryService::scheduleRecompile(const PreparedHandle &P) {
 
   // Another handle for the same structure may have finished first; the
   // cache peek turns that into an immediate swap with no compiler run.
-  CompiledQuery Cached =
-      Cache->lookup(P->Built.Q, planOptions(Backend::Native));
+  CompiledQuery Cached = Cache->lookup(
+      P->Built.Q, planOptions(Backend::Native, Options.Profile));
   if (Cached.valid()) {
     P->NativePlan = std::move(Cached);
     P->NativeReady.store(true, std::memory_order_release);
@@ -241,9 +242,10 @@ bool QueryService::scheduleRecompile(const PreparedHandle &P) {
             Handle->InterpPlan.withNativeModule(std::move(Module));
         // Publish to the cache first (first insert wins, so concurrent
         // recompiles of equal queries converge on one module), then swap.
-        Native = Cache->insert(Handle->Built.Q,
-                               planOptions(Backend::Native),
-                               std::move(Native));
+        Native = Cache->insert(
+            Handle->Built.Q,
+            planOptions(Backend::Native, Options.Profile),
+            std::move(Native));
         Handle->NativePlan = std::move(Native);
         Handle->NativeReady.store(true, std::memory_order_release);
         Handle->RecompileState.store(2, std::memory_order_release);
@@ -327,6 +329,10 @@ Response QueryService::execute(const PreparedHandle &P,
 
 void QueryService::runRequest(const std::shared_ptr<RequestState> &R) {
   ServeMetrics &M = metrics();
+  // Request-id propagation: every child span of this request's execution
+  // (steno.run, jit.*, ...) nests under a span naming the request.
+  obs::Span ReqSpan("serve.request");
+  ReqSpan.arg("request_id", static_cast<std::int64_t>(R->Id));
   Response Rsp;
   Rsp.Id = R->Id;
   Rsp.QueueMicros = R->QueueTimer.seconds() * 1e6;

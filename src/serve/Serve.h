@@ -94,6 +94,11 @@ struct ServeOptions {
   /// Upgrade interpreter plans to native in the background. Off = every
   /// run stays on the interpreter (and is not counted as degraded).
   bool BackgroundRecompile = true;
+  /// Compile every plan with profiling hooks: per-operator statistics
+  /// accumulate in the global obs::ProfileStore (keyed by plan hash, so
+  /// the interp plan and its native swap-in merge into one profile) and
+  /// are served by the wire `profile <handle>` command.
+  bool Profile = obs::profilingEnvEnabled();
   /// Plan cache; defaults to a service-private cache when null. Not
   /// owned.
   QueryCache *Cache = nullptr;
@@ -141,6 +146,13 @@ public:
   }
   /// One-off native compile cost once nativeReady(), else 0.
   double nativeCompileMillis() const;
+  /// The plan execute() would run right now: the native plan once
+  /// swapped in, the interpreter plan before. Both share one plan hash
+  /// (structural), so profile introspection needs no swap awareness.
+  const CompiledQuery &currentPlan() const {
+    return NativeReady.load(std::memory_order_acquire) ? NativePlan
+                                                       : InterpPlan;
+  }
 
 private:
   friend class QueryService;

@@ -3,8 +3,11 @@
 #include "serve/Wire.h"
 
 #include "fuzz/Diff.h" // fuzzValueStr: the stable row renderer
+#include "obs/Metrics.h"
+#include "obs/Profile.h"
 #include "support/StringUtil.h"
 
+#include <algorithm>
 #include <cerrno>
 #include <sstream>
 #include <unistd.h>
@@ -74,7 +77,13 @@ std::string errorFrame(const std::string &Message) {
 }
 
 std::string statsJson(const QueryService::Stats &S) {
-  char Buf[512];
+  // End-to-end request latency percentiles from the (process-wide)
+  // serve.request.micros histogram the execution path populates. The
+  // bounds must match ServeMetrics so this resolves to the same
+  // registered instrument rather than creating a second one.
+  obs::Histogram &Lat = obs::histogram(
+      "serve.request.micros", {10, 100, 1e3, 1e4, 1e5, 1e6, 1e7});
+  char Buf[640];
   std::snprintf(
       Buf, sizeof Buf,
       "{\"sessions\":%llu,\"prepares\":%llu,\"accepted\":%llu,"
@@ -82,7 +91,8 @@ std::string statsJson(const QueryService::Stats &S) {
       "\"degraded_runs\":%llu,\"native_runs\":%llu,"
       "\"recompiles_scheduled\":%llu,\"recompiles_done\":%llu,"
       "\"recompiles_failed\":%llu,\"recompiles_saturated\":%llu,"
-      "\"queue_depth\":%lld}",
+      "\"queue_depth\":%lld,"
+      "\"latency_us\":{\"p50\":%.1f,\"p95\":%.1f,\"p99\":%.1f}}",
       static_cast<unsigned long long>(S.Sessions),
       static_cast<unsigned long long>(S.Prepares),
       static_cast<unsigned long long>(S.Accepted),
@@ -96,7 +106,8 @@ std::string statsJson(const QueryService::Stats &S) {
       static_cast<unsigned long long>(S.RecompilesDone),
       static_cast<unsigned long long>(S.RecompilesFailed),
       static_cast<unsigned long long>(S.RecompilesSaturated),
-      static_cast<long long>(S.QueueDepth));
+      static_cast<long long>(S.QueueDepth), Lat.percentile(0.50),
+      Lat.percentile(0.95), Lat.percentile(0.99));
   return Buf;
 }
 
@@ -204,6 +215,50 @@ void serve::serveConnection(QueryService &Svc, int Fd) {
 
     if (Cmd == "stats") {
       if (!S.writeAll("stats " + statsJson(Svc.stats()) + "\n"))
+        return;
+      continue;
+    }
+
+    if (Cmd == "profile") {
+      std::size_t Handle = 0;
+      if (!(Fields >> Handle)) {
+        if (!S.writeAll(errorFrame("profile needs a handle")))
+          return;
+        continue;
+      }
+      if (Handle >= Handles.size()) {
+        if (!S.writeAll(errorFrame(support::strFormat(
+                "unknown handle %zu", Handle))))
+          return;
+        continue;
+      }
+      const CompiledQuery &Plan = Handles[Handle]->currentPlan();
+      if (!Plan.profiled()) {
+        if (!S.writeAll(errorFrame(support::strFormat(
+                "handle %zu was prepared without profiling (start the "
+                "service with --profile or STENO_PROFILE=1)",
+                Handle))))
+          return;
+        continue;
+      }
+      auto Snap = obs::ProfileStore::global().snapshot(Plan.planHash());
+      if (!Snap) {
+        if (!S.writeAll(errorFrame(support::strFormat(
+                "no profile recorded for handle %zu yet (never executed)",
+                Handle))))
+          return;
+        continue;
+      }
+      if (!S.writeAll("profile " + obs::profileJson(*Snap) + "\n"))
+        return;
+      continue;
+    }
+
+    if (Cmd == "metrics") {
+      std::string Text = obs::exportPrometheus();
+      std::size_t NLines = static_cast<std::size_t>(
+          std::count(Text.begin(), Text.end(), '\n'));
+      if (!S.writeAll(support::strFormat("metrics %zu\n", NLines) + Text))
         return;
       continue;
     }
@@ -320,6 +375,50 @@ bool WireClient::stats(std::string &Json) {
   if (!S.readLine(Line) || Line.rfind("stats ", 0) != 0)
     return false;
   Json = Line.substr(6);
+  return true;
+}
+
+bool WireClient::profile(std::uint64_t Handle, std::string &Json,
+                         std::string *Err) {
+  if (!S.writeAll(support::strFormat(
+          "profile %llu\n", static_cast<unsigned long long>(Handle)))) {
+    if (Err)
+      *Err = "write failed";
+    return false;
+  }
+  std::string Line;
+  if (!S.readLine(Line)) {
+    if (Err)
+      *Err = "connection closed";
+    return false;
+  }
+  if (Line.rfind("profile ", 0) == 0) {
+    Json = Line.substr(8);
+    return true;
+  }
+  if (Err)
+    *Err = Line.rfind("error ", 0) == 0 ? Line.substr(6)
+                                        : "unexpected frame: " + Line;
+  return false;
+}
+
+bool WireClient::metrics(std::string &Text) {
+  Text.clear();
+  if (!S.writeAll("metrics\n"))
+    return false;
+  std::string Line;
+  if (!S.readLine(Line) || Line.rfind("metrics ", 0) != 0)
+    return false;
+  std::size_t NLines = 0;
+  std::istringstream Fields(Line.substr(8));
+  if (!(Fields >> NLines))
+    return false;
+  for (std::size_t I = 0; I != NLines; ++I) {
+    if (!S.readLine(Line))
+      return false;
+    Text += Line;
+    Text += '\n';
+  }
   return true;
 }
 

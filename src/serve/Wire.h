@@ -24,7 +24,13 @@
 ///                                       row 12345.678
 ///                                       done
 ///   stats
-///                                       stats {"accepted":1,...}
+///                                       stats {"accepted":1,...,
+///                                           "latency_us":{"p50":..,...}}
+///   profile 0
+///                                       profile {"plan":"0x..","ops":[..]}
+///   metrics
+///                                       metrics <nlines>
+///                                       <nlines> lines of Prometheus text
 ///   quit
 ///                                       bye
 ///
@@ -32,7 +38,11 @@
 /// no byte counting is needed. Error responses are a single
 /// `error <message>` line (embedded newlines become "; "). exec answers
 /// are exactly one of result/timeout/shed/error — the admission-control
-/// statuses map onto the wire one-to-one.
+/// statuses map onto the wire one-to-one. `profile` answers with the
+/// accumulated obs::ProfileStore entry for the handle's plan (an error
+/// when the service runs unprofiled or the plan never executed);
+/// `metrics` dumps the whole obs registry plus per-plan profiles in
+/// Prometheus text exposition format, line-count framed.
 ///
 /// The protocol logic lives here (not in the tool) so the framing and a
 /// full socketpair round trip are unit-testable without a real listener.
@@ -110,6 +120,17 @@ public:
 
   /// Fetches the service stats line (one JSON object).
   bool stats(std::string &Json);
+
+  /// Fetches the accumulated per-operator profile of \p Handle's plan as
+  /// one JSON object (obs::profileJson). False with \p Err filled when
+  /// the service is unprofiled, the handle is unknown, or the plan never
+  /// executed.
+  bool profile(std::uint64_t Handle, std::string &Json,
+               std::string *Err = nullptr);
+
+  /// Fetches the Prometheus text exposition of the metrics registry and
+  /// all query profiles.
+  bool metrics(std::string &Text);
 
   /// Sends `quit` and reads the `bye`.
   void quit();

@@ -150,7 +150,7 @@ CompiledQuery QueryCache::getOrCompile(const query::Query &Q,
       for (const Entry &E : It->second) {
         if (E.Exec == Options.Exec &&
             E.Specialize == Options.SpecializeGroupByAggregate &&
-            equalQueries(E.Query, Q)) {
+            E.Profile == Options.Profile && equalQueries(E.Query, Q)) {
           Hits.fetch_add(1, std::memory_order_relaxed);
           HitCount.inc();
           SavedMs.inc(static_cast<std::uint64_t>(
@@ -180,7 +180,7 @@ CompiledQuery QueryCache::lookup(const query::Query &Q,
   for (const Entry &E : It->second)
     if (E.Exec == Options.Exec &&
         E.Specialize == Options.SpecializeGroupByAggregate &&
-        equalQueries(E.Query, Q))
+        E.Profile == Options.Profile && equalQueries(E.Query, Q))
       return E.Compiled;
   return CompiledQuery();
 }
@@ -195,14 +195,15 @@ CompiledQuery QueryCache::insert(const query::Query &Q,
   for (const Entry &E : Buckets[Key]) {
     if (E.Exec == Options.Exec &&
         E.Specialize == Options.SpecializeGroupByAggregate &&
-        equalQueries(E.Query, Q)) {
+        E.Profile == Options.Profile && equalQueries(E.Query, Q)) {
       DupDropped.fetch_add(1, std::memory_order_relaxed);
       DupDroppedCount.inc();
       return E.Compiled; // first insert won; drop the duplicate
     }
   }
-  Buckets[Key].push_back(Entry{
-      Q, Options.Exec, Options.SpecializeGroupByAggregate, Compiled});
+  Buckets[Key].push_back(Entry{Q, Options.Exec,
+                               Options.SpecializeGroupByAggregate,
+                               Options.Profile, Compiled});
   return Compiled;
 }
 
@@ -217,6 +218,7 @@ bool QueryCache::evict(const query::Query &Q, const CompileOptions &Options) {
   for (std::size_t I = 0; I != Entries.size(); ++I) {
     if (Entries[I].Exec == Options.Exec &&
         Entries[I].Specialize == Options.SpecializeGroupByAggregate &&
+        Entries[I].Profile == Options.Profile &&
         equalQueries(Entries[I].Query, Q)) {
       Entries.erase(Entries.begin() + static_cast<std::ptrdiff_t>(I));
       if (Entries.empty())

@@ -100,6 +100,7 @@ private:
     query::Query Query;
     Backend Exec;
     bool Specialize;
+    bool Profile;
     CompiledQuery Compiled;
   };
 

@@ -19,6 +19,7 @@
 #ifndef STENO_STENO_RT_H
 #define STENO_STENO_RT_H
 
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -98,11 +99,46 @@ struct CaptureValue {
 };
 
 /// The capture block passed to every generated entry point.
+///
+/// ProfCounts/ProfNanos are the profile flush targets for TUs generated
+/// under STENO_PROFILE: null means "discard" (a profiled entry run by an
+/// unprofiled caller is safe). Tail-appended so the offsets of the
+/// original four fields — and therefore the ABI seen by previously
+/// generated modules — are unchanged.
 struct Captures {
   const SourceBinding *Sources = nullptr;
   std::int64_t NumSources = 0;
   const CaptureValue *Values = nullptr;
   std::int64_t NumValues = 0;
+  std::uint64_t *ProfCounts = nullptr; ///< 2 slots per profiled op.
+  std::uint64_t *ProfNanos = nullptr;  ///< 1 slot per profiled op.
+};
+
+/// Scoped nanosecond accumulator for one profiled operator. Declared
+/// inline in the loop body (not in its own scope); stop() charges the
+/// slot and disarms, and the destructor charges it instead when a
+/// continue/break leaves the iteration before the stop() is reached.
+class ProfTimer {
+public:
+  explicit ProfTimer(std::uint64_t *Slot)
+      : Slot(Slot), Start(std::chrono::steady_clock::now()) {}
+  ~ProfTimer() { stop(); }
+  ProfTimer(const ProfTimer &) = delete;
+  ProfTimer &operator=(const ProfTimer &) = delete;
+
+  void stop() {
+    if (!Slot)
+      return;
+    *Slot += static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - Start)
+            .count());
+    Slot = nullptr;
+  }
+
+private:
+  std::uint64_t *Slot;
+  std::chrono::steady_clock::time_point Start;
 };
 
 //===------------------------------------------------------------------===//

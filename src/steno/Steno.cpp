@@ -24,6 +24,11 @@ struct CompiledQuery::Impl {
   analysis::AnalysisResult Analysis;
   steno::Backend ExecBackend = Backend::Interp;
   std::unique_ptr<jit::CompiledModule> Module; // Native backend only
+  /// ProfileStore key (quil::hashChain over the optimized chain); 0 for
+  /// rehydrated artifacts, which carry no chain.
+  std::uint64_t PlanHash = 0;
+  /// Whether the generated code carries profiling hooks.
+  bool Profile = false;
 };
 
 namespace {
@@ -97,21 +102,37 @@ QueryResult CompiledQuery::run(const Bindings &B) const {
   obs::Span Span("steno.run");
   support::WallTimer Timer;
 
+  // Per-run profile sink: plain counters the hot loop bumps without
+  // synchronization, merged once into the shared ProfileStore below.
+  std::unique_ptr<obs::ProfileSink> Prof;
+  if (I->Profile && !I->Program.ProfOps.empty())
+    Prof = std::make_unique<obs::ProfileSink>(I->Program.ProfOps.size());
+
   std::vector<expr::Value> Rows;
   std::shared_ptr<std::deque<std::vector<double>>> Arena;
   if (I->ExecBackend == Backend::Native) {
-    jit::ExecOutput Out = jit::run(I->Module->entry(), B.sources(),
-                                   B.values(), I->Program.ResultType);
+    jit::ExecOutput Out =
+        jit::run(I->Module->entry(), B.sources(), B.values(),
+                 I->Program.ResultType,
+                 Prof ? Prof->Counts.data() : nullptr,
+                 Prof ? Prof->Nanos.data() : nullptr);
     Rows = std::move(Out.Rows);
     Arena = std::move(Out.Arena);
   } else {
     interp::RunInput In;
     In.Sources = &B.sources();
     In.Values = &B.values();
+    In.Profile = Prof.get();
     interp::RunOutput Out = interp::execute(I->Program, In);
     Rows = std::move(Out.Rows);
     Arena = std::move(Out.Arena);
   }
+
+  // The universal merge point: every execution path — interp, native,
+  // serve's swapped backends, a dryad vertex inside a morsel — funnels
+  // its per-run deltas into the store here.
+  if (Prof)
+    obs::ProfileStore::global().merge(I->PlanHash, *Prof);
 
   Runs.inc();
   RowsIn.inc(static_cast<std::uint64_t>(Consumed));
@@ -150,6 +171,8 @@ CompiledQuery CompiledQuery::withNativeModule(
   Impl->Analysis = I->Analysis;
   Impl->ExecBackend = Backend::Native;
   Impl->Module = std::move(Module);
+  Impl->PlanHash = I->PlanHash;
+  Impl->Profile = I->Profile;
   CompiledQuery CQ;
   CQ.I = std::move(Impl);
   return CQ;
@@ -169,6 +192,21 @@ const analysis::AnalysisResult &CompiledQuery::analysisResult() const {
   return I->Analysis;
 }
 
+std::uint64_t CompiledQuery::planHash() const { return I->PlanHash; }
+
+bool CompiledQuery::profiled() const { return I->Profile; }
+
+std::string CompiledQuery::explainAnalyze() const {
+  if (!I->Profile)
+    return "query '" + I->Program.Name +
+           "' was compiled without profiling (set STENO_PROFILE=1 or "
+           "CompileOptions::Profile)\n";
+  if (auto Snap = obs::ProfileStore::global().snapshot(I->PlanHash))
+    return obs::renderExplainAnalyze(*Snap);
+  return "no profile recorded yet for query '" + I->Program.Name +
+         "' (plan never ran)\n";
+}
+
 static std::shared_ptr<CompiledQuery::Impl>
 codegenAndLoad(std::shared_ptr<CompiledQuery::Impl> Impl,
                const CompileOptions &Options) {
@@ -180,9 +218,21 @@ codegenAndLoad(std::shared_ptr<CompiledQuery::Impl> Impl,
     obs::Span S("steno.codegen");
     codegen::GenOptions Gen;
     Gen.EnableCse = Options.EnableCse;
+    Gen.Profile = Options.Profile;
     Impl->Program = codegen::generate(Impl->Chain, Entry, Gen);
     Impl->Slots = cpptree::scanSlots(Impl->Program);
     Impl->Source = cpptree::printProgram(Impl->Program);
+  }
+
+  Impl->PlanHash = quil::hashChain(Impl->Chain);
+  Impl->Profile = Options.Profile;
+  if (Options.Profile) {
+    obs::PlanDesc D;
+    D.Name = Options.Name;
+    D.Symbols = Impl->Chain.symbols();
+    for (const cpptree::ProfOp &PO : Impl->Program.ProfOps)
+      D.Ops.push_back(obs::ProfOpDesc{PO.Label, PO.Depth, PO.Timed});
+    obs::ProfileStore::global().ensure(Impl->PlanHash, D);
   }
 
   // 5. Compile, load and bind (§3.3) for the native backend.

@@ -38,6 +38,7 @@
 #include "cpptree/Printer.h"
 #include "cpptree/Tree.h"
 #include "jit/Jit.h"
+#include "obs/Profile.h"
 #include "query/Query.h"
 #include "quil/Quil.h"
 #include "steno/Bindings.h"
@@ -65,6 +66,12 @@ struct CompileOptions {
   /// specialize -> cse -> codegen). Defaults to the STENO_ANALYZE
   /// environment variable (off | warn | strict; unset means strict).
   analysis::Mode Analyze = analysis::modeFromEnv();
+  /// Collect per-operator runtime statistics (rows in/out, selectivity,
+  /// nanoseconds) into the global obs::ProfileStore on every run().
+  /// Defaults to the STENO_PROFILE environment variable. Profiled and
+  /// unprofiled compilations of the same query are distinct plans (the
+  /// generated code differs); the QueryCache keys on this flag.
+  bool Profile = obs::profilingEnvEnabled();
   /// Entry symbol / readable query name.
   std::string Name = "steno_query";
 };
@@ -107,6 +114,17 @@ public:
   /// The analyze phase's findings and parallel-safety certificate
   /// (empty/default when the phase ran in Off mode).
   const analysis::AnalysisResult &analysisResult() const;
+  /// Structural hash of the optimized QUIL chain (quil::hashChain) — the
+  /// ProfileStore key. The interp and native plans of one query share a
+  /// hash, so serve's backend swap keeps one merged profile. 0 for
+  /// rehydrated artifacts (no chain survives persistence).
+  std::uint64_t planHash() const;
+  /// Whether this query was compiled with profiling hooks.
+  bool profiled() const;
+  /// EXPLAIN ANALYZE-style report of the accumulated profile for this
+  /// plan (obs::renderExplainAnalyze over the store snapshot); a
+  /// diagnostic line when the plan is unprofiled or never ran.
+  std::string explainAnalyze() const;
 
   /// Opaque shared state (defined in Steno.cpp).
   struct Impl;

@@ -1,0 +1,567 @@
+//===- tests/profile_test.cpp - Operator-level query profiling -*- C++ -*-===//
+//
+// Coverage for the obs::Profile subsystem end to end: per-operator
+// rows-in/out against hand-computed expectations on the interpreter,
+// differential agreement between the interp and native backends, plan-
+// hash sharing across backends, morsel-parallel worker attribution,
+// concurrent ProfileStore merging (in the TSan CI job), the profile-off
+// zero-instrumentation path, the EXPLAIN ANALYZE / JSON / Prometheus
+// renderers, histogram bucket-bound determinism and merge/percentile,
+// and the serve wire `profile`/`metrics`/`stats` commands over a
+// socketpair.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dryad/Dist.h"
+#include "expr/Dsl.h"
+#include "obs/Metrics.h"
+#include "obs/Profile.h"
+#include "serve/Serve.h"
+#include "serve/Wire.h"
+#include "steno/Steno.h"
+
+#include <algorithm>
+#include <numeric>
+#include <sys/socket.h>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+using namespace steno;
+using namespace steno::expr;
+using namespace steno::expr::dsl;
+using query::Query;
+
+namespace {
+
+/// Compiles with profiling on, independent of STENO_PROFILE.
+CompileOptions profiled(Backend Exec, const std::string &Name) {
+  CompileOptions O;
+  O.Exec = Exec;
+  O.Profile = true;
+  O.Name = Name;
+  return O;
+}
+
+/// The Figure 1 shape: doubleArray.select(x*x).sum().
+Query fig01Query() {
+  auto X = param("x", Type::doubleTy());
+  return Query::doubleArray(0).select(lambda({X}, X * X)).sum();
+}
+
+/// A fig13-like filtered fold: where(x > 0).select(x*2).sum().
+Query whereSelectSumQuery() {
+  auto X = param("x", Type::doubleTy());
+  return Query::doubleArray(0)
+      .where(lambda({X}, X > 0.0))
+      .select(lambda({X}, X * 2.0))
+      .sum();
+}
+
+std::vector<double> ramp(std::size_t N) {
+  std::vector<double> Out(N);
+  // Alternate sign so Where(x > 0) keeps exactly the even indices' values
+  // (index 0 maps to +1).
+  for (std::size_t I = 0; I != N; ++I)
+    Out[I] = (I % 2 == 0 ? 1.0 : -1.0) * static_cast<double>(I + 1);
+  return Out;
+}
+
+const obs::OpProfile *findOp(const obs::ProfileSnapshot &S,
+                             const std::string &Label) {
+  for (const obs::OpProfile &O : S.Ops)
+    if (O.Label == Label)
+      return &O;
+  return nullptr;
+}
+
+} // namespace
+
+//===--------------------------------------------------------------------===//
+// Interpreter backend: hand-computed per-operator expectations
+//===--------------------------------------------------------------------===//
+
+TEST(ProfileInterp, Fig01PerOperatorCounts) {
+  obs::ProfileStore::global().clear();
+  const std::size_t N = 100;
+  std::vector<double> Xs = ramp(N);
+  Bindings B;
+  B.bindDoubleArray(0, Xs.data(), static_cast<std::int64_t>(Xs.size()));
+
+  CompiledQuery CQ =
+      compileQuery(fig01Query(), profiled(Backend::Interp, "fig01"));
+  ASSERT_TRUE(CQ.profiled());
+  ASSERT_NE(CQ.planHash(), 0u);
+  double Want = 0;
+  for (double X : Xs)
+    Want += X * X;
+  EXPECT_DOUBLE_EQ(CQ.run(B).scalarValue().asDouble(), Want);
+
+  auto Snap = obs::ProfileStore::global().snapshot(CQ.planHash());
+  ASSERT_TRUE(Snap.has_value());
+  EXPECT_EQ(Snap->Runs, 1u);
+  EXPECT_EQ(Snap->Name, "fig01");
+  EXPECT_EQ(Snap->Symbols, CQ.chain().symbols());
+
+  const obs::OpProfile *Src = findOp(*Snap, "Src");
+  const obs::OpProfile *Trans = findOp(*Snap, "Trans");
+  const obs::OpProfile *Agg = findOp(*Snap, "Agg");
+  const obs::OpProfile *Ret = findOp(*Snap, "Ret");
+  ASSERT_TRUE(Src && Trans && Agg && Ret);
+
+  // Src emits N rows (out-count only; a source consumes nothing).
+  EXPECT_EQ(Src->RowsIn, 0u);
+  EXPECT_EQ(Src->RowsOut, N);
+  EXPECT_DOUBLE_EQ(Src->selectivity(), -1.0);
+  // Select passes every row through: selectivity exactly 1.
+  EXPECT_EQ(Trans->RowsIn, N);
+  EXPECT_EQ(Trans->RowsOut, N);
+  EXPECT_DOUBLE_EQ(Trans->selectivity(), 1.0);
+  // The fold consumes (and survives) every row.
+  EXPECT_EQ(Agg->RowsIn, N);
+  EXPECT_EQ(Agg->RowsOut, N);
+  // One scalar result row.
+  EXPECT_EQ(Ret->RowsIn, 0u);
+  EXPECT_EQ(Ret->RowsOut, 1u);
+}
+
+TEST(ProfileInterp, WhereObservedSelectivity) {
+  obs::ProfileStore::global().clear();
+  const std::size_t N = 100;
+  std::vector<double> Xs = ramp(N); // exactly N/2 positive
+  Bindings B;
+  B.bindDoubleArray(0, Xs.data(), static_cast<std::int64_t>(Xs.size()));
+
+  CompiledQuery CQ = compileQuery(whereSelectSumQuery(),
+                                  profiled(Backend::Interp, "fig13"));
+  CQ.run(B);
+
+  auto Snap = obs::ProfileStore::global().snapshot(CQ.planHash());
+  ASSERT_TRUE(Snap.has_value());
+  const obs::OpProfile *Where = findOp(*Snap, "Where");
+  const obs::OpProfile *Trans = findOp(*Snap, "Trans");
+  ASSERT_TRUE(Where && Trans);
+  // The predicate sees all N rows and passes exactly half.
+  EXPECT_EQ(Where->RowsIn, N);
+  EXPECT_EQ(Where->RowsOut, N / 2);
+  EXPECT_DOUBLE_EQ(Where->selectivity(), 0.5);
+  // Downstream Trans only sees the survivors.
+  EXPECT_EQ(Trans->RowsIn, N / 2);
+  EXPECT_EQ(Trans->RowsOut, N / 2);
+}
+
+TEST(ProfileInterp, EarlyExitAggregateStopsCounting) {
+  obs::ProfileStore::global().clear();
+  const std::size_t N = 100;
+  std::vector<double> Xs = ramp(N);
+  Bindings B;
+  B.bindDoubleArray(0, Xs.data(), static_cast<std::int64_t>(Xs.size()));
+
+  // any() short-circuits on the first element: downstream rows stop.
+  CompiledQuery CQ = compileQuery(
+      Query::doubleArray(0).any(), profiled(Backend::Interp, "any_q"));
+  EXPECT_TRUE(CQ.run(B).scalarValue().asBool());
+
+  auto Snap = obs::ProfileStore::global().snapshot(CQ.planHash());
+  ASSERT_TRUE(Snap.has_value());
+  const obs::OpProfile *Agg = findOp(*Snap, "Agg");
+  ASSERT_TRUE(Agg);
+  // The fold consumed far fewer than N rows before breaking out.
+  EXPECT_GE(Agg->RowsIn, 1u);
+  EXPECT_LT(Agg->RowsIn, N);
+}
+
+//===--------------------------------------------------------------------===//
+// Differential: the interp, native and morsel paths agree on rows
+//===--------------------------------------------------------------------===//
+
+TEST(ProfileDifferential, BackendsAgreeOnRowCounts) {
+  const std::size_t N = 1000;
+  std::vector<double> Xs = ramp(N);
+  Bindings B;
+  B.bindDoubleArray(0, Xs.data(), static_cast<std::int64_t>(Xs.size()));
+
+  // The interp and native plans of one query share a plan hash by
+  // design, so profile each backend against a cleared store.
+  obs::ProfileStore::global().clear();
+  CompiledQuery Interp = compileQuery(whereSelectSumQuery(),
+                                      profiled(Backend::Interp, "diff"));
+  double GotInterp = Interp.run(B).scalarValue().asDouble();
+  auto SnapInterp = obs::ProfileStore::global().snapshot(Interp.planHash());
+  ASSERT_TRUE(SnapInterp.has_value());
+
+  obs::ProfileStore::global().clear();
+  CompiledQuery Native = compileQuery(whereSelectSumQuery(),
+                                      profiled(Backend::Native, "diff"));
+  EXPECT_EQ(Interp.planHash(), Native.planHash());
+  double GotNative = Native.run(B).scalarValue().asDouble();
+  auto SnapNative = obs::ProfileStore::global().snapshot(Native.planHash());
+  ASSERT_TRUE(SnapNative.has_value());
+
+  EXPECT_DOUBLE_EQ(GotInterp, GotNative);
+  ASSERT_EQ(SnapInterp->Ops.size(), SnapNative->Ops.size());
+  for (std::size_t I = 0; I != SnapInterp->Ops.size(); ++I) {
+    const obs::OpProfile &A = SnapInterp->Ops[I];
+    const obs::OpProfile &C = SnapNative->Ops[I];
+    EXPECT_EQ(A.Label, C.Label) << "op " << I;
+    EXPECT_EQ(A.RowsIn, C.RowsIn) << A.Label;
+    EXPECT_EQ(A.RowsOut, C.RowsOut) << A.Label;
+  }
+  // With N=1000 timed operators accumulate measurable time somewhere.
+  EXPECT_GT(SnapInterp->totalNanos(), 0u);
+}
+
+TEST(ProfileDifferential, InterpAndNativeMergeIntoOneEntry) {
+  obs::ProfileStore::global().clear();
+  const std::size_t N = 64;
+  std::vector<double> Xs = ramp(N);
+  Bindings B;
+  B.bindDoubleArray(0, Xs.data(), static_cast<std::int64_t>(Xs.size()));
+
+  CompiledQuery Interp =
+      compileQuery(fig01Query(), profiled(Backend::Interp, "shared"));
+  CompiledQuery Native =
+      compileQuery(fig01Query(), profiled(Backend::Native, "shared"));
+  ASSERT_EQ(Interp.planHash(), Native.planHash());
+
+  Interp.run(B);
+  Native.run(B);
+  auto Snap = obs::ProfileStore::global().snapshot(Interp.planHash());
+  ASSERT_TRUE(Snap.has_value());
+  EXPECT_EQ(Snap->Runs, 2u);
+  const obs::OpProfile *Src = findOp(*Snap, "Src");
+  ASSERT_TRUE(Src);
+  EXPECT_EQ(Src->RowsOut, 2 * N); // both runs merged
+}
+
+//===--------------------------------------------------------------------===//
+// Morsel-parallel: per-worker attribution
+//===--------------------------------------------------------------------===//
+
+TEST(ProfileMorsel, ParallelRunAttributesWorkersAndCountsAllRows) {
+  obs::ProfileStore::global().clear();
+  const std::size_t N = 100000; // far above MorselOptions::InlineBelow
+  std::vector<double> Xs = ramp(N);
+  Bindings B;
+  B.bindDoubleArray(0, Xs.data(), static_cast<std::int64_t>(Xs.size()));
+
+  dryad::DistOptions Opts;
+  Opts.Exec = Backend::Interp; // profile plumbing is backend-agnostic
+  Opts.Profile = true;
+  Opts.Name = "morsel_profiled";
+  Opts.Morsels.MaxMorsel = 4096; // force several morsels
+  dryad::DistributedQuery DQ =
+      dryad::DistributedQuery::compile(fig01Query(), Opts);
+  ASSERT_TRUE(DQ.parallel()) << DQ.whyNotParallel();
+  ASSERT_NE(DQ.vertexPlanHash(), 0u);
+
+  dryad::ThreadPool Pool(4);
+  double Want = 0;
+  for (double X : Xs)
+    Want += X * X;
+  double Got = DQ.runParallel(Pool, B).scalarValue().asDouble();
+  EXPECT_NEAR(Got, Want, std::abs(Want) * 1e-9);
+
+  auto Snap = obs::ProfileStore::global().snapshot(DQ.vertexPlanHash());
+  ASSERT_TRUE(Snap.has_value());
+  // One merge per morsel-driven vertex run, several morsels total.
+  EXPECT_GE(Snap->Runs, 2u);
+  // Every source row was seen exactly once across all morsels.
+  const obs::OpProfile *Src = findOp(*Snap, "Src");
+  ASSERT_TRUE(Src);
+  EXPECT_EQ(Src->RowsOut, N);
+  // Worker attribution is complete: per-worker merges sum to Runs, and
+  // ids stay inside the pool.
+  ASSERT_FALSE(Snap->WorkerMerges.empty());
+  std::uint64_t Attributed = 0;
+  for (const auto &[W, Merges] : Snap->WorkerMerges) {
+    EXPECT_LT(W, Pool.workerCount());
+    Attributed += Merges;
+  }
+  EXPECT_EQ(Attributed, Snap->Runs);
+}
+
+//===--------------------------------------------------------------------===//
+// Store: concurrent merges (TSan job) and snapshots
+//===--------------------------------------------------------------------===//
+
+TEST(ProfileStore, ConcurrentMergesLoseNothing) {
+  obs::ProfileStore Store; // private store: no cross-test interference
+  obs::PlanDesc D;
+  D.Name = "concurrent";
+  D.Ops = {{"Src", 0, false}, {"Trans", 1, true}};
+  const std::uint64_t Hash = 0xfeedu;
+  Store.ensure(Hash, D);
+
+  constexpr unsigned Threads = 4;
+  constexpr std::uint64_t Merges = 2000;
+  std::vector<std::thread> Ts;
+  for (unsigned T = 0; T != Threads; ++T)
+    Ts.emplace_back([&Store, T] {
+      obs::ProfileWorkerScope Scope(T);
+      obs::ProfileSink S(2);
+      S.Counts = {0, 10, 10, 10};
+      S.Nanos = {0, 5};
+      for (std::uint64_t I = 0; I != Merges; ++I)
+        Store.merge(Hash, S);
+    });
+  for (std::thread &T : Ts)
+    T.join();
+
+  auto Snap = Store.snapshot(Hash);
+  ASSERT_TRUE(Snap.has_value());
+  EXPECT_EQ(Snap->Runs, Threads * Merges);
+  ASSERT_EQ(Snap->Ops.size(), 2u);
+  EXPECT_EQ(Snap->Ops[0].RowsOut, Threads * Merges * 10);
+  EXPECT_EQ(Snap->Ops[1].RowsIn, Threads * Merges * 10);
+  EXPECT_EQ(Snap->Ops[1].Nanos, Threads * Merges * 5);
+  ASSERT_EQ(Snap->WorkerMerges.size(), Threads);
+  for (const auto &[W, M] : Snap->WorkerMerges)
+    EXPECT_EQ(M, Merges) << "worker " << W;
+}
+
+TEST(ProfileStore, UnknownHashMergeIsANoOp) {
+  obs::ProfileStore Store;
+  obs::ProfileSink S(1);
+  S.Counts = {1, 1};
+  Store.merge(0xdeadbeefu, S); // must not crash or register anything
+  EXPECT_EQ(Store.size(), 0u);
+  EXPECT_FALSE(Store.snapshot(0xdeadbeefu).has_value());
+}
+
+//===--------------------------------------------------------------------===//
+// Profile off: zero instrumentation in the generated plan
+//===--------------------------------------------------------------------===//
+
+TEST(ProfileOff, UnprofiledPlansCarryNoHooks) {
+  CompileOptions O;
+  O.Exec = Backend::Interp;
+  O.Profile = false;
+  O.Name = "unprofiled";
+  CompiledQuery CQ = compileQuery(fig01Query(), O);
+  EXPECT_FALSE(CQ.profiled());
+  EXPECT_TRUE(CQ.program().ProfOps.empty());
+  // The generated source has no trace of the counter arrays: the off
+  // path costs nothing, not even dead stores.
+  EXPECT_EQ(CQ.generatedSource().find("prof_c_"), std::string::npos);
+  EXPECT_EQ(CQ.generatedSource().find("prof_ns_"), std::string::npos);
+  EXPECT_NE(CQ.explainAnalyze().find("without profiling"),
+            std::string::npos);
+}
+
+TEST(ProfileOff, ProfiledAndUnprofiledAreDistinctCacheEntries) {
+  QueryCache Cache;
+  CompileOptions Off;
+  Off.Exec = Backend::Interp;
+  Off.Profile = false;
+  CompileOptions On = Off;
+  On.Profile = true;
+  CompiledQuery A = Cache.getOrCompile(fig01Query(), Off);
+  CompiledQuery C = Cache.getOrCompile(fig01Query(), On);
+  EXPECT_EQ(Cache.size(), 2u);
+  EXPECT_FALSE(A.profiled());
+  EXPECT_TRUE(C.profiled());
+  // And each options shape hits its own entry on re-request.
+  Cache.getOrCompile(fig01Query(), Off);
+  Cache.getOrCompile(fig01Query(), On);
+  EXPECT_EQ(Cache.size(), 2u);
+  EXPECT_EQ(Cache.hits(), 2u);
+}
+
+//===--------------------------------------------------------------------===//
+// Reports: EXPLAIN ANALYZE, JSON, Prometheus
+//===--------------------------------------------------------------------===//
+
+TEST(ProfileReport, ExplainAnalyzeRendersTheOperatorTree) {
+  obs::ProfileStore::global().clear();
+  const std::size_t N = 200;
+  std::vector<double> Xs = ramp(N);
+  Bindings B;
+  B.bindDoubleArray(0, Xs.data(), static_cast<std::int64_t>(Xs.size()));
+  CompiledQuery CQ = compileQuery(whereSelectSumQuery(),
+                                  profiled(Backend::Interp, "report_q"));
+
+  // Before any run: a header with 0 runs, no invented numbers.
+  EXPECT_NE(CQ.explainAnalyze().find("0 runs"), std::string::npos);
+
+  CQ.run(B);
+  std::string Report = CQ.explainAnalyze();
+  EXPECT_NE(Report.find("EXPLAIN ANALYZE report_q"), std::string::npos);
+  EXPECT_NE(Report.find("-> Where"), std::string::npos);
+  EXPECT_NE(Report.find("rows_in=200 rows_out=100"), std::string::npos);
+  EXPECT_NE(Report.find("sel=0.5000"), std::string::npos);
+  EXPECT_NE(Report.find("1 run]"), std::string::npos);
+  EXPECT_NE(Report.find("quil: "), std::string::npos);
+}
+
+TEST(ProfileReport, JsonAndPrometheusCarryTheCounts) {
+  obs::ProfileStore::global().clear();
+  const std::size_t N = 50;
+  std::vector<double> Xs = ramp(N);
+  Bindings B;
+  B.bindDoubleArray(0, Xs.data(), static_cast<std::int64_t>(Xs.size()));
+  CompiledQuery CQ =
+      compileQuery(fig01Query(), profiled(Backend::Interp, "json_q"));
+  CQ.run(B);
+
+  auto Snap = obs::ProfileStore::global().snapshot(CQ.planHash());
+  ASSERT_TRUE(Snap.has_value());
+  std::string Json = obs::profileJson(*Snap);
+  EXPECT_NE(Json.find("\"name\":\"json_q\""), std::string::npos);
+  EXPECT_NE(Json.find("\"runs\":1"), std::string::npos);
+  EXPECT_NE(Json.find("\"op\":\"Trans\""), std::string::npos);
+  EXPECT_NE(Json.find("\"rows_in\":50"), std::string::npos);
+  EXPECT_EQ(Json.find('\n'), std::string::npos) << "must be one line";
+
+  std::string Prom = obs::profilesPrometheus();
+  EXPECT_NE(Prom.find("# TYPE steno_profile_runs_total counter"),
+            std::string::npos);
+  EXPECT_NE(Prom.find("name=\"json_q\""), std::string::npos);
+  EXPECT_NE(Prom.find("dir=\"out\""), std::string::npos);
+  // The full export includes the metrics registry too.
+  std::string All = obs::exportPrometheus();
+  EXPECT_NE(All.find("steno_run_count"), std::string::npos);
+  EXPECT_NE(All.find("steno_profile_op_rows_total"), std::string::npos);
+}
+
+//===--------------------------------------------------------------------===//
+// Histogram: bound determinism, merge, percentiles
+//===--------------------------------------------------------------------===//
+
+TEST(HistogramBounds, ValuesOnABoundLandDeterministically) {
+  obs::Histogram H({10.0, 20.0});
+  // (prev, bound] convention: exactly-10 lands in the le=10 bucket.
+  H.observe(10.0);
+  EXPECT_EQ(H.bucketCount(0), 1u);
+  EXPECT_EQ(H.bucketCount(1), 0u);
+  // Just above the bound lands in the next bucket.
+  H.observe(10.0000001);
+  EXPECT_EQ(H.bucketCount(0), 1u);
+  EXPECT_EQ(H.bucketCount(1), 1u);
+  // Above the last bound: the implicit +inf bucket.
+  H.observe(25.0);
+  EXPECT_EQ(H.bucketCount(2), 1u);
+  EXPECT_EQ(H.count(), 3u);
+}
+
+TEST(HistogramBounds, MergeFoldsPerWorkerHistograms) {
+  obs::Histogram A({1.0, 10.0, 100.0});
+  obs::Histogram B({1.0, 10.0, 100.0});
+  A.observe(0.5);
+  A.observe(5.0);
+  B.observe(5.0);
+  B.observe(50.0);
+  B.observe(500.0);
+  A.merge(B);
+  EXPECT_EQ(A.count(), 5u);
+  EXPECT_EQ(A.bucketCount(0), 1u);
+  EXPECT_EQ(A.bucketCount(1), 2u);
+  EXPECT_EQ(A.bucketCount(2), 1u);
+  EXPECT_EQ(A.bucketCount(3), 1u);
+  EXPECT_DOUBLE_EQ(A.sum(), 560.5);
+}
+
+TEST(HistogramBounds, PercentileInterpolatesInsideTheBucket) {
+  obs::Histogram H({10.0, 20.0});
+  for (int I = 0; I != 100; ++I)
+    H.observe(5.0); // all in (0, 10]
+  // Linear interpolation inside the crossing bucket from its lower edge.
+  EXPECT_DOUBLE_EQ(H.percentile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(H.percentile(1.0), 10.0);
+  // Empty histogram: defined answer, no division by zero.
+  obs::Histogram E({10.0});
+  EXPECT_DOUBLE_EQ(E.percentile(0.5), 0.0);
+  // +inf observations clamp to the last finite bound.
+  obs::Histogram F({10.0, 20.0});
+  F.observe(1e9);
+  EXPECT_DOUBLE_EQ(F.percentile(0.99), 20.0);
+}
+
+//===--------------------------------------------------------------------===//
+// Serve: profile/metrics/stats over the wire
+//===--------------------------------------------------------------------===//
+
+TEST(ProfileServe, WireProfileMetricsAndStatsRoundTrip) {
+  obs::ProfileStore::global().clear();
+  int Fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, Fds), 0);
+  serve::ServeOptions Opts;
+  Opts.BackgroundRecompile = false; // deterministic: interp plan only
+  Opts.Profile = true;
+  serve::QueryService Svc(Opts);
+  std::thread Server([&] { serve::serveConnection(Svc, Fds[0]); });
+  serve::WireClient Client(Fds[1]);
+
+  const std::string Spec = "steno-fuzz v1\n"
+                           "source 0 double 32 uniform 3\n"
+                           "op select square 0\n"
+                           "op agg sum 0\n"
+                           "end\n";
+  std::uint64_t Handle = 99;
+  std::string Err;
+  ASSERT_TRUE(Client.prepare(Spec, Handle, Err)) << Err;
+
+  // The plan registers at prepare (compile) time: profile is answerable
+  // before the first exec, with zero runs.
+  std::string Json;
+  ASSERT_TRUE(Client.profile(Handle, Json, &Err)) << Err;
+  EXPECT_NE(Json.find("\"runs\":0"), std::string::npos);
+
+  serve::WireClient::ExecResult R;
+  ASSERT_TRUE(Client.exec(Handle, 5000, R));
+  ASSERT_EQ(R.St, serve::Status::Ok);
+
+  ASSERT_TRUE(Client.profile(Handle, Json, &Err)) << Err;
+  EXPECT_NE(Json.find("\"runs\":1"), std::string::npos);
+  EXPECT_NE(Json.find("\"op\":\"Trans\""), std::string::npos);
+  EXPECT_NE(Json.find("\"rows_in\":32"), std::string::npos);
+
+  // Unknown handle: an error frame, not a dropped connection.
+  EXPECT_FALSE(Client.profile(77, Json, &Err));
+  EXPECT_NE(Err.find("unknown handle"), std::string::npos);
+
+  // stats carries the latency percentile block.
+  std::string Stats;
+  ASSERT_TRUE(Client.stats(Stats));
+  EXPECT_NE(Stats.find("\"latency_us\":{\"p50\":"), std::string::npos);
+  EXPECT_NE(Stats.find("\"p99\":"), std::string::npos);
+
+  // metrics dumps Prometheus text including the profile series.
+  std::string Prom;
+  ASSERT_TRUE(Client.metrics(Prom));
+  EXPECT_NE(Prom.find("# TYPE serve_requests counter"), std::string::npos);
+  EXPECT_NE(Prom.find("steno_profile_runs_total"), std::string::npos);
+
+  Client.quit();
+  Server.join();
+  ::close(Fds[0]);
+  ::close(Fds[1]);
+}
+
+TEST(ProfileServe, UnprofiledServiceAnswersProfileWithAnError) {
+  int Fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, Fds), 0);
+  serve::ServeOptions Opts;
+  Opts.BackgroundRecompile = false;
+  Opts.Profile = false;
+  serve::QueryService Svc(Opts);
+  std::thread Server([&] { serve::serveConnection(Svc, Fds[0]); });
+  serve::WireClient Client(Fds[1]);
+
+  const std::string Spec = "steno-fuzz v1\n"
+                           "source 0 double 8 uniform 5\n"
+                           "op agg sum 0\n"
+                           "end\n";
+  std::uint64_t Handle = 99;
+  std::string Err;
+  ASSERT_TRUE(Client.prepare(Spec, Handle, Err)) << Err;
+  std::string Json;
+  EXPECT_FALSE(Client.profile(Handle, Json, &Err));
+  EXPECT_NE(Err.find("without profiling"), std::string::npos);
+
+  Client.quit();
+  Server.join();
+  ::close(Fds[0]);
+  ::close(Fds[1]);
+}

@@ -55,7 +55,9 @@ void usage() {
       "  --max-queue N      admission bound, queued+running (default 64)\n"
       "  --compile-workers N  background JIT threads (default 1)\n"
       "  --deadline-ms N    default request deadline (default 5000)\n"
-      "  --no-recompile     stay on the interpreter backend forever\n");
+      "  --no-recompile     stay on the interpreter backend forever\n"
+      "  --profile          per-operator query profiling (wire command\n"
+      "                     `profile <handle>`; also STENO_PROFILE=1)\n");
 }
 
 bool parseUnsigned(const char *S, unsigned long long &Out) {
@@ -92,6 +94,8 @@ int main(int Argc, char **Argv) {
       Opts.DefaultDeadline = std::chrono::milliseconds(N);
     } else if (Arg == "--no-recompile") {
       Opts.BackgroundRecompile = false;
+    } else if (Arg == "--profile") {
+      Opts.Profile = true;
     } else {
       usage();
       return 2;
