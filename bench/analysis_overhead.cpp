@@ -6,8 +6,14 @@
 //  - run-time ns/op of the compiled query (must be identical: analysis
 //    is a pure compile phase and generates no code),
 //  - compile-time per compileQuery with the Interp backend (isolates the
-//    lower/validate/analyze/codegen pipeline from the external JIT
-//    compiler, so the analyze share is visible).
+//    lower/validate/analyze/rewrite/codegen pipeline from the external
+//    JIT compiler, so the analyze and rewrite shares are visible).
+//
+// Gate: with the plan rewriter ON (the default), the rewrite phase must
+// cost at most 10% of the analyze phase on these workloads — they have
+// no Pred operators and no int64 divisions, so rewriteChain's no-target
+// pre-scan must keep the phase near-free. The process exits 1 when the
+// budget is exceeded.
 //
 // Results land in BENCH_analysis_overhead.json.
 //
@@ -29,29 +35,31 @@ using query::Query;
 
 namespace {
 
-CompileOptions opts(analysis::Mode Mode, Backend Exec, const char *Name) {
+CompileOptions opts(analysis::Mode Mode, Backend Exec, const char *Name,
+                    bool Rewrite = true) {
   CompileOptions O;
   O.Analyze = Mode;
   O.Exec = Exec;
   O.Name = Name;
+  O.Rewrite = Rewrite;
   return O;
 }
 
 /// Best-of seconds for one compile with the Interp backend (no JIT), K
 /// compiles per timed sample for clock resolution.
 double compileSeconds(const Query &Q, analysis::Mode Mode,
-                      const char *Name) {
+                      const char *Name, bool Rewrite = true) {
   const int K = 20;
   return bestSeconds(
              [&] {
                for (int I = 0; I < K; ++I) {
-                 CompiledQuery CQ =
-                     compileQuery(Q, opts(Mode, Backend::Interp, Name));
+                 CompiledQuery CQ = compileQuery(
+                     Q, opts(Mode, Backend::Interp, Name, Rewrite));
                  doNotOptimize(
                      static_cast<std::int64_t>(CQ.generatedSource().size()));
                }
              },
-             /*Reps=*/5) /
+             /*Reps=*/15) /
          K;
 }
 
@@ -64,25 +72,49 @@ double runSeconds(const Query &Q, analysis::Mode Mode, const char *Name,
   });
 }
 
-void measure(JsonReport &Json, const char *Name, const Query &Q,
+bool measure(JsonReport &Json, const char *Name, const Query &Q,
              const Bindings &B, std::int64_t Items) {
   double RunStrict = runSeconds(Q, analysis::Mode::Strict, Name, B);
   double RunOff = runSeconds(Q, analysis::Mode::Off, Name, B);
   double CompStrict = compileSeconds(Q, analysis::Mode::Strict, Name);
   double CompOff = compileSeconds(Q, analysis::Mode::Off, Name);
+  // Rewrite share: strict compiles with the rewriter on (the default
+  // above) vs explicitly off.
+  double CompNoRw =
+      compileSeconds(Q, analysis::Mode::Strict, Name, /*Rewrite=*/false);
+  double AnalyzeCost = CompStrict - CompOff;
+  double RewriteCost = CompStrict - CompNoRw;
 
   std::printf("%-14s run %8.3f / %8.3f ns/op (strict/off, %+5.2f%%)   "
-              "compile %8.1f / %8.1f us (analyze share %.1f%%)\n",
+              "compile %8.1f / %8.1f us (analyze share %.1f%%, rewrite "
+              "%.1f%% of analyze)\n",
               Name, RunStrict * 1e9 / static_cast<double>(Items),
               RunOff * 1e9 / static_cast<double>(Items),
               100.0 * (RunStrict / RunOff - 1.0), CompStrict * 1e6,
-              CompOff * 1e6, 100.0 * (1.0 - CompOff / CompStrict));
+              CompOff * 1e6, 100.0 * (1.0 - CompOff / CompStrict),
+              AnalyzeCost > 0 ? 100.0 * RewriteCost / AnalyzeCost : 0.0);
 
   std::string P = Name;
   Json.add(P + "_run_strict", RunStrict, Items);
   Json.add(P + "_run_off", RunOff, Items);
   Json.add(P + "_compile_strict", CompStrict, 1, 5);
   Json.add(P + "_compile_off", CompOff, 1, 5);
+  Json.add(P + "_compile_strict_norewrite", CompNoRw, 1, 5);
+
+  // Gate only when the analyze phase is measurable at all, and spot the
+  // rewrite share a clock-jitter floor: the deltas compared here are
+  // hundreds of nanoseconds between two independently sampled best-of
+  // compile times.
+  const double NoiseFloor = 0.5e-6;
+  if (AnalyzeCost > 1e-6 &&
+      RewriteCost > 0.10 * AnalyzeCost + NoiseFloor) {
+    std::fprintf(stderr,
+                 "analysis_overhead: FAIL %s: rewrite phase is %.1f%% of "
+                 "the analyze phase (budget 10%%)\n",
+                 Name, 100.0 * RewriteCost / AnalyzeCost);
+    return false;
+  }
+  return true;
 }
 
 } // namespace
@@ -94,6 +126,7 @@ int main() {
   std::vector<double> Gs = mixtureOfGaussians(scaled(1000000), 2);
 
   header("Analysis overhead: STENO_ANALYZE=strict vs off");
+  bool Ok = true;
 
   auto X = param("x", Type::doubleTy());
   auto A = param("a", Type::doubleTy());
@@ -101,11 +134,12 @@ int main() {
   // Figure 1: sum of squares.
   Bindings B1;
   B1.bindDoubleArray(0, Xs.data(), N);
-  measure(Json, "fig01_sumsq",
-          Query::doubleArray(0).select(lambda({X}, X * X)).sum(), B1, N);
+  Ok &= measure(Json, "fig01_sumsq",
+                Query::doubleArray(0).select(lambda({X}, X * X)).sum(), B1,
+                N);
 
   // Figure 13 Sum.
-  measure(Json, "fig13_sum", Query::doubleArray(0).sum(), B1, N);
+  Ok &= measure(Json, "fig13_sum", Query::doubleArray(0).sum(), B1, N);
 
   // Figure 13 Group: binned histogram-style aggregation (dense keys).
   const std::int64_t Bins = 100;
@@ -115,8 +149,8 @@ int main() {
   Query Group = Query::doubleArray(0).groupByAggregateDense(
       lambda({X}, toInt64(X / 10.0)), E(Bins), E(0.0),
       lambda({A, X}, A + 1.0));
-  measure(Json, "fig13_group", Group, B2,
-          static_cast<std::int64_t>(Gs.size()));
+  Ok &= measure(Json, "fig13_group", Group, B2,
+                static_cast<std::int64_t>(Gs.size()));
 
-  return 0;
+  return Ok ? 0 : 1;
 }

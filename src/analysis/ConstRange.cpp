@@ -1,28 +1,33 @@
 //===- analysis/ConstRange.cpp - Constant/range analysis (ST3xxx) -*- C++ -*-//
 ///
 /// \file
-/// Constant-folds the control operands of each operator and flags queries
-/// whose shape is decided before any element flows: negative Take/Skip
-/// counts (an error — the runtime semantics would be nonsense), constant
-/// predicates (always-false empties the chain, always-true is a no-op
+/// The ST3xxx shape lints, derived from the abstract-interpretation
+/// framework (analysis/AbsInt.h) rather than syntactic constant folding:
+/// negative Take/Skip counts (an error — the runtime semantics would be
+/// nonsense), predicates whose truth value is decided for every reachable
+/// element (always-false empties the chain, always-true is a no-op
 /// filter), Take(0), and every operator downstream of a provably empty
 /// prefix (dead — it can never observe an element).
 ///
+/// Because the facts flow through the whole chain, the lints fire not just
+/// on literal constants but on anything the framework can decide — e.g. a
+/// `Where x > 100` after a `Range(0, 10)` source is flagged always-false,
+/// and emptiness stops propagating at a dense GroupByAggregate sink (which
+/// emits one row per key even on empty input).
+///
 //===----------------------------------------------------------------------===//
 
+#include "analysis/AbsInt.h"
 #include "analysis/Analysis.h"
 #include "analysis/ChainWalk.h"
-#include "expr/Fold.h"
 #include "support/StringUtil.h"
 
 #include <cstdint>
-#include <optional>
 
 using namespace steno;
 using namespace steno::analysis;
+using namespace steno::analysis::absint;
 using namespace steno::analysis::detail;
-using expr::ExprKind;
-using expr::ExprRef;
 using quil::Chain;
 using quil::Op;
 using quil::PredOp;
@@ -30,64 +35,44 @@ using quil::Sym;
 
 namespace {
 
-/// Folded boolean value of a predicate body, if it is constant.
-std::optional<bool> constPred(const expr::Lambda &L) {
-  if (!L.valid() || !L.resultType()->isBool())
-    return std::nullopt;
-  ExprRef Folded = expr::foldConstants(L.body());
-  if (Folded->kind() != ExprKind::Const)
-    return std::nullopt;
-  return std::get<bool>(Folded->constValue());
-}
-
-/// Folded int64 value of \p E, if it is constant.
-std::optional<std::int64_t> constCount(const ExprRef &E) {
-  if (!E || !E->type()->isInt64())
-    return std::nullopt;
-  ExprRef Folded = expr::foldConstants(E);
-  if (Folded->kind() != ExprKind::Const)
-    return std::nullopt;
-  return std::get<std::int64_t>(Folded->constValue());
-}
-
 class ConstRangeAnalyzer {
 public:
   explicit ConstRangeAnalyzer(DiagnosticBag &Diags) : Diags(Diags) {}
 
-  void run(const Chain &C) { walkChain(C); }
+  void run(const Chain &C) { walkChain(C, analyzeChainFacts(C)); }
 
 private:
   DiagnosticBag &Diags;
   std::vector<unsigned> Path;
 
-  void walkChain(const Chain &C) {
-    // Set once the prefix provably yields no elements; everything after
-    // (bar Agg, which still produces its seed, and Ret) is dead.
-    bool Empty = false;
-
+  void walkChain(const Chain &C, const ChainFacts &Facts) {
     for (unsigned I = 0; I != C.Ops.size(); ++I) {
       const Op &O = C.Ops[I];
+      const OpFacts &F = Facts.Ops[I];
 
-      if (Empty && O.S != Sym::Agg && O.S != Sym::Ret && O.S != Sym::Src)
+      // Dead operator: the upstream provably delivers zero elements. Agg
+      // still produces its seed and Ret still returns, so they are
+      // excluded (as is Src, which has no upstream).
+      if (F.CardIn == Interval::constant(0) && O.S != Sym::Agg &&
+          O.S != Sym::Ret && O.S != Sym::Src)
         Diags.report(DiagCode::DeadOperator, Severity::Note, opLoc(Path, I),
                      "unreachable: the upstream provably produces no "
                      "elements");
 
       switch (O.S) {
       case Sym::Src:
-        if (auto N = constCount(O.Src.CountE)) {
+        if (O.Src.CountE) {
           // Negative counts are DEFINED as empty by the Range semantics
           // (the interp edge tests pin this down), so this is a lint,
           // not a rejection — unlike negative Take/Skip below.
-          if (*N < 0)
+          auto N = absEval(O.Src.CountE, Env()).constInt();
+          if (N && *N < 0)
             Diags.report(DiagCode::NegativeCount, Severity::Warning,
                          opLoc(Path, I, ExprRole::SrcCount),
                          support::strFormat(
                              "Range count is a negative constant (%lld); "
                              "the source is empty",
                              static_cast<long long>(*N)));
-          if (*N <= 0)
-            Empty = true;
         }
         break;
 
@@ -95,47 +80,49 @@ private:
         switch (O.P) {
         case PredOp::Where:
         case PredOp::TakeWhile:
-        case PredOp::SkipWhile:
-          if (auto V = constPred(O.Fn)) {
-            bool Empties = (O.P == PredOp::SkipWhile) ? *V : !*V;
-            if (Empties) {
-              Diags.report(
-                  DiagCode::AlwaysFalsePred, Severity::Warning,
-                  opLoc(Path, I, ExprRole::Fn),
-                  O.P == PredOp::SkipWhile
-                      ? "predicate is constant true: SkipWhile drops "
-                        "every element"
-                      : "predicate is constant false: no element can "
-                        "pass");
-              Empty = true;
-            } else {
-              Diags.report(
-                  DiagCode::AlwaysTruePred, Severity::Warning,
-                  opLoc(Path, I, ExprRole::Fn),
-                  O.P == PredOp::SkipWhile
-                      ? "predicate is constant false: SkipWhile never "
-                        "skips and has no effect"
-                      : "predicate is constant: the filter has no "
-                        "effect");
-            }
-          }
+        case PredOp::SkipWhile: {
+          if (!O.Fn.valid())
+            break;
+          // For SkipWhile the roles invert: constant-true drops every
+          // element, constant-false never skips.
+          bool Empties = O.P == PredOp::SkipWhile ? F.Pred == Tri::True
+                                                  : F.Pred == Tri::False;
+          bool NoOp = O.P == PredOp::SkipWhile ? F.Pred == Tri::False
+                                               : F.Pred == Tri::True;
+          if (Empties)
+            Diags.report(
+                DiagCode::AlwaysFalsePred, Severity::Warning,
+                opLoc(Path, I, ExprRole::Fn),
+                O.P == PredOp::SkipWhile
+                    ? "predicate is constant true: SkipWhile drops "
+                      "every element"
+                    : "predicate is constant false: no element can "
+                      "pass");
+          else if (NoOp)
+            Diags.report(
+                DiagCode::AlwaysTruePred, Severity::Warning,
+                opLoc(Path, I, ExprRole::Fn),
+                O.P == PredOp::SkipWhile
+                    ? "predicate is constant false: SkipWhile never "
+                      "skips and has no effect"
+                    : "predicate is constant: the filter has no "
+                      "effect");
           break;
+        }
         case PredOp::Take:
         case PredOp::Skip:
-          if (auto N = constCount(O.Seed)) {
-            if (*N < 0)
+          if (F.Count) {
+            if (*F.Count < 0)
               Diags.report(DiagCode::NegativeCount, Severity::Error,
                            opLoc(Path, I, ExprRole::Seed),
                            support::strFormat(
                                "%s count is a negative constant (%lld)",
                                O.P == PredOp::Take ? "Take" : "Skip",
-                               static_cast<long long>(*N)));
-            else if (*N == 0 && O.P == PredOp::Take) {
+                               static_cast<long long>(*F.Count)));
+            else if (*F.Count == 0 && O.P == PredOp::Take)
               Diags.report(DiagCode::TakeZero, Severity::Warning,
                            opLoc(Path, I, ExprRole::Seed),
                            "Take(0) produces no elements");
-              Empty = true;
-            }
           }
           break;
         }
@@ -143,9 +130,12 @@ private:
 
       case Sym::Nested:
         if (O.NestedChain) {
-          Path.push_back(I);
-          walkChain(*O.NestedChain);
-          Path.pop_back();
+          auto It = Facts.Nested.find(I);
+          if (It != Facts.Nested.end()) {
+            Path.push_back(I);
+            walkChain(*O.NestedChain, *It->second);
+            Path.pop_back();
+          }
         }
         break;
 

@@ -55,6 +55,18 @@ const char *analysis::diagCodeName(DiagCode Code) {
     return "ST3004";
   case DiagCode::DeadOperator:
     return "ST3005";
+  case DiagCode::RewritePredDropped:
+    return "ST4001";
+  case DiagCode::RewriteEmptyCollapse:
+    return "ST4002";
+  case DiagCode::RewriteDeadOpRemoved:
+    return "ST4003";
+  case DiagCode::RewriteTakeSkipFolded:
+    return "ST4004";
+  case DiagCode::RewritePredReordered:
+    return "ST4005";
+  case DiagCode::RewriteTrapElided:
+    return "ST4006";
   }
   stenoUnreachable("bad DiagCode");
 }
@@ -107,6 +119,18 @@ const char *analysis::diagCodeSummary(DiagCode Code) {
     return "Take 0 makes the chain guaranteed empty";
   case DiagCode::DeadOperator:
     return "operator only ever sees an empty input";
+  case DiagCode::RewritePredDropped:
+    return "rewriter removed an always-true predicate";
+  case DiagCode::RewriteEmptyCollapse:
+    return "rewriter collapsed an always-false predicate to an empty chain";
+  case DiagCode::RewriteDeadOpRemoved:
+    return "rewriter eliminated a provably dead operator";
+  case DiagCode::RewriteTakeSkipFolded:
+    return "rewriter folded or merged Take/Skip counts";
+  case DiagCode::RewritePredReordered:
+    return "rewriter reordered adjacent predicates by cost and selectivity";
+  case DiagCode::RewriteTrapElided:
+    return "rewriter elided a division trap check proven unnecessary";
   }
   stenoUnreachable("bad DiagCode");
 }

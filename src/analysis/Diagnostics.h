@@ -60,7 +60,14 @@ enum class DiagCode {
   AlwaysFalsePred,    ///< ST3002 predicate is constant false (empty chain)
   AlwaysTruePred,     ///< ST3003 predicate is constant true (no-op)
   TakeZero,           ///< ST3004 Take 0 yields a guaranteed-empty chain
-  DeadOperator        ///< ST3005 operator is unreachable (empty input)
+  DeadOperator,       ///< ST3005 operator is unreachable (empty input)
+  // --- plan rewriter (ST4xxx) ---
+  RewritePredDropped,   ///< ST4001 always-true predicate removed
+  RewriteEmptyCollapse, ///< ST4002 always-false predicate collapsed chain
+  RewriteDeadOpRemoved, ///< ST4003 provably dead operator eliminated
+  RewriteTakeSkipFolded,///< ST4004 Take/Skip count folded or merged
+  RewritePredReordered, ///< ST4005 adjacent predicates reordered by cost
+  RewriteTrapElided     ///< ST4006 division trap check proven unnecessary
 };
 
 /// The stable spelling, e.g. "ST1001".

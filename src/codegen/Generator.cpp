@@ -170,11 +170,12 @@ private:
   /// profEnd() (including CSE-hoisted locals) becomes the op's timed
   /// body. No-op (returns NoProf) when profiling is off, so unprofiled
   /// plans carry zero instrumentation.
-  unsigned profBegin(const char *Label, bool Timed) {
+  unsigned profBegin(const char *Label, bool Timed,
+                     std::uint64_t OpId = 0) {
     if (!Options.Profile)
       return NoProf;
     unsigned K = static_cast<unsigned>(Program.ProfOps.size());
-    Program.ProfOps.push_back({Label, Stack.back().LoopDepth, Timed});
+    Program.ProfOps.push_back({Label, Stack.back().LoopDepth, Timed, OpId});
     mu().push_back(Stmt::profileCount(2 * K));
     ProfMark = mu().size();
     return K;
@@ -408,7 +409,10 @@ private:
 
   void genPred(const Op &O) {
     ensureIterating();
-    unsigned PK = profBegin(predLabel(O.P), /*Timed=*/true);
+    unsigned PK = profBegin(predLabel(O.P), /*Timed=*/true,
+                            O.P == PredOp::Where && O.Fn.valid()
+                                ? expr::hashLambda(O.Fn)
+                                : 0);
     TypeRef I64 = Type::int64Ty();
     switch (O.P) {
     case PredOp::Where: {

@@ -183,6 +183,11 @@ struct ProfOp {
   std::string Label;
   unsigned Depth = 0;
   bool Timed = false;
+  /// Stable identity of the operator's defining lambda (expr::hashLambda
+  /// of a Where predicate, 0 otherwise). Lets profile consumers match an
+  /// observed selectivity back to a specific predicate even after the
+  /// plan rewriter permutes adjacent filters.
+  std::uint64_t OpId = 0;
 };
 
 /// A whole generated query body.

@@ -109,6 +109,7 @@ DistributedQuery DistributedQuery::compile(const query::Query &Q,
   VertexOptions.SpecializeGroupByAggregate = false; // already applied
   VertexOptions.Analyze = Options.Analyze;
   VertexOptions.Profile = Options.Profile;
+  VertexOptions.Rewrite = Options.Rewrite;
 
   if (!Plan) {
     // Sequential fallback: compile the whole query as one vertex and

@@ -38,6 +38,9 @@ struct DistOptions {
   /// safety certificate is always computed regardless (it gates fan-out);
   /// this only controls diagnostics reporting/rejection in compileChain.
   analysis::Mode Analyze = analysis::modeFromEnv();
+  /// Run the fact-driven plan rewriter on the vertex chain before
+  /// codegen (same STENO_REWRITE default as compileQuery).
+  bool Rewrite = quil::rewriteEnvEnabled();
   /// Tuning for the morsel scheduler runParallel dispatches through.
   MorselOptions Morsels;
   /// Print the one-shot stderr warning when a query compiles into the

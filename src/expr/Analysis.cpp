@@ -48,8 +48,15 @@ ExprRef rebuild(const ExprRef &E, std::vector<ExprRef> Ops) {
     return Expr::convert(Ops[0], E->type());
   case ExprKind::Unary:
     return Expr::unary(E->unaryOp(), Ops[0]);
-  case ExprKind::Binary:
-    return Expr::binary(E->binaryOp(), Ops[0], Ops[1]);
+  case ExprKind::Binary: {
+    ExprRef R = Expr::binary(E->binaryOp(), Ops[0], Ops[1]);
+    // Substitution preserves types/values, so a proven-safe division
+    // stays safe; dropping the marker here would silently reintroduce
+    // the ckdiv trap after lambda inlining.
+    if (E->divSafe())
+      R = Expr::withDivSafe(R);
+    return R;
+  }
   case ExprKind::Call:
     return Expr::call(E->builtin(), std::move(Ops));
   case ExprKind::Cond:
@@ -181,6 +188,7 @@ std::uint64_t expr::hashExpr(const Expr &E) {
     break;
   case ExprKind::Binary:
     H = combine(H, static_cast<std::uint64_t>(E.binaryOp()));
+    H = combine(H, E.divSafe() ? 0xd1f5afeULL : 0);
     break;
   case ExprKind::Call:
     H = combine(H, static_cast<std::uint64_t>(E.builtin()));
@@ -221,7 +229,7 @@ bool expr::equalExprs(const Expr &A, const Expr &B) {
       return false;
     break;
   case ExprKind::Binary:
-    if (A.binaryOp() != B.binaryOp())
+    if (A.binaryOp() != B.binaryOp() || A.divSafe() != B.divSafe())
       return false;
     break;
   case ExprKind::Call:

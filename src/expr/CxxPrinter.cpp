@@ -41,7 +41,8 @@ std::string printBinary(const Expr &E, const CxxNames &Names) {
   if (Op == BinaryOp::Mod && E.type()->isDouble())
     return "std::fmod(" + L + ", " + R + ")";
   if ((Op == BinaryOp::Div || Op == BinaryOp::Mod) &&
-      E.type()->isInt64() && !isProvablyNonzeroConst(*E.operand(1)))
+      E.type()->isInt64() && !E.divSafe() &&
+      !isProvablyNonzeroConst(*E.operand(1)))
     return std::string(Op == BinaryOp::Div ? "steno::rt::ckdiv("
                                            : "steno::rt::ckmod(") +
            L + ", " + R + ")";

@@ -50,6 +50,17 @@ const ExprRef &Expr::operand(unsigned I) const {
   return Operands[I];
 }
 
+ExprRef Expr::withDivSafe(const ExprRef &E) {
+  assert(E && E->Kind == ExprKind::Binary &&
+         (E->BOp == BinaryOp::Div || E->BOp == BinaryOp::Mod) &&
+         E->Ty->isInt64() && "divSafe only applies to int64 Div/Mod");
+  if (E->DivSafeFlag)
+    return E;
+  auto *N = new Expr(*E);
+  N->DivSafeFlag = true;
+  return ExprRef(N);
+}
+
 bool expr::isComparison(BinaryOp Op) {
   switch (Op) {
   case BinaryOp::Eq:

@@ -102,6 +102,14 @@ public:
   const std::vector<ExprRef> &operands() const { return Operands; }
   const ExprRef &operand(unsigned I) const;
 
+  /// True when static analysis proved this int64 Div/Mod node cannot
+  /// trap (divisor excludes 0 and the INT64_MIN / -1 overflow corner is
+  /// unreachable): codegen emits plain `/` `%` instead of rt::ckdiv /
+  /// rt::ckmod. Always false on other node kinds.
+  bool divSafe() const { return DivSafeFlag; }
+  /// Copy of \p E (an int64 Div/Mod Binary node) with divSafe() set.
+  static ExprRef withDivSafe(const ExprRef &E);
+
   /// Debug rendering, e.g. "(x % 2) == 0".
   std::string str() const;
 
@@ -145,6 +153,7 @@ private:
   UnaryOp UOp = UnaryOp::Neg;
   BinaryOp BOp = BinaryOp::Add;
   Builtin Fn = Builtin::Sqrt;
+  bool DivSafeFlag = false;
   std::vector<ExprRef> Operands;
 };
 

@@ -51,8 +51,12 @@ ExprRef rebuildWith(const ExprRef &E, std::vector<ExprRef> Ops) {
     return Expr::convert(Ops[0], E->type());
   case ExprKind::Unary:
     return Expr::unary(E->unaryOp(), Ops[0]);
-  case ExprKind::Binary:
-    return Expr::binary(E->binaryOp(), Ops[0], Ops[1]);
+  case ExprKind::Binary: {
+    ExprRef R = Expr::binary(E->binaryOp(), Ops[0], Ops[1]);
+    if (E->divSafe())
+      R = Expr::withDivSafe(R);
+    return R;
+  }
   case ExprKind::Call:
     return Expr::call(E->builtin(), std::move(Ops));
   case ExprKind::Cond:

@@ -19,6 +19,8 @@ const char *fuzz::backendName(BackendId Id) {
   switch (Id) {
   case BackendId::Interp:
     return "interp";
+  case BackendId::InterpNoRewrite:
+    return "interp-norewrite";
   case BackendId::Jit:
     return "jit";
   case BackendId::Plinq1:
@@ -45,7 +47,8 @@ bool fuzz::parseBackendName(const std::string &S, BackendId &Out) {
 }
 
 std::vector<BackendId> fuzz::allBackends(bool WithJit) {
-  std::vector<BackendId> Out = {BackendId::Interp};
+  std::vector<BackendId> Out = {BackendId::Interp,
+                                BackendId::InterpNoRewrite};
   if (WithJit)
     Out.push_back(BackendId::Jit);
   Out.push_back(BackendId::Plinq1);
@@ -138,6 +141,7 @@ dryad::DistOptions quietDistOptions(const char *Name, bool TinyMorsels) {
   dryad::DistOptions DO;
   DO.Exec = Backend::Interp; // Native is sampled via BackendId::Jit only
   DO.Analyze = analysis::Mode::Off; // screened once in check()
+  DO.Rewrite = true; // pinned: rewrite-off is covered by InterpNoRewrite
   DO.WarnSequentialFallback = false;
   DO.Name = Name;
   if (TinyMorsels)
@@ -236,10 +240,21 @@ DiffResult DiffHarness::check(const QuerySpec &Spec,
   }
   analysis::AnalysisResult Analyzed = analysis::analyzeChain(Chain);
   if (!Analyzed.ok()) {
-    R.BuildError = true;
-    R.Report = "analysis error: " +
-               Analyzed.Diags.render(analysis::Severity::Error);
-    return R;
+    // Negative Take/Skip counts are an intentional fuzz shape: the
+    // runtime defines them (Take -> empty, Skip -> no-op) and the
+    // reference oracle agrees, even though strict user compiles reject
+    // them. Any other error-severity finding is a generator bug.
+    bool OnlyNegativeCount = true;
+    for (const analysis::Diagnostic &D : Analyzed.Diags.all())
+      if (D.Sev == analysis::Severity::Error &&
+          D.Code != analysis::DiagCode::NegativeCount)
+        OnlyNegativeCount = false;
+    if (!OnlyNegativeCount) {
+      R.BuildError = true;
+      R.Report = "analysis error: " +
+                 Analyzed.Diags.render(analysis::Severity::Error);
+      return R;
+    }
   }
 
   QueryResult Ref = runReference(Built.Q, Built.B);
@@ -252,11 +267,17 @@ DiffResult DiffHarness::check(const QuerySpec &Spec,
 
     switch (Id) {
     case BackendId::Interp:
+    case BackendId::InterpNoRewrite:
     case BackendId::Jit: {
       CompileOptions CO;
       CO.Exec = Id == BackendId::Jit ? Backend::Native : Backend::Interp;
       CO.Analyze = analysis::Mode::Off; // screened above; stay quiet
-      CO.Name = Id == BackendId::Jit ? "fuzz_jit" : "fuzz_interp";
+      // Pinned (not env-derived) so the harness always runs the
+      // rewrite-on/off oracle pair regardless of STENO_REWRITE.
+      CO.Rewrite = Id != BackendId::InterpNoRewrite;
+      CO.Name = Id == BackendId::Jit            ? "fuzz_jit"
+                : Id == BackendId::InterpNoRewrite ? "fuzz_interp_norw"
+                                                   : "fuzz_interp";
       Got = compileQuery(Built.Q, CO).run(Built.B);
       break;
     }

@@ -48,6 +48,11 @@ namespace fuzz {
 
 enum class BackendId {
   Interp,
+  InterpNoRewrite, ///< Interp with the plan rewriter forced OFF — the
+                   ///< rewrite-on/off oracle pair: Interp (rewrite on)
+                   ///< and this backend must both match the reference,
+                   ///< so any semantics-changing rewrite shows up as a
+                   ///< differential mismatch.
   Jit,
   Plinq1,
   Plinq2,
@@ -57,8 +62,8 @@ enum class BackendId {
 };
 
 const char *backendName(BackendId Id);
-/// Parses a --backend flag value ("interp", "jit", "plinq1", "plinq2",
-/// "plinq8", "dryad-static", "dryad-morsel").
+/// Parses a --backend flag value ("interp", "interp-norewrite", "jit",
+/// "plinq1", "plinq2", "plinq8", "dryad-static", "dryad-morsel").
 bool parseBackendName(const std::string &S, BackendId &Out);
 
 /// All backends, in fixed order; \p WithJit excludes the Native backend

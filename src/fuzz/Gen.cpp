@@ -102,7 +102,7 @@ struct GenCtx {
 
   bool drawSelect(OpSpec &Op) {
     Op.K = OpK::Select;
-    switch (Rng.nextBelow(9)) {
+    switch (Rng.nextBelow(11)) {
     case 0:
       Op.T = TransTmpl::Id;
       return true;
@@ -170,6 +170,22 @@ struct GenCtx {
         return false;
       Op.T = TransTmpl::ToDouble;
       Cur = ElemTy::Double;
+      return true;
+    case 9:
+      // x / (1 + abs(x % C)): divisor provably in [1, C], so the plan
+      // rewriter elides the ckdiv trap. |result| <= |x|, Mag unchanged.
+      if (Cur != ElemTy::Int64)
+        return false;
+      Op.T = TransTmpl::DivNz;
+      Op.DArg = static_cast<double>(pickInt(2, 9));
+      return true;
+    case 10:
+      // x / cond(x > 2000001, 0, 7): divisor interval includes 0 so the
+      // trap check must survive rewriting; the zero branch is
+      // unreachable below the int magnitude cap. |result| <= |x|.
+      if (Cur != ElemTy::Int64)
+        return false;
+      Op.T = TransTmpl::DivMaybe;
       return true;
     }
     return false;
@@ -327,6 +343,18 @@ struct GenCtx {
     }
   }
 
+  /// A Take/Skip count, biased toward the rewriter's edges: explicit 0
+  /// (the canonical empty marker) and small negative values (defined by
+  /// the runtime as 0, rejected only by strict user compiles).
+  std::int64_t drawCount() {
+    std::uint64_t Sub = Rng.nextBelow(100);
+    if (Sub < 10)
+      return 0;
+    if (Sub < 16)
+      return pickInt(-3, -1);
+    return pickInt(0, static_cast<std::int64_t>(CountBound) + 2);
+  }
+
   bool drawOp(OpSpec &Op) {
     Op = OpSpec();
     std::uint64_t Roll = Rng.nextBelow(100);
@@ -336,12 +364,12 @@ struct GenCtx {
       return drawPred(Op, OpK::Where);
     if (Roll < 52) {
       Op.K = OpK::Take;
-      Op.IArg = pickInt(0, static_cast<std::int64_t>(CountBound) + 2);
+      Op.IArg = drawCount();
       return true;
     }
     if (Roll < 58) {
       Op.K = OpK::Skip;
-      Op.IArg = pickInt(0, static_cast<std::int64_t>(CountBound) + 2);
+      Op.IArg = drawCount();
       return true;
     }
     if (Roll < 63)
@@ -404,6 +432,19 @@ QuerySpec fuzz::generateSpec(support::SplitMix64 &Rng,
     if (!Ok)
       break;
     Ctx.Spec.Ops.push_back(Op);
+    // Occasionally chase a comparison filter with its contradiction:
+    // after `x > C`, the filter `x < C` is provably false for every
+    // reachable element — for int64 elements the abstract interpreter
+    // proves it and the rewriter collapses the pair to an empty chain,
+    // which every backend must still agree on.
+    if (Op.K == OpK::Where &&
+        (Op.P == PredTmpl::GtC || Op.P == PredTmpl::LtC) && Ctx.chance(10) &&
+        I + 1 != NumOps) {
+      OpSpec Contra = Op;
+      Contra.P = Op.P == PredTmpl::GtC ? PredTmpl::LtC : PredTmpl::GtC;
+      Ctx.Spec.Ops.push_back(Contra);
+      ++I;
+    }
   }
 
   // Terminal: scalar aggregate, group sink, or leave it a collection

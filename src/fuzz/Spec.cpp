@@ -40,7 +40,8 @@ const TokenEntry<TransTmpl> TransTokens[] = {
     {TransTmpl::MulC, "mulc"},       {TransTmpl::Square, "square"},
     {TransTmpl::SqrtAbs, "sqrtabs"}, {TransTmpl::Negate, "negate"},
     {TransTmpl::CapScale, "capscale"}, {TransTmpl::ToInt64, "toint64"},
-    {TransTmpl::ToDouble, "todouble"}};
+    {TransTmpl::ToDouble, "todouble"}, {TransTmpl::DivNz, "divnz"},
+    {TransTmpl::DivMaybe, "divmaybe"}};
 const TokenEntry<PredTmpl> PredTokens[] = {
     {PredTmpl::True, "true"},     {PredTmpl::False, "false"},
     {PredTmpl::GtC, "gtc"},       {PredTmpl::LtC, "ltc"},
@@ -239,6 +240,28 @@ struct BuildCtx {
       L = lambda({X}, toDouble(X));
       NewTy = ElemTy::Double;
       return true;
+    case TransTmpl::DivNz: {
+      if (Cur != ElemTy::Int64)
+        return fail("divnz requires int64 elements");
+      std::int64_t C = static_cast<std::int64_t>(Op.DArg);
+      if (C < 2 || C > 9)
+        return fail("divnz constant must be in [2, 9]");
+      // Divisor 1 + abs(x % C) is in [1, C]: provably nonzero, so the
+      // plan rewriter elides the ckdiv trap while every backend still
+      // must compute the identical quotient.
+      L = lambda({X}, X / (E(std::int64_t{1}) + abs(X % E(C))));
+      return true;
+    }
+    case TransTmpl::DivMaybe:
+      if (Cur != ElemTy::Int64)
+        return fail("divmaybe requires int64 elements");
+      // The divisor's interval is [0, 7] (the condition cannot be decided
+      // statically for unbounded elements), so trap elision must NOT
+      // fire; at run time the generator's magnitude cap (1e6 < 2000001)
+      // keeps the zero branch unreachable.
+      L = lambda({X}, X / cond(X > E(std::int64_t{2000001}),
+                               E(std::int64_t{0}), E(std::int64_t{7})));
+      return true;
     }
     return fail("bad trans template");
   }
@@ -359,14 +382,15 @@ struct BuildCtx {
       Q = Q.where(std::move(L));
       return true;
     }
+    // Negative counts are allowed: the runtime clamps them (Take ->
+    // empty, Skip -> no-op) and the rewriter folds them, so they are a
+    // deliberate differential shape, not a grammar error. The strict
+    // analyzer still flags them (ST3001); the harness tolerates that
+    // one code.
     case OpK::Take:
-      if (Op.IArg < 0)
-        return fail("negative take count");
       Q = Q.take(E(Op.IArg));
       return true;
     case OpK::Skip:
-      if (Op.IArg < 0)
-        return fail("negative skip count");
       Q = Q.skip(E(Op.IArg));
       return true;
     case OpK::TakeWhile: {

@@ -21,10 +21,16 @@
 ///    generator uses, so a malformed file is a clean error, not an abort
 ///    inside the optimizer.
 ///
-/// The template menu is deliberately trap-free: integer division/modulo
-/// only ever appears with nonzero constant divisors, and the generator
-/// tracks a static magnitude bound so int64 arithmetic cannot overflow
-/// (which would be UB and poison the differential oracle).
+/// The template menu is trap-free *at run time*: integer division/modulo
+/// appears only with divisors that are provably nonzero on the generated
+/// data (constant, `1 + abs(x % C)`, or a conditional whose zero branch
+/// is unreachable at the tracked magnitudes), and the generator tracks a
+/// static magnitude bound so int64 arithmetic cannot overflow (which
+/// would be UB and poison the differential oracle). The divnz/divmaybe
+/// shapes deliberately straddle the plan rewriter's trap-elision line:
+/// divnz has a divisor interval the abstract interpreter proves nonzero
+/// (ckdiv elided), divmaybe's divisor interval includes 0 (ckdiv kept)
+/// even though the zero branch never executes on fuzz data.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -64,7 +70,13 @@ enum class TransTmpl {
   Negate,   ///< -x
   CapScale, ///< x * capture(0|1)         (slot matches element type)
   ToInt64,  ///< toInt64(x)               (double elements only)
-  ToDouble  ///< toDouble(x)              (int64 elements only)
+  ToDouble, ///< toDouble(x)              (int64 elements only)
+  DivNz,    ///< x / (1 + abs(x % C))     (int64 only; C = DArg in [2,9].
+            ///< Divisor interval [1, C]: the rewriter elides the trap.)
+  DivMaybe  ///< x / cond(x > 2000001, 0, 7)  (int64 only. The divisor
+            ///< interval includes 0 so ckdiv must stay, but the zero
+            ///< branch is unreachable at the generator's 1e6 magnitude
+            ///< cap — every backend must agree without trapping.)
 };
 
 /// Predicate templates (Where/TakeWhile/SkipWhile bodies).

@@ -37,6 +37,7 @@ ProfileSnapshot QueryProfile::snapshot(std::uint64_t PlanHash) const {
   S.PlanHash = PlanHash;
   S.Name = Desc.Name;
   S.Symbols = Desc.Symbols;
+  S.RewrittenFrom = Desc.RewrittenFrom;
   S.Runs = Runs.load(std::memory_order_relaxed);
   S.Ops.reserve(Desc.Ops.size());
   for (std::size_t K = 0; K != Desc.Ops.size(); ++K) {
@@ -44,6 +45,7 @@ ProfileSnapshot QueryProfile::snapshot(std::uint64_t PlanHash) const {
     O.Label = Desc.Ops[K].Label;
     O.Depth = Desc.Ops[K].Depth;
     O.Timed = Desc.Ops[K].Timed;
+    O.OpId = Desc.Ops[K].OpId;
     O.RowsIn = Counts[2 * K].load(std::memory_order_relaxed);
     O.RowsOut = Counts[2 * K + 1].load(std::memory_order_relaxed);
     O.Nanos = Nanos[K].load(std::memory_order_relaxed);
@@ -93,6 +95,90 @@ ProfileStore::snapshot(std::uint64_t PlanHash) const {
     P = It->second.get();
   }
   return P->snapshot(PlanHash);
+}
+
+namespace {
+
+/// True when two snapshots describe the identical operator shape, so
+/// their per-op counters can be summed index-for-index.
+bool sameOpShape(const ProfileSnapshot &A, const ProfileSnapshot &B) {
+  if (A.Ops.size() != B.Ops.size())
+    return false;
+  for (std::size_t K = 0; K != A.Ops.size(); ++K)
+    if (A.Ops[K].Label != B.Ops[K].Label || A.Ops[K].OpId != B.Ops[K].OpId)
+      return false;
+  return true;
+}
+
+void foldRuns(ProfileSnapshot &S, const ProfileSnapshot &Other) {
+  if (!Other.Runs)
+    return;
+  S.Runs += Other.Runs;
+  S.PriorRuns += Other.Runs;
+  if (!S.ResolvedFrom)
+    S.ResolvedFrom = Other.PlanHash;
+  if (sameOpShape(S, Other)) {
+    for (std::size_t K = 0; K != S.Ops.size(); ++K) {
+      S.Ops[K].RowsIn += Other.Ops[K].RowsIn;
+      S.Ops[K].RowsOut += Other.Ops[K].RowsOut;
+      S.Ops[K].Nanos += Other.Ops[K].Nanos;
+    }
+  }
+}
+
+} // namespace
+
+std::optional<ProfileSnapshot>
+ProfileStore::snapshotResolved(std::uint64_t PlanHash) const {
+  // Take a consistent set of raw snapshots first; provenance walking
+  // happens outside the store lock on the copies.
+  std::vector<ProfileSnapshot> All = snapshotAll();
+  auto Find = [&](std::uint64_t H) -> const ProfileSnapshot * {
+    for (const ProfileSnapshot &S : All)
+      if (S.PlanHash == H)
+        return &S;
+    return nullptr;
+  };
+
+  const ProfileSnapshot *Self = Find(PlanHash);
+  if (!Self) {
+    // The caller holds a pre-rewrite hash that was never registered:
+    // serve its rewrite descendant's profile instead of "unknown plan".
+    for (const ProfileSnapshot &S : All)
+      if (S.RewrittenFrom == PlanHash && S.Runs) {
+        ProfileSnapshot Out = S;
+        Out.ResolvedFrom = S.PlanHash;
+        Out.PriorRuns = S.Runs;
+        Out.PlanHash = PlanHash;
+        return Out;
+      }
+    return std::nullopt;
+  }
+
+  ProfileSnapshot Out = *Self;
+  // Walk ancestors: the plan this one was rewritten from, transitively,
+  // with a visited guard against malformed cycles.
+  std::vector<std::uint64_t> Visited{PlanHash};
+  std::uint64_t Cur = Out.RewrittenFrom;
+  while (Cur) {
+    if (std::find(Visited.begin(), Visited.end(), Cur) != Visited.end())
+      break;
+    Visited.push_back(Cur);
+    const ProfileSnapshot *Anc = Find(Cur);
+    if (!Anc)
+      break;
+    foldRuns(Out, *Anc);
+    Cur = Anc->RewrittenFrom;
+  }
+  // And one step forward: a rewrite descendant that accumulated runs
+  // while the caller still holds the original hash.
+  if (!Out.PriorRuns)
+    for (const ProfileSnapshot &S : All)
+      if (S.RewrittenFrom == PlanHash) {
+        foldRuns(Out, S);
+        break;
+      }
+  return Out;
 }
 
 std::vector<ProfileSnapshot> ProfileStore::snapshotAll() const {
@@ -216,6 +302,13 @@ std::string obs::renderExplainAnalyze(const ProfileSnapshot &S) {
                 " run%s]\n",
                 S.Name.c_str(), S.PlanHash, S.Runs, S.Runs == 1 ? "" : "s");
   Out += Buf;
+  if (S.PriorRuns) {
+    std::snprintf(Buf, sizeof Buf,
+                  "  includes %" PRIu64 " run%s from plan 0x%016" PRIx64
+                  " (rewrite provenance)\n",
+                  S.PriorRuns, S.PriorRuns == 1 ? "" : "s", S.ResolvedFrom);
+    Out += Buf;
+  }
   if (!S.Symbols.empty())
     Out += "  quil: " + S.Symbols + "\n";
   std::uint64_t Total = S.totalNanos();
@@ -258,6 +351,13 @@ std::string obs::profileJson(const ProfileSnapshot &S) {
   appendEscaped(Out, S.Symbols);
   std::snprintf(Buf, sizeof Buf, "\",\"runs\":%" PRIu64 ",", S.Runs);
   Out += Buf;
+  if (S.PriorRuns) {
+    std::snprintf(Buf, sizeof Buf,
+                  "\"prior_runs\":%" PRIu64 ",\"resolved_from\":\"0x%016" PRIx64
+                  "\",",
+                  S.PriorRuns, S.ResolvedFrom);
+    Out += Buf;
+  }
   Out += "\"workers\":{";
   bool First = true;
   for (const auto &[W, N] : S.WorkerMerges) {

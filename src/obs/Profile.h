@@ -54,6 +54,10 @@ struct ProfOpDesc {
   std::string Label; ///< "Src", "Where", "Trans", "GroupBy", "Ret", ...
   unsigned Depth = 0;
   bool Timed = false;
+  /// Stable lambda identity (expr::hashLambda of a Where predicate; 0
+  /// otherwise) so consumers can match observed selectivities back to a
+  /// specific predicate across plan-rewriter permutations.
+  std::uint64_t OpId = 0;
 };
 
 /// Static description of one profiled plan (registered at compile time).
@@ -61,6 +65,12 @@ struct PlanDesc {
   std::string Name;    ///< Readable query name (CompileOptions.Name).
   std::string Symbols; ///< QUIL symbol string.
   std::vector<ProfOpDesc> Ops;
+  /// Provenance: the plan hash this plan was rewritten from (0 = not a
+  /// rewrite product). A rewritten chain hashes differently from its
+  /// source, which would orphan the source plan's accumulated profile;
+  /// this link lets snapshotResolved() merge run counts through the
+  /// rewrite so EXPLAIN ANALYZE never shows a spurious "0 runs".
+  std::uint64_t RewrittenFrom = 0;
 };
 
 /// Per-run accumulation buffer: plain uint64 arrays with two count slots
@@ -85,6 +95,7 @@ struct OpProfile {
   std::string Label;
   unsigned Depth = 0;
   bool Timed = false;
+  std::uint64_t OpId = 0; ///< See ProfOpDesc::OpId.
   std::uint64_t RowsIn = 0;
   std::uint64_t RowsOut = 0;
   std::uint64_t Nanos = 0;
@@ -105,6 +116,12 @@ struct ProfileSnapshot {
   std::uint64_t PlanHash = 0;
   std::string Name;
   std::string Symbols;
+  std::uint64_t RewrittenFrom = 0; ///< PlanDesc provenance link (0 = none).
+  /// snapshotResolved() only: the related plan whose runs were merged in
+  /// (an ancestor through RewrittenFrom, or a rewrite descendant), and
+  /// how many of Runs came from it. Plain snapshot() leaves both 0.
+  std::uint64_t ResolvedFrom = 0;
+  std::uint64_t PriorRuns = 0;
   std::uint64_t Runs = 0; ///< Completed merges (morsels count separately).
   std::vector<OpProfile> Ops;
   /// (worker id, merge count) pairs for workers that merged at least one
@@ -161,6 +178,19 @@ public:
   void merge(std::uint64_t PlanHash, const ProfileSink &S);
 
   std::optional<ProfileSnapshot> snapshot(std::uint64_t PlanHash) const;
+
+  /// snapshot() plus rewrite-provenance resolution: walks the
+  /// RewrittenFrom chain of ancestors (and, for a plan with no runs of
+  /// its own, looks for a rewrite descendant) and folds their run counts
+  /// into Runs / PriorRuns, recording the contributing hash in
+  /// ResolvedFrom. Per-op rows/nanos are merged only when the related
+  /// plan has the identical operator shape (same labels/ids), e.g. a
+  /// trap-elision-only rewrite. Falls back to the descendant's own
+  /// snapshot when \p PlanHash itself was never registered but a
+  /// rewritten successor was.
+  std::optional<ProfileSnapshot>
+  snapshotResolved(std::uint64_t PlanHash) const;
+
   /// Every registered plan, ordered by plan hash (deterministic).
   std::vector<ProfileSnapshot> snapshotAll() const;
 

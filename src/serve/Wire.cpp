@@ -241,7 +241,12 @@ void serve::serveConnection(QueryService &Svc, int Fd) {
           return;
         continue;
       }
-      auto Snap = obs::ProfileStore::global().snapshot(Plan.planHash());
+      // Resolved through rewrite provenance: a plan the rewriter changed
+      // inherits runs accumulated under its pre-rewrite hash, so a fresh
+      // prepare of a long-profiled query answers with the merged stats
+      // instead of "never executed".
+      auto Snap =
+          obs::ProfileStore::global().snapshotResolved(Plan.planHash());
       if (!Snap) {
         if (!S.writeAll(errorFrame(support::strFormat(
                 "no profile recorded for handle %zu yet (never executed)",

@@ -150,7 +150,8 @@ CompiledQuery QueryCache::getOrCompile(const query::Query &Q,
       for (const Entry &E : It->second) {
         if (E.Exec == Options.Exec &&
             E.Specialize == Options.SpecializeGroupByAggregate &&
-            E.Profile == Options.Profile && equalQueries(E.Query, Q)) {
+            E.Profile == Options.Profile && E.Rewrite == Options.Rewrite &&
+            equalQueries(E.Query, Q)) {
           Hits.fetch_add(1, std::memory_order_relaxed);
           HitCount.inc();
           SavedMs.inc(static_cast<std::uint64_t>(
@@ -180,7 +181,8 @@ CompiledQuery QueryCache::lookup(const query::Query &Q,
   for (const Entry &E : It->second)
     if (E.Exec == Options.Exec &&
         E.Specialize == Options.SpecializeGroupByAggregate &&
-        E.Profile == Options.Profile && equalQueries(E.Query, Q))
+        E.Profile == Options.Profile && E.Rewrite == Options.Rewrite &&
+        equalQueries(E.Query, Q))
       return E.Compiled;
   return CompiledQuery();
 }
@@ -195,7 +197,8 @@ CompiledQuery QueryCache::insert(const query::Query &Q,
   for (const Entry &E : Buckets[Key]) {
     if (E.Exec == Options.Exec &&
         E.Specialize == Options.SpecializeGroupByAggregate &&
-        E.Profile == Options.Profile && equalQueries(E.Query, Q)) {
+        E.Profile == Options.Profile && E.Rewrite == Options.Rewrite &&
+        equalQueries(E.Query, Q)) {
       DupDropped.fetch_add(1, std::memory_order_relaxed);
       DupDroppedCount.inc();
       return E.Compiled; // first insert won; drop the duplicate
@@ -203,7 +206,7 @@ CompiledQuery QueryCache::insert(const query::Query &Q,
   }
   Buckets[Key].push_back(Entry{Q, Options.Exec,
                                Options.SpecializeGroupByAggregate,
-                               Options.Profile, Compiled});
+                               Options.Profile, Options.Rewrite, Compiled});
   return Compiled;
 }
 
@@ -219,6 +222,7 @@ bool QueryCache::evict(const query::Query &Q, const CompileOptions &Options) {
     if (Entries[I].Exec == Options.Exec &&
         Entries[I].Specialize == Options.SpecializeGroupByAggregate &&
         Entries[I].Profile == Options.Profile &&
+        Entries[I].Rewrite == Options.Rewrite &&
         equalQueries(Entries[I].Query, Q)) {
       Entries.erase(Entries.begin() + static_cast<std::ptrdiff_t>(I));
       if (Entries.empty())

@@ -101,6 +101,7 @@ private:
     Backend Exec;
     bool Specialize;
     bool Profile;
+    bool Rewrite;
     CompiledQuery Compiled;
   };
 

@@ -12,6 +12,7 @@
 
 #include <atomic>
 #include <cstdio>
+#include <optional>
 
 using namespace steno;
 
@@ -29,6 +30,13 @@ struct CompiledQuery::Impl {
   std::uint64_t PlanHash = 0;
   /// Whether the generated code carries profiling hooks.
   bool Profile = false;
+  /// The rewriter's certificates and hashes; engaged only when it ran
+  /// AND changed the chain.
+  std::optional<quil::RewriteResult> Rewrite;
+  /// The plan hash this chain was rewritten from (0 = not rewritten):
+  /// what PlanHash would be with rewriting off, i.e. the hash the same
+  /// query registered under in profile stores before rewriting existed.
+  std::uint64_t RewrittenFrom = 0;
 };
 
 namespace {
@@ -61,6 +69,73 @@ void analyzePhase(CompiledQuery::Impl &Impl, const CompileOptions &Options,
                            Impl.Analysis.Diags.errorCount()) +
         Impl.Analysis.Diags.render(analysis::Severity::Error) +
         "  QUIL: " + Impl.Chain.symbols());
+}
+
+/// The ST4xxx diagnostic code describing one rewrite rule.
+analysis::DiagCode diagForRule(quil::RewriteRule Rule) {
+  using quil::RewriteRule;
+  switch (Rule) {
+  case RewriteRule::DropTruePred:
+    return analysis::DiagCode::RewritePredDropped;
+  case RewriteRule::CollapseFalsePred:
+    return analysis::DiagCode::RewriteEmptyCollapse;
+  case RewriteRule::RemoveDeadOp:
+    return analysis::DiagCode::RewriteDeadOpRemoved;
+  case RewriteRule::FoldConstCount:
+  case RewriteRule::MergeTakeTake:
+  case RewriteRule::MergeSkipSkip:
+  case RewriteRule::DropSkipZero:
+  case RewriteRule::DropRedundantTake:
+    return analysis::DiagCode::RewriteTakeSkipFolded;
+  case RewriteRule::ReorderPreds:
+    return analysis::DiagCode::RewritePredReordered;
+  case RewriteRule::ElideDivTrap:
+    return analysis::DiagCode::RewriteTrapElided;
+  }
+  return analysis::DiagCode::RewritePredDropped;
+}
+
+/// The rewrite phase: analyze -> REWRITE -> specialize. Replaces the
+/// chain with its fact-driven rewrite, records provenance (the plan hash
+/// the original chain would have compiled to, so accumulated profiles
+/// resolve across the rewrite), and surfaces each certificate as an
+/// ST4xxx note when the analysis pipeline is on.
+void rewritePhase(CompiledQuery::Impl &Impl, const CompileOptions &Options,
+                  bool WillSpecialize) {
+  if (!Options.Rewrite)
+    return;
+  // Cheap syntactic pre-scan: most hot compile paths (select/aggregate
+  // over arrays) have nothing a rule could fire on — skip the phase
+  // without copying or re-hashing the chain.
+  if (!quil::chainHasRewriteTargets(Impl.Chain))
+    return;
+  obs::Span S("steno.rewrite");
+  quil::RewriteOptions RO;
+  if (Options.Profile)
+    RO.Profile = &obs::ProfileStore::global();
+  quil::RewriteResult R = quil::rewriteChain(Impl.Chain, RO);
+  S.arg("rewrites", static_cast<std::int64_t>(R.Certs.size()));
+  if (!R.Changed)
+    return;
+
+  // Provenance target: the plan hash is computed post-specialize, so the
+  // pre-rewrite plan's hash is "the original chain specialized the same
+  // way this compile will". That is the key the query registered under
+  // before rewriting.
+  quil::Chain Original = Impl.Chain;
+  if (WillSpecialize) {
+    bool Dummy = false;
+    Original = quil::specializeGroupByAggregate(Original, &Dummy);
+  }
+  Impl.RewrittenFrom = quil::hashChain(Original);
+  Impl.Chain = R.Rewritten;
+
+  if (Options.Analyze != analysis::Mode::Off)
+    for (const quil::RewriteCertificate &C : R.Certs)
+      Impl.Analysis.Diags.report(diagForRule(C.Rule),
+                                 analysis::Severity::Note, C.Loc,
+                                 C.Detail + " [" + C.Fact + "]");
+  Impl.Rewrite = std::move(R);
 }
 
 void checkBindingsImpl(const cpptree::SlotUsage &Slots,
@@ -173,6 +248,8 @@ CompiledQuery CompiledQuery::withNativeModule(
   Impl->Module = std::move(Module);
   Impl->PlanHash = I->PlanHash;
   Impl->Profile = I->Profile;
+  Impl->Rewrite = I->Rewrite;
+  Impl->RewrittenFrom = I->RewrittenFrom;
   CompiledQuery CQ;
   CQ.I = std::move(Impl);
   return CQ;
@@ -194,6 +271,14 @@ const analysis::AnalysisResult &CompiledQuery::analysisResult() const {
 
 std::uint64_t CompiledQuery::planHash() const { return I->PlanHash; }
 
+const quil::RewriteResult *CompiledQuery::rewriteResult() const {
+  return I->Rewrite ? &*I->Rewrite : nullptr;
+}
+
+std::uint64_t CompiledQuery::rewrittenFromHash() const {
+  return I->RewrittenFrom;
+}
+
 bool CompiledQuery::profiled() const { return I->Profile; }
 
 std::string CompiledQuery::explainAnalyze() const {
@@ -201,7 +286,7 @@ std::string CompiledQuery::explainAnalyze() const {
     return "query '" + I->Program.Name +
            "' was compiled without profiling (set STENO_PROFILE=1 or "
            "CompileOptions::Profile)\n";
-  if (auto Snap = obs::ProfileStore::global().snapshot(I->PlanHash))
+  if (auto Snap = obs::ProfileStore::global().snapshotResolved(I->PlanHash))
     return obs::renderExplainAnalyze(*Snap);
   return "no profile recorded yet for query '" + I->Program.Name +
          "' (plan never ran)\n";
@@ -225,13 +310,19 @@ codegenAndLoad(std::shared_ptr<CompiledQuery::Impl> Impl,
   }
 
   Impl->PlanHash = quil::hashChain(Impl->Chain);
+  // A rewrite that round-trips to the same plan hash (theoretically
+  // possible, e.g. a permutation that sorts back) must not create a
+  // provenance self-loop.
+  if (Impl->RewrittenFrom == Impl->PlanHash)
+    Impl->RewrittenFrom = 0;
   Impl->Profile = Options.Profile;
   if (Options.Profile) {
     obs::PlanDesc D;
     D.Name = Options.Name;
     D.Symbols = Impl->Chain.symbols();
+    D.RewrittenFrom = Impl->RewrittenFrom;
     for (const cpptree::ProfOp &PO : Impl->Program.ProfOps)
-      D.Ops.push_back(obs::ProfOpDesc{PO.Label, PO.Depth, PO.Timed});
+      D.Ops.push_back(obs::ProfOpDesc{PO.Label, PO.Depth, PO.Timed, PO.OpId});
     obs::ProfileStore::global().ensure(Impl->PlanHash, D);
   }
 
@@ -279,6 +370,10 @@ CompiledQuery steno::compileQuery(const query::Query &Q,
   // 2. Static analysis: types, effects, constant ranges (rejects in
   // strict mode before any further work is spent on the chain).
   analyzePhase(*Impl, Options, "query");
+
+  // 2b. Certificate-gated plan rewriting over the analysis facts.
+  rewritePhase(*Impl, Options,
+               /*WillSpecialize=*/Options.SpecializeGroupByAggregate);
 
   // 3. Operator specialization (§4.3).
   if (Options.SpecializeGroupByAggregate) {
@@ -352,6 +447,8 @@ CompiledQuery steno::compileChain(const quil::Chain &Chain,
                           "\n  QUIL: " + Impl->Chain.symbols());
   }
   analyzePhase(*Impl, Options, "chain");
+  // compileChain never specializes, so provenance hashes the chain as-is.
+  rewritePhase(*Impl, Options, /*WillSpecialize=*/false);
   CompiledQuery CQ;
   CQ.I = codegenAndLoad(std::move(Impl), Options);
   Compiles.inc();

@@ -35,6 +35,7 @@
 #define STENO_STENO_STENO_H
 
 #include "analysis/Analysis.h"
+#include "analysis/Rewrite.h"
 #include "cpptree/Printer.h"
 #include "cpptree/Tree.h"
 #include "jit/Jit.h"
@@ -66,6 +67,14 @@ struct CompileOptions {
   /// specialize -> cse -> codegen). Defaults to the STENO_ANALYZE
   /// environment variable (off | warn | strict; unset means strict).
   analysis::Mode Analyze = analysis::modeFromEnv();
+  /// Fact-driven plan rewriting (lower -> validate -> analyze ->
+  /// REWRITE -> specialize -> codegen): dead-operator elimination,
+  /// constant-predicate dropping, Take/Skip folding, cost×selectivity
+  /// predicate reordering and division-trap elision, each justified by a
+  /// machine-checkable RewriteCertificate (see analysis/Rewrite.h).
+  /// Defaults to the STENO_REWRITE environment variable (on unless set
+  /// to "0" or "off"). The QueryCache keys on this flag.
+  bool Rewrite = quil::rewriteEnvEnabled();
   /// Collect per-operator runtime statistics (rows in/out, selectivity,
   /// nanoseconds) into the global obs::ProfileStore on every run().
   /// Defaults to the STENO_PROFILE environment variable. Profiled and
@@ -114,6 +123,14 @@ public:
   /// The analyze phase's findings and parallel-safety certificate
   /// (empty/default when the phase ran in Off mode).
   const analysis::AnalysisResult &analysisResult() const;
+  /// The rewriter's outcome: certificates and before/after hashes. Null
+  /// when rewriting was disabled or left the chain untouched.
+  const quil::RewriteResult *rewriteResult() const;
+  /// Provenance: the plan hash this query's chain was rewritten from
+  /// (what planHash() would have been with rewriting off), or 0 when the
+  /// rewriter did not change the chain. The ProfileStore uses this link
+  /// to resolve profiles accumulated under the pre-rewrite plan.
+  std::uint64_t rewrittenFromHash() const;
   /// Structural hash of the optimized QUIL chain (quil::hashChain) — the
   /// ProfileStore key. The interp and native plans of one query share a
   /// hash, so serve's backend swap keeps one merged profile. 0 for

@@ -36,8 +36,9 @@ void usage() {
       "usage: steno_fuzz [options]\n"
       "  --seed N         generator seed (default 1)\n"
       "  --iters N        queries to generate (default 1000)\n"
-      "  --backend NAME   restrict to one backend: interp | jit | plinq1 |\n"
-      "                   plinq2 | plinq8 | dryad-static | dryad-morsel\n"
+      "  --backend NAME   restrict to one backend: interp |\n"
+      "                   interp-norewrite | jit | plinq1 | plinq2 |\n"
+      "                   plinq8 | dryad-static | dryad-morsel\n"
       "  --jit-every N    run the JIT backend every Nth query (default 50;\n"
       "                   0 disables, 1 = every query)\n"
       "  --out DIR        directory for shrunken reproducers\n"
