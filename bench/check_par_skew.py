@@ -7,7 +7,11 @@ Enforces two thresholds at 8 workers:
   - skew speedup (static seconds / steal seconds on the skewed input)
     must not regress below min_skew_speedup_w8;
   - uniform overhead (steal seconds / static seconds - 1 on the uniform
-    input) must not exceed max_uniform_regression_w8.
+    input) must not exceed max_uniform_regression_w8;
+  - absolute skew scaling (steal rows/s at 8 workers / rows/s at 1
+    worker on the skewed input) must not fall below
+    min_skew_scaling_w1_w8 — the scheduler must not merely beat static
+    partitioning, it must actually scale.
 
 The thresholds are measured at 8 workers and need ~4+ hardware threads
 to manifest: on a 2-3 core runner the 8 static chunks already timeshare
@@ -54,7 +58,7 @@ def main():
 
     seconds = {r["name"]: r["seconds"] for r in bench["results"]}
     for name in ("static_skew_w8", "steal_skew_w8", "static_uniform_w8",
-                 "steal_uniform_w8"):
+                 "steal_uniform_w8", "steal_skew_w1"):
         if name not in seconds:
             die(f"{bench_path} is missing result '{name}'")
         if seconds[name] <= 0:
@@ -65,12 +69,19 @@ def main():
     uniform_regression = (
         seconds["steal_uniform_w8"] / seconds["static_uniform_w8"] - 1.0
     )
+    # rows/s scaling of the stealing variant itself: same input, same
+    # work, so the seconds ratio IS the throughput ratio.
+    skew_scaling = seconds["steal_skew_w1"] / seconds["steal_skew_w8"]
 
     print(f"check_par_skew: skew speedup (steal vs static, 8 workers): "
           f"{skew_speedup:.2f}x (floor {thresholds['min_skew_speedup_w8']}x)")
     print(f"check_par_skew: uniform overhead (steal vs static, 8 workers): "
           f"{uniform_regression * 100:+.1f}% "
           f"(ceiling +{thresholds['max_uniform_regression_w8'] * 100:.0f}%)")
+
+    print(f"check_par_skew: skew scaling (steal, 1 -> 8 workers): "
+          f"{skew_scaling:.2f}x "
+          f"(floor {thresholds['min_skew_scaling_w1_w8']}x)")
 
     if skew_speedup < thresholds["min_skew_speedup_w8"]:
         die(f"work stealing no longer beats static partitioning under "
@@ -80,6 +91,10 @@ def main():
         die(f"morsel dispatch overhead regressed on uniform input: "
             f"{uniform_regression * 100:+.1f}% > "
             f"+{thresholds['max_uniform_regression_w8'] * 100:.0f}%")
+    if skew_scaling < thresholds["min_skew_scaling_w1_w8"]:
+        die(f"work stealing does not scale on the skewed input: "
+            f"{skew_scaling:.2f}x rows/s from 1 to 8 workers < "
+            f"{thresholds['min_skew_scaling_w1_w8']}x")
     print("check_par_skew: OK")
 
 

@@ -20,11 +20,12 @@ using namespace steno;
 using namespace steno::dryad;
 using expr::Value;
 
-Bindings dryad::bindingRange(const Bindings &B, unsigned Slot,
-                             std::size_t Begin, std::size_t Len) {
-  assert(Slot < B.sources().size() && "partition slot is not bound");
-  const expr::SourceBuffer &Src = B.sources()[Slot];
-  Bindings Part = B; // shares every other slot
+namespace {
+
+/// Points \p Part's slot \p Slot at elements [Begin, Begin+Len) of the
+/// original buffer \p Src (in place; every other slot untouched).
+void rebindRange(Bindings &Part, const expr::SourceBuffer &Src,
+                 unsigned Slot, std::size_t Begin, std::size_t Len) {
   // Branch on the declared type, never on pointer nullness: an empty
   // source is legally bound with a null data pointer (e.g.
   // bindDoubleArray(0, nullptr, 0)) and must keep its type when rebound.
@@ -34,20 +35,30 @@ Bindings dryad::bindingRange(const Bindings &B, unsigned Slot,
     Part.bindDoubleArray(Slot,
                          Src.DoubleData ? Src.DoubleData + Begin : nullptr,
                          static_cast<std::int64_t>(Len));
-    break;
+    return;
   case expr::SourceBufKind::Int64:
     Part.bindInt64Array(Slot,
                         Src.Int64Data ? Src.Int64Data + Begin : nullptr,
                         static_cast<std::int64_t>(Len));
-    break;
+    return;
   case expr::SourceBufKind::Point:
     Part.bindPointArray(
         Slot, Src.DoubleData ? Src.DoubleData + Begin * Src.Dim : nullptr,
         static_cast<std::int64_t>(Len), Src.Dim);
-    break;
+    return;
   case expr::SourceBufKind::Unbound:
     stenoUnreachable("partition slot bound without a source kind");
   }
+  stenoUnreachable("bad SourceBufKind");
+}
+
+} // namespace
+
+Bindings dryad::bindingRange(const Bindings &B, unsigned Slot,
+                             std::size_t Begin, std::size_t Len) {
+  assert(Slot < B.sources().size() && "partition slot is not bound");
+  Bindings Part = B; // shares every other slot
+  rebindRange(Part, B.sources()[Slot], Slot, Begin, Len);
   return Part;
 }
 
@@ -110,6 +121,7 @@ DistributedQuery DistributedQuery::compile(const query::Query &Q,
   VertexOptions.Analyze = Options.Analyze;
   VertexOptions.Profile = Options.Profile;
   VertexOptions.Rewrite = Options.Rewrite;
+  VertexOptions.Vectorize = Options.Vectorize;
 
   if (!Plan) {
     // Sequential fallback: compile the whole query as one vertex and
@@ -131,6 +143,10 @@ DistributedQuery DistributedQuery::compile(const query::Query &Q,
   Parallelized.inc();
   DQ.Vertex = compileChain(Plan->VertexChain, VertexOptions);
   DQ.Plan = std::move(*Plan);
+  // Batched vertices want morsels made of whole batches: one ragged tail
+  // per stolen range instead of one per morsel.
+  if (DQ.Vertex.vectorized() && DQ.Morsels.BatchAlign <= 1)
+    DQ.Morsels.BatchAlign = vec::batchSizeFromEnv();
   return DQ;
 }
 
@@ -485,18 +501,32 @@ QueryResult DistributedQuery::runParallel(ThreadPool &Pool,
   // source offset lets the combine stage see partials in source order,
   // which keeps Concat/MergeSorted/MergeByKey semantics identical to
   // static partitioning no matter how stealing interleaved.
+  //
+  // Per-call costs are hoisted out of the morsel body: each worker gets
+  // one Bindings copy (the body only repoints the partition slot's
+  // window) and one QueryRunner (bindings validated once, profile deltas
+  // accumulated locally and merged once per worker below). At w1 on a
+  // uniform input this is what closes the gap to static partitioning —
+  // the body is one rebind plus one dispatch, like the fused loop itself.
   using Tagged = std::pair<std::size_t, QueryResult>;
-  std::vector<std::vector<Tagged>> PerWorker(Pool.workerCount());
+  unsigned Workers = Pool.workerCount();
+  std::vector<std::vector<Tagged>> PerWorker(Workers);
+  std::vector<Bindings> Parts(Workers, B);
+  std::vector<QueryRunner> Runners;
+  Runners.reserve(Workers);
+  for (unsigned W = 0; W != Workers; ++W)
+    Runners.emplace_back(Vertex);
   MorselStats Stats = morselFor(
       Pool, Count, Morsels,
-      [this, &B, &PerWorker, PartitionSlot](std::size_t Begin,
-                                            std::size_t End, unsigned W) {
-        // Tag the vertex run's ProfileStore merge with the executing
-        // worker, so profiles show how stealing spread the morsels.
-        obs::ProfileWorkerScope ProfScope(W);
-        Bindings Part = bindingRange(B, PartitionSlot, Begin, End - Begin);
-        PerWorker[W].emplace_back(Begin, Vertex.run(Part));
+      [&Src, &PerWorker, &Parts, &Runners, PartitionSlot](
+          std::size_t Begin, std::size_t End, unsigned W) {
+        rebindRange(Parts[W], Src, PartitionSlot, Begin, End - Begin);
+        PerWorker[W].emplace_back(Begin, Runners[W].run(Parts[W]));
       });
+  // One ProfileStore merge per worker, tagged with the worker id so
+  // profiles still show how stealing spread the morsels.
+  for (unsigned W = 0; W != Workers; ++W)
+    Runners[W].flush(W);
   Span.arg("morsels", static_cast<std::int64_t>(Stats.Morsels));
   Span.arg("steals", static_cast<std::int64_t>(Stats.Steals));
 

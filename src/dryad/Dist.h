@@ -50,8 +50,15 @@ struct DistOptions {
   bool WarnSequentialFallback = true;
   /// Profile the vertex program: every vertex run (one per partition or
   /// morsel) merges per-operator statistics into the ProfileStore under
-  /// vertexPlanHash(), tagged with the executing worker's id.
+  /// vertexPlanHash(), tagged with the executing worker's id. Under
+  /// runParallel the merge happens once per worker (QueryRunner
+  /// accumulates morsel deltas locally), not once per morsel.
   bool Profile = obs::profilingEnvEnabled();
+  /// Vectorized batch execution for the vertex program (DESIGN.md §5i,
+  /// same default and env knob as CompileOptions::Vectorize). When the
+  /// vertex vectorizes, runParallel also batch-aligns morsel boundaries
+  /// so every morsel runs whole batches.
+  bool Vectorize = vec::vectorizeEnvEnabled();
   std::string Name = "dist_query";
 };
 

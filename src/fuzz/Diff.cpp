@@ -21,6 +21,8 @@ const char *fuzz::backendName(BackendId Id) {
     return "interp";
   case BackendId::InterpNoRewrite:
     return "interp-norewrite";
+  case BackendId::InterpVectorized:
+    return "interp-vec";
   case BackendId::Jit:
     return "jit";
   case BackendId::Plinq1:
@@ -48,7 +50,8 @@ bool fuzz::parseBackendName(const std::string &S, BackendId &Out) {
 
 std::vector<BackendId> fuzz::allBackends(bool WithJit) {
   std::vector<BackendId> Out = {BackendId::Interp,
-                                BackendId::InterpNoRewrite};
+                                BackendId::InterpNoRewrite,
+                                BackendId::InterpVectorized};
   if (WithJit)
     Out.push_back(BackendId::Jit);
   Out.push_back(BackendId::Plinq1);
@@ -268,6 +271,7 @@ DiffResult DiffHarness::check(const QuerySpec &Spec,
     switch (Id) {
     case BackendId::Interp:
     case BackendId::InterpNoRewrite:
+    case BackendId::InterpVectorized:
     case BackendId::Jit: {
       CompileOptions CO;
       CO.Exec = Id == BackendId::Jit ? Backend::Native : Backend::Interp;
@@ -275,9 +279,16 @@ DiffResult DiffHarness::check(const QuerySpec &Spec,
       // Pinned (not env-derived) so the harness always runs the
       // rewrite-on/off oracle pair regardless of STENO_REWRITE.
       CO.Rewrite = Id != BackendId::InterpNoRewrite;
-      CO.Name = Id == BackendId::Jit            ? "fuzz_jit"
+      // Pinned likewise for the vectorize-on/off pair: the scalar interp
+      // backends never take the batch path regardless of STENO_VECTORIZE,
+      // InterpVectorized always requests it. Jit keeps the env default
+      // (sampling whichever native TU the environment selects).
+      if (Id != BackendId::Jit)
+        CO.Vectorize = Id == BackendId::InterpVectorized;
+      CO.Name = Id == BackendId::Jit               ? "fuzz_jit"
                 : Id == BackendId::InterpNoRewrite ? "fuzz_interp_norw"
-                                                   : "fuzz_interp";
+                : Id == BackendId::InterpVectorized ? "fuzz_interp_vec"
+                                                    : "fuzz_interp";
       Got = compileQuery(Built.Q, CO).run(Built.B);
       break;
     }

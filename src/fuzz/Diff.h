@@ -53,6 +53,14 @@ enum class BackendId {
                    ///< and this backend must both match the reference,
                    ///< so any semantics-changing rewrite shows up as a
                    ///< differential mismatch.
+  InterpVectorized, ///< Interp with batch execution forced ON (Interp
+                    ///< pins it off) — the vectorize-on/off oracle pair:
+                    ///< every spec whose chain fits the columnar model
+                    ///< runs both element-at-a-time and batch-at-a-time,
+                    ///< so a divergent batch kernel shows up as a
+                    ///< differential mismatch. Chains the vec planner
+                    ///< rejects silently take the scalar path (still a
+                    ///< valid comparison).
   Jit,
   Plinq1,
   Plinq2,
@@ -62,8 +70,9 @@ enum class BackendId {
 };
 
 const char *backendName(BackendId Id);
-/// Parses a --backend flag value ("interp", "interp-norewrite", "jit",
-/// "plinq1", "plinq2", "plinq8", "dryad-static", "dryad-morsel").
+/// Parses a --backend flag value ("interp", "interp-norewrite",
+/// "interp-vec", "jit", "plinq1", "plinq2", "plinq8", "dryad-static",
+/// "dryad-morsel").
 bool parseBackendName(const std::string &S, BackendId &Out);
 
 /// All backends, in fixed order; \p WithJit excludes the Native backend

@@ -1,0 +1,16 @@
+//===- interp/VecInterp.cpp -----------------------------------*- C++ -*-===//
+
+#include "interp/VecInterp.h"
+
+using namespace steno;
+
+interp::RunOutput interp::executeVectorized(const vec::VecPlan &Plan,
+                                            const RunInput &In) {
+  vec::BatchInput BI;
+  BI.Sources = In.Sources;
+  BI.Values = In.Values;
+  BI.Profile = In.Profile;
+  RunOutput Out;
+  Out.Rows = vec::executeBatched(Plan, BI);
+  return Out;
+}

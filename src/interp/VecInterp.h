@@ -1,0 +1,41 @@
+//===- interp/VecInterp.h - Batched interpreter entry point ----*- C++ -*-===//
+//
+// Part of the Steno/C++ reproduction of Murray, Isard & Yu,
+// "Steno: Automatic Optimization of Declarative Queries" (PLDI 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The vectorized sibling of interp::execute (DESIGN.md §5i): instead of
+/// walking the generated loop AST element-at-a-time, a vectorizable chain
+/// executes batch-at-a-time through the steno::vec kernels — a tight typed
+/// loop per operator over a column of (default) 1024 elements, with
+/// predicates communicating through selection vectors. Profile accounting
+/// happens once per batch per operator rather than once per element, and
+/// the rows-in/rows-out totals match the scalar path exactly.
+///
+/// Chains whose shape does not fit the columnar model (nested queries,
+/// sinks, early-exit aggregates, vec-typed elements) have no VecPlan and
+/// stay on interp::execute; the dispatch lives in steno::CompiledQuery.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STENO_INTERP_VECINTERP_H
+#define STENO_INTERP_VECINTERP_H
+
+#include "interp/Interp.h"
+#include "vec/BatchExec.h"
+
+namespace steno {
+namespace interp {
+
+/// Executes \p Plan batch-at-a-time against \p In and collects the emitted
+/// rows. The plan must have been built from the same chain the inputs were
+/// bound for (vec::planChain, Plan.Ok == true). Vectorizable chains emit
+/// scalar rows only, so the output arena is always null.
+RunOutput executeVectorized(const vec::VecPlan &Plan, const RunInput &In);
+
+} // namespace interp
+} // namespace steno
+
+#endif // STENO_INTERP_VECINTERP_H

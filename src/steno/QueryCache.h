@@ -102,6 +102,7 @@ private:
     bool Specialize;
     bool Profile;
     bool Rewrite;
+    bool Vectorize;
     CompiledQuery Compiled;
   };
 

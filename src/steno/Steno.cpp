@@ -2,14 +2,18 @@
 
 #include "steno/Steno.h"
 #include "codegen/Generator.h"
+#include "codegen/VecGen.h"
 #include "cpptree/Printer.h"
 #include "interp/Interp.h"
+#include "interp/VecInterp.h"
 #include "obs/Metrics.h"
 #include "obs/Trace.h"
 #include "support/Error.h"
 #include "support/StringUtil.h"
 #include "support/Timing.h"
+#include "vec/BatchExec.h"
 
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <optional>
@@ -37,6 +41,12 @@ struct CompiledQuery::Impl {
   /// what PlanHash would be with rewriting off, i.e. the hash the same
   /// query registered under in profile stores before rewriting existed.
   std::uint64_t RewrittenFrom = 0;
+  /// The vectorized batch plan (DESIGN.md §5i). Non-null only when
+  /// CompileOptions::Vectorize was on AND the chain fits the columnar
+  /// model; the Interp backend then executes batch-at-a-time and the
+  /// Native backend compiled batch loops. Shared: withNativeModule twins
+  /// reuse it.
+  std::shared_ptr<const vec::VecPlan> VecPlan;
 };
 
 namespace {
@@ -193,6 +203,12 @@ QueryResult CompiledQuery::run(const Bindings &B) const {
                  Prof ? Prof->Nanos.data() : nullptr);
     Rows = std::move(Out.Rows);
     Arena = std::move(Out.Arena);
+  } else if (I->VecPlan) {
+    interp::RunInput In;
+    In.Sources = &B.sources();
+    In.Values = &B.values();
+    In.Profile = Prof.get();
+    Rows = interp::executeVectorized(*I->VecPlan, In).Rows;
   } else {
     interp::RunInput In;
     In.Sources = &B.sources();
@@ -227,6 +243,69 @@ const std::string &CompiledQuery::generatedSource() const {
   return I->Source;
 }
 
+QueryRunner::QueryRunner(const CompiledQuery &CQ) : I(CQ.I) {
+  if (!I)
+    support::fatalError("QueryRunner over an invalid CompiledQuery");
+  if (I->Profile && !I->Program.ProfOps.empty())
+    Sink = std::make_unique<obs::ProfileSink>(I->Program.ProfOps.size());
+}
+
+QueryRunner::~QueryRunner() {
+  if (Sink && Dirty)
+    flush(obs::profileWorker());
+}
+
+QueryResult QueryRunner::run(const Bindings &B) {
+  if (!I)
+    support::fatalError("running a default-constructed QueryRunner");
+  if (!Checked) {
+    checkBindingsImpl(I->Slots, I->Program.Name, B);
+    Checked = true;
+  }
+  std::vector<expr::Value> Rows;
+  std::shared_ptr<std::deque<std::vector<double>>> Arena;
+  if (I->ExecBackend == Backend::Native) {
+    jit::ExecOutput Out =
+        jit::run(I->Module->entry(), B.sources(), B.values(),
+                 I->Program.ResultType,
+                 Sink ? Sink->Counts.data() : nullptr,
+                 Sink ? Sink->Nanos.data() : nullptr);
+    Rows = std::move(Out.Rows);
+    Arena = std::move(Out.Arena);
+  } else if (I->VecPlan) {
+    interp::RunInput In;
+    In.Sources = &B.sources();
+    In.Values = &B.values();
+    In.Profile = Sink.get();
+    Rows = interp::executeVectorized(*I->VecPlan, In).Rows;
+  } else {
+    interp::RunInput In;
+    In.Sources = &B.sources();
+    In.Values = &B.values();
+    In.Profile = Sink.get();
+    interp::RunOutput Out = interp::execute(I->Program, In);
+    Rows = std::move(Out.Rows);
+    Arena = std::move(Out.Arena);
+  }
+  if (Sink)
+    Dirty = true;
+  if (I->Program.ScalarResult && Rows.size() != 1)
+    support::fatalError("scalar query emitted " +
+                        std::to_string(Rows.size()) + " rows");
+  return QueryResult(I->Program.ScalarResult, std::move(Rows),
+                     std::move(Arena));
+}
+
+void QueryRunner::flush(unsigned Worker) {
+  if (!Sink || !Dirty)
+    return;
+  obs::ProfileWorkerScope Scope(Worker);
+  obs::ProfileStore::global().merge(I->PlanHash, *Sink);
+  std::fill(Sink->Counts.begin(), Sink->Counts.end(), 0);
+  std::fill(Sink->Nanos.begin(), Sink->Nanos.end(), 0);
+  Dirty = false;
+}
+
 Backend CompiledQuery::backend() const { return I->ExecBackend; }
 
 CompiledQuery CompiledQuery::withNativeModule(
@@ -250,6 +329,7 @@ CompiledQuery CompiledQuery::withNativeModule(
   Impl->Profile = I->Profile;
   Impl->Rewrite = I->Rewrite;
   Impl->RewrittenFrom = I->RewrittenFrom;
+  Impl->VecPlan = I->VecPlan;
   CompiledQuery CQ;
   CQ.I = std::move(Impl);
   return CQ;
@@ -281,6 +361,8 @@ std::uint64_t CompiledQuery::rewrittenFromHash() const {
 
 bool CompiledQuery::profiled() const { return I->Profile; }
 
+bool CompiledQuery::vectorized() const { return I->VecPlan != nullptr; }
+
 std::string CompiledQuery::explainAnalyze() const {
   if (!I->Profile)
     return "query '" + I->Program.Name +
@@ -307,6 +389,23 @@ codegenAndLoad(std::shared_ptr<CompiledQuery::Impl> Impl,
     Impl->Program = codegen::generate(Impl->Chain, Entry, Gen);
     Impl->Slots = cpptree::scanSlots(Impl->Program);
     Impl->Source = cpptree::printProgram(Impl->Program);
+  }
+
+  // Vectorized batch planning (§5i): decide once whether the optimized
+  // chain fits the columnar model. The plan drives the interp backend's
+  // batch executor directly; for the native backend (including serve's
+  // background recompiles, which compile generatedSource()) the printed
+  // TU is replaced by the batch-loop version, so vectorized() always
+  // describes what actually runs. The scalar Program is kept for result
+  // typing, slot metadata and EXPLAIN. Chains the planner rejects keep
+  // the scalar loop on both backends.
+  if (Options.Vectorize) {
+    auto VP = std::make_shared<vec::VecPlan>(vec::planChain(Impl->Chain));
+    if (VP->Ok) {
+      Impl->VecPlan = std::move(VP);
+      Impl->Source = codegen::printVectorizedProgram(
+          *Impl->VecPlan, Impl->Slots, Entry, Options.Profile);
+    }
   }
 
   Impl->PlanHash = quil::hashChain(Impl->Chain);

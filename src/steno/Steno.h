@@ -44,6 +44,7 @@
 #include "quil/Quil.h"
 #include "steno/Bindings.h"
 #include "steno/Result.h"
+#include "vec/Batch.h"
 
 #include <memory>
 #include <string>
@@ -81,6 +82,15 @@ struct CompileOptions {
   /// unprofiled compilations of the same query are distinct plans (the
   /// generated code differs); the QueryCache keys on this flag.
   bool Profile = obs::profilingEnvEnabled();
+  /// Vectorized batch execution (DESIGN.md §5i): vectorizable chains run
+  /// batch-at-a-time over contiguous columns with selection vectors — the
+  /// interpreter through the steno::vec batch kernels, the native backend
+  /// through SIMD-friendly generated batch loops. Chains whose shape does
+  /// not fit the columnar model (nested queries, sinks, early-exit
+  /// aggregates, vec-typed elements) keep the scalar path regardless.
+  /// Defaults to the STENO_VECTORIZE environment variable (on unless set
+  /// to "0" or "off"). The QueryCache keys on this flag.
+  bool Vectorize = vec::vectorizeEnvEnabled();
   /// Entry symbol / readable query name.
   std::string Name = "steno_query";
 };
@@ -138,6 +148,11 @@ public:
   std::uint64_t planHash() const;
   /// Whether this query was compiled with profiling hooks.
   bool profiled() const;
+  /// Whether this query carries a vectorized batch plan (the interp
+  /// backend executes it batch-at-a-time; the native backend compiled
+  /// batch loops). False when vectorization was disabled or the chain's
+  /// shape forced the scalar fallback.
+  bool vectorized() const;
   /// EXPLAIN ANALYZE-style report of the accumulated profile for this
   /// plan (obs::renderExplainAnalyze over the store snapshot); a
   /// diagnostic line when the plan is unprofiled or never ran.
@@ -152,7 +167,43 @@ private:
   friend CompiledQuery compileChain(const quil::Chain &,
                                     const CompileOptions &);
   friend struct PersistedQueryArtifact;
+  friend class QueryRunner;
   std::shared_ptr<const Impl> I;
+};
+
+/// Amortized repeat-execution handle for one CompiledQuery — the inner
+/// loop of the morsel runtime. CompiledQuery::run() pays per-call costs
+/// that are invisible at query granularity but dominate at morsel
+/// granularity: binding re-validation, a tracing span, global metric
+/// updates and a heap-allocated profile sink per call. A QueryRunner
+/// validates bindings on the first call only, accumulates profile deltas
+/// into one reused sink, and merges them into the ProfileStore exactly
+/// once (flush() or destruction). Not thread-safe: create one per worker.
+class QueryRunner {
+public:
+  QueryRunner() = default;
+  explicit QueryRunner(const CompiledQuery &CQ);
+  QueryRunner(QueryRunner &&) = default;
+  QueryRunner &operator=(QueryRunner &&) = default;
+  ~QueryRunner();
+
+  bool valid() const { return I != nullptr; }
+
+  /// Executes against \p B. Slot usage is validated on the first call
+  /// only — callers re-binding buffers between calls must keep the same
+  /// slots bound (the morsel runtime rebinds windows of one source).
+  QueryResult run(const Bindings &B);
+
+  /// Merges the accumulated profile into the ProfileStore, attributed to
+  /// \p Worker, and resets the accumulator. No-op when the query is
+  /// unprofiled or nothing ran since the last flush.
+  void flush(unsigned Worker = 0);
+
+private:
+  std::shared_ptr<const CompiledQuery::Impl> I;
+  std::unique_ptr<obs::ProfileSink> Sink;
+  bool Checked = false;
+  bool Dirty = false;
 };
 
 /// Everything needed to rehydrate a Native compiled query without

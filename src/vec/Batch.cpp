@@ -1,0 +1,37 @@
+//===- vec/Batch.cpp ------------------------------------------*- C++ -*-===//
+
+#include "vec/Batch.h"
+
+#include <cstdlib>
+#include <string>
+
+using namespace steno;
+using namespace steno::vec;
+
+bool vec::vectorizeEnvEnabled() {
+  const char *E = std::getenv("STENO_VECTORIZE");
+  if (!E)
+    return true;
+  std::string V(E);
+  return !(V == "0" || V == "off");
+}
+
+std::size_t vec::batchSizeFromEnv() {
+  const char *E = std::getenv("STENO_BATCH_SIZE");
+  if (!E || !*E)
+    return 1024;
+  char *End = nullptr;
+  long V = std::strtol(E, &End, 10);
+  if (End == E || V <= 0)
+    return 1024;
+  if (V < 16)
+    return 16;
+  if (V > 65536)
+    return 65536;
+  return static_cast<std::size_t>(V);
+}
+
+Workspace &vec::workspace() {
+  thread_local Workspace W;
+  return W;
+}

@@ -265,8 +265,12 @@ TEST(ProfileMorsel, ParallelRunAttributesWorkersAndCountsAllRows) {
 
   auto Snap = obs::ProfileStore::global().snapshot(DQ.vertexPlanHash());
   ASSERT_TRUE(Snap.has_value());
-  // One merge per morsel-driven vertex run, several morsels total.
-  EXPECT_GE(Snap->Runs, 2u);
+  // One merge per PARTICIPATING WORKER (each worker's QueryRunner
+  // accumulates its morsel deltas locally and flushes once at the
+  // join), so Runs is between 1 (a single worker won every morsel —
+  // normal on a loaded single-core machine) and the pool size.
+  EXPECT_GE(Snap->Runs, 1u);
+  EXPECT_LE(Snap->Runs, Pool.workerCount());
   // Every source row was seen exactly once across all morsels.
   const obs::OpProfile *Src = findOp(*Snap, "Src");
   ASSERT_TRUE(Src);
