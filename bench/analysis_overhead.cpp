@@ -36,30 +36,34 @@ using query::Query;
 namespace {
 
 CompileOptions opts(analysis::Mode Mode, Backend Exec, const char *Name,
-                    bool Rewrite = true) {
+                    bool Rewrite = true, bool Adaptive = false) {
   CompileOptions O;
   O.Analyze = Mode;
   O.Exec = Exec;
   O.Name = Name;
   O.Rewrite = Rewrite;
+  O.Adaptive = Adaptive;
   return O;
 }
 
-/// Best-of seconds for one compile with the Interp backend (no JIT), K
-/// compiles per timed sample for clock resolution.
-double compileSeconds(const Query &Q, analysis::Mode Mode,
-                      const char *Name, bool Rewrite = true) {
+/// One timed sample of K compiles with the Interp backend (no JIT); K
+/// amortizes clock resolution. Callers interleave samples of the
+/// variants they compare so clock drift between timing blocks cancels
+/// out of the deltas instead of masquerading as phase cost.
+double compileSample(const Query &Q, analysis::Mode Mode, const char *Name,
+                     bool Rewrite, bool Adaptive) {
   const int K = 20;
   return bestSeconds(
              [&] {
                for (int I = 0; I < K; ++I) {
                  CompiledQuery CQ = compileQuery(
-                     Q, opts(Mode, Backend::Interp, Name, Rewrite));
+                     Q,
+                     opts(Mode, Backend::Interp, Name, Rewrite, Adaptive));
                  doNotOptimize(
                      static_cast<std::int64_t>(CQ.generatedSource().size()));
                }
              },
-             /*Reps=*/15) /
+             /*Reps=*/1) /
          K;
 }
 
@@ -76,14 +80,37 @@ bool measure(JsonReport &Json, const char *Name, const Query &Q,
              const Bindings &B, std::int64_t Items) {
   double RunStrict = runSeconds(Q, analysis::Mode::Strict, Name, B);
   double RunOff = runSeconds(Q, analysis::Mode::Off, Name, B);
-  double CompStrict = compileSeconds(Q, analysis::Mode::Strict, Name);
-  double CompOff = compileSeconds(Q, analysis::Mode::Off, Name);
-  // Rewrite share: strict compiles with the rewriter on (the default
-  // above) vs explicitly off.
-  double CompNoRw =
-      compileSeconds(Q, analysis::Mode::Strict, Name, /*Rewrite=*/false);
+  // The compile-time variants whose deltas are gated below:
+  //  - CompStrict: strict analysis, rewriter on (the default config),
+  //  - CompOff:    analysis off       -> CompStrict - CompOff = analyze,
+  //  - CompNoRw:   rewriter off       -> CompStrict - CompNoRw = rewrite,
+  //  - CompAdapt:  Adaptive=true with empty stores -> the idle hook.
+  // The four are sampled ROUND-ROBIN inside one loop: the gated deltas
+  // are hundreds of nanoseconds on ~20us compiles, and sequential
+  // best-of blocks drift by more than that between blocks.
+  // Boustrophedon rotation: the order reverses every rep, so a variant
+  // never holds one position in the rotation and first-order slowdown
+  // over the run biases no delta.
+  double Best[4] = {1e9, 1e9, 1e9, 1e9};
+  auto sampleVariant = [&](int V) {
+    double S = V == 0   ? compileSample(Q, analysis::Mode::Strict, Name,
+                                        /*Rewrite=*/true, /*Adaptive=*/false)
+               : V == 1 ? compileSample(Q, analysis::Mode::Off, Name,
+                                        /*Rewrite=*/true, /*Adaptive=*/false)
+               : V == 2 ? compileSample(Q, analysis::Mode::Strict, Name,
+                                        /*Rewrite=*/false, /*Adaptive=*/false)
+                        : compileSample(Q, analysis::Mode::Strict, Name,
+                                        /*Rewrite=*/true, /*Adaptive=*/true);
+    Best[V] = std::min(Best[V], S);
+  };
+  for (int Rep = 0; Rep != 16; ++Rep)
+    for (int I = 0; I != 4; ++I)
+      sampleVariant(Rep % 2 ? 3 - I : I);
+  double CompStrict = Best[0], CompOff = Best[1], CompNoRw = Best[2],
+         CompAdapt = Best[3];
   double AnalyzeCost = CompStrict - CompOff;
   double RewriteCost = CompStrict - CompNoRw;
+  double AdaptCost = CompAdapt - CompStrict;
 
   std::printf("%-14s run %8.3f / %8.3f ns/op (strict/off, %+5.2f%%)   "
               "compile %8.1f / %8.1f us (analyze share %.1f%%, rewrite "
@@ -100,18 +127,28 @@ bool measure(JsonReport &Json, const char *Name, const Query &Q,
   Json.add(P + "_compile_strict", CompStrict, 1, 5);
   Json.add(P + "_compile_off", CompOff, 1, 5);
   Json.add(P + "_compile_strict_norewrite", CompNoRw, 1, 5);
+  Json.add(P + "_compile_adaptive_idle", CompAdapt, 1, 5);
 
-  // Gate only when the analyze phase is measurable at all, and spot the
-  // rewrite share a clock-jitter floor: the deltas compared here are
-  // hundreds of nanoseconds between two independently sampled best-of
-  // compile times.
-  const double NoiseFloor = 0.5e-6;
+  // Gate only when the analyze phase is measurable at all, and spot each
+  // delta a clock-jitter floor: the truths compared here are hundreds of
+  // nanoseconds, and even interleaved best-of samples of these ~20us
+  // compiles disagree by about a microsecond run to run.
+  const double NoiseFloor = 2e-6;
   if (AnalyzeCost > 1e-6 &&
       RewriteCost > 0.10 * AnalyzeCost + NoiseFloor) {
     std::fprintf(stderr,
                  "analysis_overhead: FAIL %s: rewrite phase is %.1f%% of "
                  "the analyze phase (budget 10%%)\n",
                  Name, 100.0 * RewriteCost / AnalyzeCost);
+    return false;
+  }
+  // The adaptive hook with nothing learned must stay within 1% of the
+  // non-adaptive compile (plus the same clock-jitter floor).
+  if (AdaptCost > 0.01 * CompStrict + NoiseFloor) {
+    std::fprintf(stderr,
+                 "analysis_overhead: FAIL %s: idle adaptive hook adds "
+                 "%.2f%% to the compile (budget 1%%)\n",
+                 Name, 100.0 * AdaptCost / CompStrict);
     return false;
   }
   return true;

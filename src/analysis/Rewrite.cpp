@@ -482,21 +482,38 @@ private:
     struct Ranked {
       unsigned Idx;
       double Sel;
-      std::int64_t Cost;
+      double Cost;
       bool FromProfile;
-      double rank() const {
-        return (Sel - 1.0) / static_cast<double>(Cost);
-      }
+      bool FromFeedback;
+      double rank() const { return (Sel - 1.0) / Cost; }
     };
+    // Feedback mode: when the adapt layer supplied decayed observed
+    // stats for EVERY predicate in the run, rank by observed
+    // cost×selectivity (cost in nanos-per-row). Mixed runs fall back to
+    // the profile/static path — observed-nanos and static node counts
+    // are not commensurable units.
+    bool AllFeedback = !Opts.Observed.empty();
+    for (unsigned I = Begin; I != End && AllFeedback; ++I)
+      AllFeedback = Opts.Observed.count(expr::hashLambda(C.Ops[I].Fn)) != 0;
+
     std::vector<Ranked> Run;
     for (unsigned I = Begin; I != End; ++I) {
       const Op &O = C.Ops[I];
       Ranked R;
       R.Idx = I;
-      R.Cost = staticCost(O.Fn.body());
-      auto It = Observed.find(expr::hashLambda(O.Fn));
-      R.FromProfile = It != Observed.end();
-      R.Sel = R.FromProfile ? It->second : staticSelectivity(O.Fn.body());
+      R.FromFeedback = AllFeedback;
+      if (AllFeedback) {
+        const ObservedPredStats &S =
+            Opts.Observed.at(expr::hashLambda(O.Fn));
+        R.Sel = S.Sel;
+        R.Cost = std::max(S.CostNanos, 1e-3);
+        R.FromProfile = true;
+      } else {
+        R.Cost = static_cast<double>(staticCost(O.Fn.body()));
+        auto It = Observed.find(expr::hashLambda(O.Fn));
+        R.FromProfile = It != Observed.end();
+        R.Sel = R.FromProfile ? It->second : staticSelectivity(O.Fn.body());
+      }
       Run.push_back(R);
     }
     // Most negative rank first: cheap, highly selective filters lead.
@@ -512,12 +529,18 @@ private:
 
     std::vector<Op> NewOps;
     NewOps.reserve(Run.size());
-    std::string Fact = "rank = (selectivity - 1) / cost:";
+    std::string Fact = AllFeedback
+                           ? "rank = (selectivity - 1) / cost, feedback:"
+                           : "rank = (selectivity - 1) / cost:";
     for (const Ranked &R : Run) {
       NewOps.push_back(C.Ops[R.Idx]);
-      Fact += support::strFormat(" #%u(sel=%.4f%s,cost=%lld)", R.Idx, R.Sel,
-                                 R.FromProfile ? "*" : "",
-                                 static_cast<long long>(R.Cost));
+      if (R.FromFeedback)
+        Fact += support::strFormat(" #%u(sel=%.4f*,cost=%.4gns)", R.Idx,
+                                   R.Sel, R.Cost);
+      else
+        Fact += support::strFormat(" #%u(sel=%.4f%s,cost=%lld)", R.Idx,
+                                   R.Sel, R.FromProfile ? "*" : "",
+                                   static_cast<long long>(R.Cost));
     }
     if (std::any_of(Run.begin(), Run.end(),
                     [](const Ranked &R) { return R.FromProfile; }))

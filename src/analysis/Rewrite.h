@@ -48,6 +48,7 @@
 #include "quil/Quil.h"
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -87,12 +88,26 @@ struct RewriteCertificate {
   std::string str() const;
 };
 
+/// One predicate's observed statistics, keyed by expr::hashLambda, as
+/// produced by adapt::FeedbackStore::observedStats(). When every Where in
+/// an adjacent run has an entry, ReorderPreds ranks the run by observed
+/// cost×selectivity instead of the static heuristic.
+struct ObservedPredStats {
+  double Sel = 0.5;       ///< Decayed mean observed selectivity.
+  double CostNanos = 1.0; ///< Decayed mean per-input-row cost (ns).
+};
+
 struct RewriteOptions {
   bool ReorderPreds = true;
   bool ElideTraps = true;
   /// Observed-selectivity source for ReorderPreds; null = static
   /// estimates only.
   const obs::ProfileStore *Profile = nullptr;
+  /// Feedback-driven predicate statistics (adapt layer). Carried inside
+  /// the options — rather than read back from mutable store state — so
+  /// verifyCertificates()'s replay of a feedback-driven reorder is
+  /// deterministic.
+  std::map<std::uint64_t, ObservedPredStats> Observed;
 };
 
 struct RewriteResult {

@@ -43,6 +43,14 @@ struct DistOptions {
   bool Rewrite = quil::rewriteEnvEnabled();
   /// Tuning for the morsel scheduler runParallel dispatches through.
   MorselOptions Morsels;
+  /// Feedback-driven morsel tuning (DESIGN.md §5j): when profiling is on
+  /// and the global adapt::FeedbackStore holds ripe observations for the
+  /// vertex plan, runParallel sizes morsels from the observed per-row
+  /// cost and per-worker skew (adapt::tunedMorselOptions) instead of the
+  /// static Morsels defaults. No effect without Profile (nothing is ever
+  /// observed), under STENO_ADAPT=off, or below the minimum-sample
+  /// threshold.
+  bool Adaptive = true;
   /// Print the one-shot stderr warning when a query compiles into the
   /// sequential fallback. The differential fuzzer compiles thousands of
   /// deliberately-uncertifiable queries and turns this off; everything
@@ -150,6 +158,10 @@ private:
   CompiledQuery Vertex;
   analysis::SafetyCertificate Cert;
   MorselOptions Morsels;
+  /// Consult the FeedbackStore for morsel sizing on each runParallel
+  /// (set at compile from DistOptions::Adaptive && Profile, so
+  /// unprofiled queries never pay the lookup).
+  bool Adaptive = false;
   bool Sequential = false;
   std::string WhyNot;
 };

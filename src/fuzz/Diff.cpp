@@ -23,6 +23,8 @@ const char *fuzz::backendName(BackendId Id) {
     return "interp-norewrite";
   case BackendId::InterpVectorized:
     return "interp-vec";
+  case BackendId::InterpAdaptive:
+    return "interp-adapt";
   case BackendId::Jit:
     return "jit";
   case BackendId::Plinq1:
@@ -51,7 +53,8 @@ bool fuzz::parseBackendName(const std::string &S, BackendId &Out) {
 std::vector<BackendId> fuzz::allBackends(bool WithJit) {
   std::vector<BackendId> Out = {BackendId::Interp,
                                 BackendId::InterpNoRewrite,
-                                BackendId::InterpVectorized};
+                                BackendId::InterpVectorized,
+                                BackendId::InterpAdaptive};
   if (WithJit)
     Out.push_back(BackendId::Jit);
   Out.push_back(BackendId::Plinq1);
@@ -285,10 +288,35 @@ DiffResult DiffHarness::check(const QuerySpec &Spec,
       // (sampling whichever native TU the environment selects).
       if (Id != BackendId::Jit)
         CO.Vectorize = Id == BackendId::InterpVectorized;
+      // Pinned off so these backends stay deterministic even after
+      // InterpAdaptive seeded feedback for this very spec; adaptivity
+      // is exercised only through its dedicated backend below.
+      CO.Adaptive = false;
       CO.Name = Id == BackendId::Jit               ? "fuzz_jit"
                 : Id == BackendId::InterpNoRewrite ? "fuzz_interp_norw"
                 : Id == BackendId::InterpVectorized ? "fuzz_interp_vec"
                                                     : "fuzz_interp";
+      Got = compileQuery(Built.Q, CO).run(Built.B);
+      break;
+    }
+    case BackendId::InterpAdaptive: {
+      // Cold: profiled adaptive compile with an empty feedback store for
+      // this plan — the static order. Running it past the min-sample
+      // threshold seeds the FeedbackStore through the profile
+      // provenance; the warm recompile may then reorder predicates on
+      // the observed cost×selectivity. The warm result is differenced:
+      // adaptivity must never change results.
+      CompileOptions CO;
+      CO.Exec = Backend::Interp;
+      CO.Analyze = analysis::Mode::Off;
+      CO.Rewrite = true;
+      CO.Vectorize = false;
+      CO.Profile = true;
+      CO.Adaptive = true; // pinned: the oracle runs despite STENO_ADAPT
+      CO.Name = "fuzz_interp_adapt";
+      CompiledQuery Cold = compileQuery(Built.Q, CO);
+      for (int Warmup = 0; Warmup != 4; ++Warmup)
+        Cold.run(Built.B);
       Got = compileQuery(Built.Q, CO).run(Built.B);
       break;
     }

@@ -61,6 +61,15 @@ enum class BackendId {
                     ///< differential mismatch. Chains the vec planner
                     ///< rejects silently take the scalar path (still a
                     ///< valid comparison).
+  InterpAdaptive, ///< Interp compiled twice with profiling + adaptive
+                  ///< feedback: a cold compile runs past the
+                  ///< min-sample threshold to seed the FeedbackStore,
+                  ///< then a warm recompile — which may reorder
+                  ///< predicates on the observed statistics — produces
+                  ///< the result that is differenced. The
+                  ///< adaptivity-never-changes-results oracle: any
+                  ///< feedback-driven reorder that alters semantics
+                  ///< shows up as a mismatch against the reference.
   Jit,
   Plinq1,
   Plinq2,
@@ -71,8 +80,8 @@ enum class BackendId {
 
 const char *backendName(BackendId Id);
 /// Parses a --backend flag value ("interp", "interp-norewrite",
-/// "interp-vec", "jit", "plinq1", "plinq2", "plinq8", "dryad-static",
-/// "dryad-morsel").
+/// "interp-vec", "interp-adapt", "jit", "plinq1", "plinq2", "plinq8",
+/// "dryad-static", "dryad-morsel").
 bool parseBackendName(const std::string &S, BackendId &Out);
 
 /// All backends, in fixed order; \p WithJit excludes the Native backend

@@ -110,6 +110,37 @@ bool sameOpShape(const ProfileSnapshot &A, const ProfileSnapshot &B) {
   return true;
 }
 
+/// Folds \p Other's per-pred counters into \p S by predicate identity:
+/// every (Label, OpId) pair with OpId != 0 that appears exactly once in
+/// BOTH snapshots is summed. Covers rewrite versions that permuted (or
+/// dropped) predicates, where index-wise folding would attribute rows to
+/// the wrong operator.
+void foldByOpId(ProfileSnapshot &S, const ProfileSnapshot &Other) {
+  auto UniqueIds = [](const ProfileSnapshot &P) {
+    std::map<std::uint64_t, int> N;
+    for (const OpProfile &O : P.Ops)
+      if (O.OpId)
+        ++N[O.OpId];
+    return N;
+  };
+  std::map<std::uint64_t, int> Mine = UniqueIds(S);
+  std::map<std::uint64_t, int> Theirs = UniqueIds(Other);
+  for (OpProfile &O : S.Ops) {
+    if (!O.OpId || Mine[O.OpId] != 1)
+      continue;
+    auto It = Theirs.find(O.OpId);
+    if (It == Theirs.end() || It->second != 1)
+      continue;
+    for (const OpProfile &T : Other.Ops)
+      if (T.OpId == O.OpId && T.Label == O.Label) {
+        O.RowsIn += T.RowsIn;
+        O.RowsOut += T.RowsOut;
+        O.Nanos += T.Nanos;
+        break;
+      }
+  }
+}
+
 void foldRuns(ProfileSnapshot &S, const ProfileSnapshot &Other) {
   if (!Other.Runs)
     return;
@@ -123,6 +154,8 @@ void foldRuns(ProfileSnapshot &S, const ProfileSnapshot &Other) {
       S.Ops[K].RowsOut += Other.Ops[K].RowsOut;
       S.Ops[K].Nanos += Other.Ops[K].Nanos;
     }
+  } else {
+    foldByOpId(S, Other);
   }
 }
 
@@ -130,54 +163,70 @@ void foldRuns(ProfileSnapshot &S, const ProfileSnapshot &Other) {
 
 std::optional<ProfileSnapshot>
 ProfileStore::snapshotResolved(std::uint64_t PlanHash) const {
-  // Take a consistent set of raw snapshots first; provenance walking
-  // happens outside the store lock on the copies.
-  std::vector<ProfileSnapshot> All = snapshotAll();
-  auto Find = [&](std::uint64_t H) -> const ProfileSnapshot * {
-    for (const ProfileSnapshot &S : All)
-      if (S.PlanHash == H)
-        return &S;
-    return nullptr;
+  // Collect only the cheap provenance edges (hash, RewrittenFrom) under
+  // the lock — deliberately NOT snapshotAll(), whose per-plan copies
+  // would make every adaptive compile O(total registered plans).
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> Edges;
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Edges.reserve(Plans.size());
+    for (const auto &[Hash, P] : Plans)
+      Edges.emplace_back(Hash, P->desc().RewrittenFrom);
+  }
+
+  // BFS the weakly-connected provenance component containing PlanHash:
+  // edges hash -> RewrittenFrom, followed in BOTH directions, so
+  // multi-hop chains (v1 -> v2 -> v3) and provenance siblings (two
+  // rewrite products of the same original) all fold together.
+  std::vector<std::uint64_t> Component{PlanHash};
+  auto Seen = [&](std::uint64_t H) {
+    return std::find(Component.begin(), Component.end(), H) !=
+           Component.end();
   };
+  for (std::size_t I = 0; I != Component.size(); ++I) {
+    std::uint64_t Cur = Component[I];
+    for (const auto &[Hash, From] : Edges) {
+      if (Hash == Cur && From && !Seen(From))
+        Component.push_back(From);
+      if (From == Cur && !Seen(Hash))
+        Component.push_back(Hash);
+    }
+  }
 
-  const ProfileSnapshot *Self = Find(PlanHash);
-  if (!Self) {
-    // The caller holds a pre-rewrite hash that was never registered:
-    // serve its rewrite descendant's profile instead of "unknown plan".
-    for (const ProfileSnapshot &S : All)
-      if (S.RewrittenFrom == PlanHash && S.Runs) {
-        ProfileSnapshot Out = S;
-        Out.ResolvedFrom = S.PlanHash;
-        Out.PriorRuns = S.Runs;
-        Out.PlanHash = PlanHash;
-        return Out;
-      }
+  // Registered members in plan-hash order (Edges inherits the map's
+  // ordering), so the fold — and the primary shape for an unregistered
+  // hash — is deterministic.
+  std::vector<std::uint64_t> Members;
+  for (const auto &[Hash, From] : Edges) {
+    (void)From;
+    if (Seen(Hash))
+      Members.push_back(Hash);
+  }
+  if (Members.empty())
     return std::nullopt;
-  }
 
-  ProfileSnapshot Out = *Self;
-  // Walk ancestors: the plan this one was rewritten from, transitively,
-  // with a visited guard against malformed cycles.
-  std::vector<std::uint64_t> Visited{PlanHash};
-  std::uint64_t Cur = Out.RewrittenFrom;
-  while (Cur) {
-    if (std::find(Visited.begin(), Visited.end(), Cur) != Visited.end())
-      break;
-    Visited.push_back(Cur);
-    const ProfileSnapshot *Anc = Find(Cur);
-    if (!Anc)
-      break;
-    foldRuns(Out, *Anc);
-    Cur = Anc->RewrittenFrom;
+  bool SelfRegistered = Seen(PlanHash) &&
+                        std::find(Members.begin(), Members.end(),
+                                  PlanHash) != Members.end();
+  ProfileSnapshot Out;
+  std::uint64_t Primary = SelfRegistered ? PlanHash : Members.front();
+  if (auto S = snapshot(Primary))
+    Out = *S;
+  else
+    return std::nullopt;
+  if (!SelfRegistered) {
+    // The caller holds a pre-rewrite hash that was never registered:
+    // serve a rewrite relative's profile under the requested hash.
+    Out.ResolvedFrom = Out.PlanHash;
+    Out.PriorRuns = Out.Runs;
+    Out.PlanHash = PlanHash;
   }
-  // And one step forward: a rewrite descendant that accumulated runs
-  // while the caller still holds the original hash.
-  if (!Out.PriorRuns)
-    for (const ProfileSnapshot &S : All)
-      if (S.RewrittenFrom == PlanHash) {
-        foldRuns(Out, S);
-        break;
-      }
+  for (std::uint64_t H : Members) {
+    if (H == Primary)
+      continue;
+    if (auto S = snapshot(H))
+      foldRuns(Out, *S);
+  }
   return Out;
 }
 

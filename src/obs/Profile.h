@@ -179,15 +179,19 @@ public:
 
   std::optional<ProfileSnapshot> snapshot(std::uint64_t PlanHash) const;
 
-  /// snapshot() plus rewrite-provenance resolution: walks the
-  /// RewrittenFrom chain of ancestors (and, for a plan with no runs of
-  /// its own, looks for a rewrite descendant) and folds their run counts
-  /// into Runs / PriorRuns, recording the contributing hash in
-  /// ResolvedFrom. Per-op rows/nanos are merged only when the related
-  /// plan has the identical operator shape (same labels/ids), e.g. a
-  /// trap-elision-only rewrite. Falls back to the descendant's own
-  /// snapshot when \p PlanHash itself was never registered but a
-  /// rewritten successor was.
+  /// snapshot() plus rewrite-provenance resolution: folds the entire
+  /// weakly-connected provenance component — RewrittenFrom edges
+  /// followed in both directions, transitively — so multi-hop chains
+  /// (v1 -> v2 -> v3) and provenance siblings (two rewrite products of
+  /// one original) all contribute their run counts to Runs / PriorRuns,
+  /// recording the first contributing hash in ResolvedFrom. Per-op
+  /// rows/nanos are merged index-wise when the related plan has the
+  /// identical operator shape (same labels/ids); otherwise predicates
+  /// whose (Label, OpId) pair is unique in both snapshots are matched by
+  /// identity, so pred-permuted plan versions still aggregate per-pred
+  /// statistics. Falls back to a relative's own snapshot (re-keyed to
+  /// \p PlanHash) when \p PlanHash itself was never registered but a
+  /// rewrite relative was.
   std::optional<ProfileSnapshot>
   snapshotResolved(std::uint64_t PlanHash) const;
 

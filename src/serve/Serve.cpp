@@ -2,6 +2,7 @@
 
 #include "serve/Serve.h"
 
+#include "adapt/Adapt.h"
 #include "analysis/Analysis.h"
 #include "obs/Metrics.h"
 #include "obs/Trace.h"
@@ -38,7 +39,19 @@ CompileOptions planOptions(Backend B, bool Profile) {
   CO.Exec = B;
   CO.Analyze = analysis::Mode::Off;
   CO.Profile = Profile;
+  // The baseline (v1) plan is deliberately non-adaptive: it is the
+  // stable static anchor the feedback accumulates against. Feedback
+  // enters only through the explicit re-plan path below.
+  CO.Adaptive = false;
   CO.Name = "serve_query";
+  return CO;
+}
+
+/// Compile options for a feedback-replanned (v2+) plan version.
+CompileOptions adaptPlanOptions(Backend B, bool Profile) {
+  CompileOptions CO = planOptions(B, Profile);
+  CO.Adaptive = true;
+  CO.Name = "serve_adapt";
   return CO;
 }
 
@@ -57,6 +70,9 @@ struct ServeMetrics {
   obs::Counter &RecompFailed = obs::counter("serve.recompile.failed");
   obs::Counter &RecompSaturated =
       obs::counter("serve.recompile.saturated");
+  obs::Counter &Replans = obs::counter("adapt.replans");
+  obs::Counter &ReplanSwaps = obs::counter("adapt.swaps");
+  obs::Counter &AdaptReverted = obs::counter("adapt.reverted");
   obs::Gauge &QueueDepth = obs::gauge("serve.queue.depth");
   obs::Histogram &RequestMicros = obs::histogram(
       "serve.request.micros", {10, 100, 1e3, 1e4, 1e5, 1e6, 1e7});
@@ -268,6 +284,172 @@ bool QueryService::scheduleRecompile(const PreparedHandle &P) {
 
 void QueryService::drainRecompiles() { CompileQ.drain(); }
 
+//===--------------------------------------------------------------------===//
+// Adaptive re-planning (DESIGN.md §5j)
+//===--------------------------------------------------------------------===//
+
+std::uint64_t QueryService::feedbackAnchor(const PreparedQuery &P) const {
+  // Feedback is keyed by the pre-rewrite (anchor) hash: the one hash
+  // every plan version of this query — static v1, feedback v2, v3 — has
+  // provenance edges to, so snapshotResolved() folds them all.
+  std::uint64_t RF = P.InterpPlan.rewrittenFromHash();
+  return RF ? RF : P.InterpPlan.planHash();
+}
+
+void QueryService::publishAdaptive(const PreparedHandle &P,
+                                   CompiledQuery Plan) {
+  {
+    std::lock_guard<std::mutex> Lock(P->AdaptMutex);
+    P->AdaptPlan = std::make_shared<const CompiledQuery>(std::move(Plan));
+    P->AdaptState = 2;
+  }
+  // Fresh judgement window for the new version.
+  P->AdaptRuns.store(0, std::memory_order_relaxed);
+  P->AdaptNanos.store(0, std::memory_order_relaxed);
+  metrics().ReplanSwaps.inc();
+  NReplanSwaps.fetch_add(1, std::memory_order_relaxed);
+}
+
+bool QueryService::scheduleAdaptiveReplan(const PreparedHandle &P) {
+  if (!P || Closed.load(std::memory_order_relaxed) || !Options.Profile)
+    return false;
+  if (P->Pinned.load(std::memory_order_relaxed))
+    return false;
+  std::uint64_t Anchor = feedbackAnchor(*P);
+  adapt::FeedbackStore &FS = adapt::FeedbackStore::global();
+  if (FS.ignored(Anchor)) {
+    // Quarantined before this handle existed (or by a sibling handle):
+    // pin without attempting a compile.
+    if (!P->Pinned.exchange(true, std::memory_order_relaxed))
+      NAdaptPinned.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+
+  // Claim the compile slot. A live v2 may be re-planned into a v3; a
+  // compile already in flight is left alone.
+  int PrevState;
+  {
+    std::lock_guard<std::mutex> Lock(P->AdaptMutex);
+    if (P->AdaptState == 1)
+      return false;
+    PrevState = P->AdaptState;
+    P->AdaptState = 1;
+  }
+  auto Restore = [&] {
+    std::lock_guard<std::mutex> Lock(P->AdaptMutex);
+    P->AdaptState = PrevState;
+  };
+  metrics().Replans.inc();
+  NReplans.fetch_add(1, std::memory_order_relaxed);
+
+  // Compile the feedback version synchronously on the interpreter
+  // backend (milliseconds — same budget as prepare). Deliberately NOT
+  // through the QueryCache: feedback evolves between replans, so a v3
+  // must not be served a stale cached v2.
+  CompiledQuery V2 = compileQuery(
+      P->Built.Q, adaptPlanOptions(Backend::Interp, Options.Profile));
+
+  std::uint64_t CurHash;
+  {
+    std::lock_guard<std::mutex> Lock(P->AdaptMutex);
+    CurHash = P->AdaptPlan ? P->AdaptPlan->planHash()
+                           : P->InterpPlan.planHash();
+  }
+  if (!V2.valid() || V2.planHash() == CurHash) {
+    // Feedback reproduced the running plan: nothing to swap.
+    Restore();
+    NReplanNoChange.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+
+  if (!Options.BackgroundRecompile) {
+    publishAdaptive(P, std::move(V2));
+    return true;
+  }
+  if (!P->nativeReady()) {
+    // The native v1 is still in flight; swapping a slower interpreted
+    // v2 over it would regress the handle for the wrong reason. Retry
+    // at the next cadence point.
+    Restore();
+    return false;
+  }
+
+  // Native mode: compile v2's generated source on the background queue
+  // and publish the native twin from the completion callback — the same
+  // machinery as the interp->native swap.
+  auto V2Shared = std::make_shared<CompiledQuery>(std::move(V2));
+  PreparedHandle Handle = P;
+  bool Submitted = CompileQ.trySubmit(
+      V2Shared->generatedSource(), V2Shared->program().Name,
+      [this, Handle, V2Shared](std::unique_ptr<jit::CompiledModule> Module,
+                               std::string Err) {
+        if (!Module) {
+          {
+            std::lock_guard<std::mutex> Lock(Handle->AdaptMutex);
+            Handle->AdaptState = Handle->AdaptPlan ? 2 : 0;
+          }
+          metrics().RecompFailed.inc();
+          NRecompFailed.fetch_add(1, std::memory_order_relaxed);
+          std::fprintf(stderr, "steno-serve: adaptive recompile of '%s' "
+                               "failed: %s\n",
+                       V2Shared->program().Name.c_str(), Err.c_str());
+          return;
+        }
+        publishAdaptive(Handle,
+                        V2Shared->withNativeModule(std::move(Module)));
+      });
+  if (!Submitted) {
+    Restore();
+    metrics().RecompSaturated.inc();
+    NRecompSaturated.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  return true;
+}
+
+void QueryService::judgeAdaptive(const PreparedHandle &P) {
+  double BRuns =
+      static_cast<double>(P->BaseRuns.load(std::memory_order_relaxed));
+  double BNanos =
+      static_cast<double>(P->BaseNanos.load(std::memory_order_relaxed));
+  double ARuns =
+      static_cast<double>(P->AdaptRuns.load(std::memory_order_relaxed));
+  double ANanos =
+      static_cast<double>(P->AdaptNanos.load(std::memory_order_relaxed));
+  double BaseMean = BRuns > 0 ? BNanos / BRuns / 1e3 : 0.0;
+  double AdaptMean = ARuns > 0 ? ANanos / ARuns / 1e3 : 0.0;
+
+  bool Regressed =
+      Options.AdaptJudge
+          ? Options.AdaptJudge(BaseMean, AdaptMean)
+          : (BaseMean > 0.0 &&
+             AdaptMean > BaseMean * (1.0 + Options.AdaptSlack));
+
+  std::uint64_t Anchor = feedbackAnchor(*P);
+  adapt::FeedbackStore &FS = adapt::FeedbackStore::global();
+  if (!Regressed) {
+    FS.recordGoodPrediction(Anchor);
+    return;
+  }
+
+  // Misprediction: revert to the static plan and strike the plan hash.
+  {
+    std::lock_guard<std::mutex> Lock(P->AdaptMutex);
+    if (P->AdaptState != 2)
+      return; // already reverted or being replaced
+    P->AdaptPlan = nullptr;
+    P->AdaptState = 0;
+  }
+  P->AdaptRuns.store(0, std::memory_order_relaxed);
+  P->AdaptNanos.store(0, std::memory_order_relaxed);
+  metrics().AdaptReverted.inc();
+  NAdaptReverted.fetch_add(1, std::memory_order_relaxed);
+  if (FS.recordMisprediction(Anchor)) {
+    if (!P->Pinned.exchange(true, std::memory_order_relaxed))
+      NAdaptPinned.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
 Response QueryService::execute(const PreparedHandle &P,
                                std::chrono::milliseconds Deadline) {
   ServeMetrics &M = metrics();
@@ -351,21 +533,34 @@ void QueryService::runRequest(const std::shared_ptr<RequestState> &R) {
 
   PreparedQuery &P = *R->P;
   bool Native = P.NativeReady.load(std::memory_order_acquire);
+  // A live feedback-replanned version takes precedence. The shared_ptr
+  // is copied under the lock, so a concurrent revert or re-swap never
+  // frees a plan this request is about to run.
+  std::shared_ptr<const CompiledQuery> Adaptive;
+  if (Options.AdaptiveReplan && Options.Profile &&
+      !P.Pinned.load(std::memory_order_relaxed)) {
+    std::lock_guard<std::mutex> Lock(P.AdaptMutex);
+    if (P.AdaptState == 2)
+      Adaptive = P.AdaptPlan;
+  }
   // InterpPlan is immutable after prepare; NativePlan is published by the
   // release store NativeReady observes (see PreparedQuery).
-  const CompiledQuery &Plan = Native ? P.NativePlan : P.InterpPlan;
+  const CompiledQuery &Plan =
+      Adaptive ? *Adaptive : (Native ? P.NativePlan : P.InterpPlan);
 
   support::WallTimer RunTimer;
   Rsp.Result = Plan.run(P.bindings());
   Rsp.RunMicros = RunTimer.seconds() * 1e6;
   Rsp.St = Status::Ok;
-  Rsp.NativePlan = Native;
-  Rsp.Degraded = !Native && Options.BackgroundRecompile;
+  Rsp.NativePlan =
+      Adaptive ? Adaptive->backend() == Backend::Native : Native;
+  Rsp.AdaptivePlan = Adaptive != nullptr;
+  Rsp.Degraded = !Rsp.NativePlan && Options.BackgroundRecompile;
 
-  P.Execs.fetch_add(1, std::memory_order_relaxed);
+  std::uint64_t Execs = P.Execs.fetch_add(1, std::memory_order_relaxed) + 1;
   M.Ok.inc();
   NOk.fetch_add(1, std::memory_order_relaxed);
-  if (Native) {
+  if (Rsp.NativePlan) {
     M.NativeRuns.inc();
     NNativeRuns.fetch_add(1, std::memory_order_relaxed);
   }
@@ -374,7 +569,29 @@ void QueryService::runRequest(const std::shared_ptr<RequestState> &R) {
     NDegraded.fetch_add(1, std::memory_order_relaxed);
   }
   M.RequestMicros.observe(Rsp.QueueMicros + Rsp.RunMicros);
+
+  // Latency accounting for the post-swap judgement, then answer the
+  // client before any adaptive bookkeeping compiles anything.
+  std::uint64_t RunNanos =
+      static_cast<std::uint64_t>(Rsp.RunMicros * 1e3);
+  bool Judge = false;
+  if (Adaptive) {
+    NAdaptiveRuns.fetch_add(1, std::memory_order_relaxed);
+    P.AdaptNanos.fetch_add(RunNanos, std::memory_order_relaxed);
+    Judge = P.AdaptRuns.fetch_add(1, std::memory_order_relaxed) + 1 ==
+            Options.AdaptWindow;
+  } else {
+    P.BaseNanos.fetch_add(RunNanos, std::memory_order_relaxed);
+    P.BaseRuns.fetch_add(1, std::memory_order_relaxed);
+  }
   finish(*R, std::move(Rsp));
+
+  if (Judge)
+    judgeAdaptive(R->P);
+  if (Options.AdaptiveReplan && Options.Profile && Options.ReplanEvery &&
+      Execs % Options.ReplanEvery == 0 &&
+      !P.Pinned.load(std::memory_order_relaxed))
+    scheduleAdaptiveReplan(R->P);
 }
 
 void QueryService::finish(RequestState &R, Response Rsp) {
@@ -399,6 +616,12 @@ QueryService::Stats QueryService::stats() const {
   S.RecompilesDone = NRecompDone.load(std::memory_order_relaxed);
   S.RecompilesFailed = NRecompFailed.load(std::memory_order_relaxed);
   S.RecompilesSaturated = NRecompSaturated.load(std::memory_order_relaxed);
+  S.Replans = NReplans.load(std::memory_order_relaxed);
+  S.ReplanSwaps = NReplanSwaps.load(std::memory_order_relaxed);
+  S.ReplanNoChange = NReplanNoChange.load(std::memory_order_relaxed);
+  S.AdaptiveRuns = NAdaptiveRuns.load(std::memory_order_relaxed);
+  S.AdaptReverted = NAdaptReverted.load(std::memory_order_relaxed);
+  S.AdaptPinned = NAdaptPinned.load(std::memory_order_relaxed);
   S.QueueDepth = InFlight.load(std::memory_order_relaxed);
   return S;
 }

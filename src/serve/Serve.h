@@ -99,6 +99,29 @@ struct ServeOptions {
   /// the interp plan and its native swap-in merge into one profile) and
   /// are served by the wire `profile <handle>` command.
   bool Profile = obs::profilingEnvEnabled();
+  /// Feedback-driven re-planning (DESIGN.md §5j): every ReplanEvery
+  /// executions of a handle, recompile the plan with the accumulated
+  /// adapt::FeedbackStore statistics and — when the feedback produced a
+  /// different plan — swap it in atomically, exactly like the
+  /// interp->native swap. Requires Profile (no observations otherwise).
+  /// Defaults to the STENO_ADAPT environment gate.
+  bool AdaptiveReplan = adapt::adaptEnvEnabled();
+  /// Re-plan cadence in executions per handle (0 = only explicit
+  /// scheduleAdaptiveReplan calls).
+  unsigned ReplanEvery = 64;
+  /// Post-swap judgement window: after this many runs of a swapped-in
+  /// plan, its mean latency is compared against the static plan's.
+  unsigned AdaptWindow = 32;
+  /// Regression slack for the judgement: the swapped plan is a
+  /// misprediction when its mean latency exceeds the static plan's by
+  /// more than this fraction. Two consecutive mispredictions pin the
+  /// handle to the static plan (ignorance list).
+  double AdaptSlack = 0.10;
+  /// Test instrumentation: overrides the built-in judgement.
+  /// Called as AdaptJudge(staticMeanMicros, adaptiveMeanMicros); return
+  /// true to declare the swapped plan regressed. Never set in
+  /// production.
+  std::function<bool(double, double)> AdaptJudge;
   /// Plan cache; defaults to a service-private cache when null. Not
   /// owned.
   QueryCache *Cache = nullptr;
@@ -118,6 +141,7 @@ struct Response {
   QueryResult Result;     ///< Valid when St == Ok.
   bool Degraded = false;  ///< Ran interpreted while a native plan was wanted.
   bool NativePlan = false; ///< Executed the JIT-compiled plan.
+  bool AdaptivePlan = false; ///< Executed a feedback-replanned (v2+) plan.
   double QueueMicros = 0;  ///< Admission-to-execution wait.
   double RunMicros = 0;    ///< Plan execution time.
 
@@ -146,6 +170,16 @@ public:
   }
   /// One-off native compile cost once nativeReady(), else 0.
   double nativeCompileMillis() const;
+  /// True while a feedback-replanned plan (v2+) is live for this handle.
+  bool adaptiveLive() const {
+    std::lock_guard<std::mutex> Lock(AdaptMutex);
+    return AdaptState == 2;
+  }
+  /// True once the handle was quarantined to the static plan (ignorance
+  /// list).
+  bool pinnedStatic() const {
+    return Pinned.load(std::memory_order_relaxed);
+  }
   /// The plan execute() would run right now: the native plan once
   /// swapped in, the interpreter plan before. Both share one plan hash
   /// (structural), so profile introspection needs no swap awareness.
@@ -169,6 +203,20 @@ private:
   std::atomic<bool> NativeReady{false};
   std::atomic<int> RecompileState{0}; ///< 0 idle, 1 in flight, 2 done.
   std::atomic<std::uint64_t> Execs{0};
+
+  /// Adaptive re-plan state (DESIGN.md §5j). Unlike the write-once
+  /// interp->native publish, an adaptive plan can be swapped repeatedly
+  /// (v2 -> revert -> v3, ...), so the live plan travels in a
+  /// shared_ptr under a mutex: executors copy the pointer under the
+  /// lock and run lock-free from then on; a revert or re-swap never
+  /// invalidates a plan an in-flight request already holds.
+  mutable std::mutex AdaptMutex;
+  std::shared_ptr<const CompiledQuery> AdaptPlan; ///< Under AdaptMutex.
+  int AdaptState = 0; ///< Under AdaptMutex: 0 idle, 1 compiling, 2 live.
+  std::atomic<bool> Pinned{false}; ///< Ignorance list: static plan only.
+  // Latency accounting for the post-swap judgement (nanoseconds).
+  std::atomic<std::uint64_t> BaseRuns{0}, BaseNanos{0};
+  std::atomic<std::uint64_t> AdaptRuns{0}, AdaptNanos{0};
 };
 
 /// Mutation (the plan swap) is QueryService-private; handle holders only
@@ -236,6 +284,16 @@ public:
   /// by the soak tests to force the swap mid-stream.
   bool scheduleRecompile(const PreparedHandle &P);
 
+  /// Recompiles \p P's plan with the accumulated feedback and swaps the
+  /// new version in when it differs from the running plan (normally
+  /// triggered every ReplanEvery executions). The interpreter version is
+  /// produced synchronously; with BackgroundRecompile on, its native
+  /// twin is compiled on the jit::CompileQueue and published by the
+  /// completion callback — the same machinery as the interp->native
+  /// swap. Returns true when a swap happened or was queued. Used by the
+  /// soak tests to force a v1 -> v2 re-swap mid-stream.
+  bool scheduleAdaptiveReplan(const PreparedHandle &P);
+
   /// Blocks until the background compile queue is empty (tests,
   /// shutdown).
   void drainRecompiles();
@@ -259,6 +317,12 @@ public:
     std::uint64_t RecompilesDone = 0;
     std::uint64_t RecompilesFailed = 0;
     std::uint64_t RecompilesSaturated = 0;
+    std::uint64_t Replans = 0;        ///< Adaptive recompiles attempted.
+    std::uint64_t ReplanSwaps = 0;    ///< New plan versions swapped in.
+    std::uint64_t ReplanNoChange = 0; ///< Feedback reproduced the plan.
+    std::uint64_t AdaptiveRuns = 0;   ///< Requests run on a v2+ plan.
+    std::uint64_t AdaptReverted = 0;  ///< Post-swap regressions reverted.
+    std::uint64_t AdaptPinned = 0;    ///< Handles quarantined static.
     std::int64_t QueueDepth = 0;
   };
   Stats stats() const;
@@ -268,6 +332,9 @@ private:
 
   void runRequest(const std::shared_ptr<RequestState> &R);
   void finish(RequestState &R, Response Rsp);
+  void publishAdaptive(const PreparedHandle &P, CompiledQuery Plan);
+  void judgeAdaptive(const PreparedHandle &P);
+  std::uint64_t feedbackAnchor(const PreparedQuery &P) const;
 
   ServeOptions Options;
   std::unique_ptr<QueryCache> OwnedCache; ///< When Options.Cache == null.
@@ -282,7 +349,9 @@ private:
   std::atomic<std::uint64_t> NSessions{0}, NPrepares{0}, NAccepted{0},
       NOk{0}, NShed{0}, NTimeouts{0}, NErrors{0}, NDegraded{0},
       NNativeRuns{0}, NRecompSched{0}, NRecompDone{0}, NRecompFailed{0},
-      NRecompSaturated{0};
+      NRecompSaturated{0}, NReplans{0}, NReplanSwaps{0},
+      NReplanNoChange{0}, NAdaptiveRuns{0}, NAdaptReverted{0},
+      NAdaptPinned{0};
 
   // Declared last: destroyed first, so worker threads and compile
   // callbacks never outlive the state above.

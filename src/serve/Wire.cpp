@@ -83,7 +83,7 @@ std::string statsJson(const QueryService::Stats &S) {
   // registered instrument rather than creating a second one.
   obs::Histogram &Lat = obs::histogram(
       "serve.request.micros", {10, 100, 1e3, 1e4, 1e5, 1e6, 1e7});
-  char Buf[640];
+  char Buf[1024];
   std::snprintf(
       Buf, sizeof Buf,
       "{\"sessions\":%llu,\"prepares\":%llu,\"accepted\":%llu,"
@@ -91,6 +91,9 @@ std::string statsJson(const QueryService::Stats &S) {
       "\"degraded_runs\":%llu,\"native_runs\":%llu,"
       "\"recompiles_scheduled\":%llu,\"recompiles_done\":%llu,"
       "\"recompiles_failed\":%llu,\"recompiles_saturated\":%llu,"
+      "\"replans\":%llu,\"replan_swaps\":%llu,"
+      "\"replan_no_change\":%llu,\"adaptive_runs\":%llu,"
+      "\"adapt_reverted\":%llu,\"adapt_pinned\":%llu,"
       "\"queue_depth\":%lld,"
       "\"latency_us\":{\"p50\":%.1f,\"p95\":%.1f,\"p99\":%.1f}}",
       static_cast<unsigned long long>(S.Sessions),
@@ -106,6 +109,12 @@ std::string statsJson(const QueryService::Stats &S) {
       static_cast<unsigned long long>(S.RecompilesDone),
       static_cast<unsigned long long>(S.RecompilesFailed),
       static_cast<unsigned long long>(S.RecompilesSaturated),
+      static_cast<unsigned long long>(S.Replans),
+      static_cast<unsigned long long>(S.ReplanSwaps),
+      static_cast<unsigned long long>(S.ReplanNoChange),
+      static_cast<unsigned long long>(S.AdaptiveRuns),
+      static_cast<unsigned long long>(S.AdaptReverted),
+      static_cast<unsigned long long>(S.AdaptPinned),
       static_cast<long long>(S.QueueDepth), Lat.percentile(0.50),
       Lat.percentile(0.95), Lat.percentile(0.99));
   return Buf;

@@ -151,7 +151,8 @@ CompiledQuery QueryCache::getOrCompile(const query::Query &Q,
         if (E.Exec == Options.Exec &&
             E.Specialize == Options.SpecializeGroupByAggregate &&
             E.Profile == Options.Profile && E.Rewrite == Options.Rewrite &&
-            E.Vectorize == Options.Vectorize && equalQueries(E.Query, Q)) {
+            E.Vectorize == Options.Vectorize &&
+            E.Adaptive == Options.Adaptive && equalQueries(E.Query, Q)) {
           Hits.fetch_add(1, std::memory_order_relaxed);
           HitCount.inc();
           SavedMs.inc(static_cast<std::uint64_t>(
@@ -182,7 +183,8 @@ CompiledQuery QueryCache::lookup(const query::Query &Q,
     if (E.Exec == Options.Exec &&
         E.Specialize == Options.SpecializeGroupByAggregate &&
         E.Profile == Options.Profile && E.Rewrite == Options.Rewrite &&
-        E.Vectorize == Options.Vectorize && equalQueries(E.Query, Q))
+        E.Vectorize == Options.Vectorize &&
+        E.Adaptive == Options.Adaptive && equalQueries(E.Query, Q))
       return E.Compiled;
   return CompiledQuery();
 }
@@ -198,7 +200,8 @@ CompiledQuery QueryCache::insert(const query::Query &Q,
     if (E.Exec == Options.Exec &&
         E.Specialize == Options.SpecializeGroupByAggregate &&
         E.Profile == Options.Profile && E.Rewrite == Options.Rewrite &&
-        E.Vectorize == Options.Vectorize && equalQueries(E.Query, Q)) {
+        E.Vectorize == Options.Vectorize &&
+        E.Adaptive == Options.Adaptive && equalQueries(E.Query, Q)) {
       DupDropped.fetch_add(1, std::memory_order_relaxed);
       DupDroppedCount.inc();
       return E.Compiled; // first insert won; drop the duplicate
@@ -207,7 +210,8 @@ CompiledQuery QueryCache::insert(const query::Query &Q,
   Buckets[Key].push_back(Entry{Q, Options.Exec,
                                Options.SpecializeGroupByAggregate,
                                Options.Profile, Options.Rewrite,
-                               Options.Vectorize, Compiled});
+                               Options.Vectorize, Options.Adaptive,
+                               Compiled});
   return Compiled;
 }
 
@@ -225,6 +229,7 @@ bool QueryCache::evict(const query::Query &Q, const CompileOptions &Options) {
         Entries[I].Profile == Options.Profile &&
         Entries[I].Rewrite == Options.Rewrite &&
         Entries[I].Vectorize == Options.Vectorize &&
+        Entries[I].Adaptive == Options.Adaptive &&
         equalQueries(Entries[I].Query, Q)) {
       Entries.erase(Entries.begin() + static_cast<std::ptrdiff_t>(I));
       if (Entries.empty())

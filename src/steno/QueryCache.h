@@ -103,6 +103,7 @@ private:
     bool Profile;
     bool Rewrite;
     bool Vectorize;
+    bool Adaptive;
     CompiledQuery Compiled;
   };
 

@@ -1,6 +1,7 @@
 //===- steno/Steno.cpp ----------------------------------------*- C++ -*-===//
 
 #include "steno/Steno.h"
+#include "adapt/Adapt.h"
 #include "codegen/Generator.h"
 #include "codegen/VecGen.h"
 #include "cpptree/Printer.h"
@@ -123,8 +124,53 @@ void rewritePhase(CompiledQuery::Impl &Impl, const CompileOptions &Options,
   quil::RewriteOptions RO;
   if (Options.Profile)
     RO.Profile = &obs::ProfileStore::global();
+
+  // Adaptive feedback: hand the rewriter ripe decayed per-predicate
+  // statistics for this plan, keyed by the hash the un-rewritten chain
+  // will register under (the anchor every plan version resolves to).
+  // Quarantined plans (ignorance list) stay on the static heuristic.
+  if (Options.Adaptive && obs::ProfileStore::global().size() != 0) {
+    quil::Chain Anchor = Impl.Chain;
+    if (WillSpecialize) {
+      bool Dummy = false;
+      Anchor = quil::specializeGroupByAggregate(Anchor, &Dummy);
+    }
+    std::uint64_t AnchorHash = quil::hashChain(Anchor);
+    adapt::FeedbackStore &FS = adapt::FeedbackStore::global();
+    if (!FS.ignored(AnchorHash)) {
+      FS.refresh(AnchorHash, obs::ProfileStore::global());
+      RO.Observed = FS.observedStats(AnchorHash);
+    } else {
+      // Quarantined: pin the fully static plan. The profile-guided
+      // selectivity reorder is observation-driven too, so it stays off
+      // for this hash as well.
+      RO.Profile = nullptr;
+    }
+  }
+
   quil::RewriteResult R = quil::rewriteChain(Impl.Chain, RO);
   S.arg("rewrites", static_cast<std::int64_t>(R.Certs.size()));
+
+  // Every feedback-driven rewrite must carry certificates that survive
+  // the replay checker before the chain is adopted; a verification
+  // failure (e.g. racing feedback mutation) falls back to the purely
+  // static rewrite.
+  if (!RO.Observed.empty() && R.Changed) {
+    std::string VErr;
+    if (quil::verifyCertificates(Impl.Chain, R, RO, &VErr)) {
+      static obs::Counter &Verified = obs::counter("adapt.cert_verified");
+      Verified.inc();
+    } else {
+      static obs::Counter &Failed = obs::counter("adapt.cert_failed");
+      Failed.inc();
+      std::fprintf(stderr,
+                   "steno: adaptive rewrite certificate rejected for "
+                   "'%s' (%s); using static plan\n",
+                   Options.Name.c_str(), VErr.c_str());
+      RO.Observed.clear();
+      R = quil::rewriteChain(Impl.Chain, RO);
+    }
+  }
   if (!R.Changed)
     return;
 

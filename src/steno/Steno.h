@@ -51,6 +51,11 @@
 
 namespace steno {
 
+namespace adapt {
+bool adaptEnvEnabled(); // adapt/Adapt.h — fwd-declared to keep this
+                        // header free of the adapt dependency.
+}
+
 /// Execution strategy for a compiled query.
 enum class Backend {
   Interp, ///< Walk the generated loop AST (portable; no compiler needed).
@@ -91,6 +96,19 @@ struct CompileOptions {
   /// Defaults to the STENO_VECTORIZE environment variable (on unless set
   /// to "0" or "off"). The QueryCache keys on this flag.
   bool Vectorize = vec::vectorizeEnvEnabled();
+  /// Feedback-driven adaptive optimization (DESIGN.md §5j): when the
+  /// global adapt::FeedbackStore holds ripe observed statistics for this
+  /// plan (decayed selectivity + per-row cost per predicate, above the
+  /// minimum-sample threshold), the rewrite phase ranks adjacent Where
+  /// runs by observed cost×selectivity instead of the static heuristic.
+  /// Every feedback-driven reorder still emits a RewriteCertificate and
+  /// is replay-verified before the chain is adopted; verification
+  /// failure falls back to the static plan. Plans quarantined by the
+  /// ignorance list (repeated mispredictions) are pinned static. Only
+  /// meaningful with Rewrite on. Defaults to the STENO_ADAPT
+  /// environment variable (on unless set to "0" or "off"). The
+  /// QueryCache keys on this flag.
+  bool Adaptive = adapt::adaptEnvEnabled();
   /// Entry symbol / readable query name.
   std::string Name = "steno_query";
 };

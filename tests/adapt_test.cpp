@@ -1,0 +1,480 @@
+//===- tests/adapt_test.cpp - Feedback-driven adaptive planning -*- C++ -*-===//
+///
+/// \file
+/// Exercises steno::adapt with deterministic hand-fed profiles: EWMA
+/// decay math, the minimum-sample gate, the AQO-style ignorance list,
+/// feedback-driven predicate ranking in the rewriter (including the
+/// all-or-nothing commensurability gate and certificate replay), morsel
+/// tuning, and the end-to-end contract that a warm adaptive recompile of
+/// a skewed predicate chain reorders the plan while staying bit-identical
+/// to the static plan on both the interpreter and native backends.
+///
+//===----------------------------------------------------------------------===//
+
+#include "adapt/Adapt.h"
+#include "analysis/Rewrite.h"
+#include "expr/Analysis.h"
+#include "obs/Metrics.h"
+#include "obs/Profile.h"
+#include "steno/Steno.h"
+
+#include "gtest/gtest.h"
+
+#include <cstdint>
+#include <vector>
+
+using namespace steno;
+using namespace steno::expr;
+using namespace steno::expr::dsl;
+using query::Query;
+using quil::Chain;
+using quil::PredOp;
+using quil::RewriteOptions;
+using quil::RewriteResult;
+using quil::RewriteRule;
+using quil::Sym;
+
+namespace {
+
+E xi() { return param("xi", Type::int64Ty()); }
+std::int64_t i64(long long V) { return static_cast<std::int64_t>(V); }
+
+unsigned countRule(const RewriteResult &R, RewriteRule Rule) {
+  unsigned N = 0;
+  for (const quil::RewriteCertificate &C : R.Certs)
+    N += C.Rule == Rule;
+  return N;
+}
+
+/// A hand-built cumulative snapshot for one Src -> Where -> Ret plan.
+/// Counters are cumulative across calls, exactly as the ProfileStore
+/// reports them; FeedbackStore::observe folds the deltas.
+obs::ProfileSnapshot whereSnap(std::uint64_t PlanHash, std::uint64_t Runs,
+                               std::uint64_t In, std::uint64_t Out,
+                               std::uint64_t Nanos,
+                               std::uint64_t OpId = 0x11) {
+  obs::ProfileSnapshot S;
+  S.PlanHash = PlanHash;
+  S.Name = "fed";
+  S.Runs = Runs;
+  S.Ops.push_back({"Src", 0, false, 0, 0, In, 0});
+  S.Ops.push_back({"Where", 1, true, OpId, In, Out, Nanos});
+  S.Ops.push_back({"Ret", 1, false, 0, Out, Out, 0});
+  return S;
+}
+
+/// OpIds (expr::hashLambda) of the Where predicates in chain order.
+std::vector<std::uint64_t> whereOpIds(const Chain &C) {
+  std::vector<std::uint64_t> Ids;
+  for (const quil::Op &O : C.Ops)
+    if (O.S == Sym::Pred && O.P == PredOp::Where)
+      Ids.push_back(expr::hashLambda(O.Fn));
+  return Ids;
+}
+
+} // namespace
+
+//===--------------------------------------------------------------------===//
+// Decay math
+//===--------------------------------------------------------------------===//
+
+TEST(AdaptDecay, FirstObservationSeedsTheMeansUndecayed) {
+  adapt::FeedbackStore FS(/*Alpha=*/0.5, /*MinSamples=*/1);
+  auto FB = FS.observe(whereSnap(0xA1, /*Runs=*/1, 100, 50, 1000));
+  ASSERT_TRUE(FB.has_value());
+  EXPECT_EQ(FB->Runs, 1u);
+  EXPECT_DOUBLE_EQ(FB->RowsPerRun, 100.0);
+  EXPECT_DOUBLE_EQ(FB->NanosPerRow, 10.0); // 1000ns over 100 rows
+  ASSERT_EQ(FB->Preds.count(0x11), 1u);
+  EXPECT_DOUBLE_EQ(FB->Preds.at(0x11).Sel, 0.5);
+  EXPECT_DOUBLE_EQ(FB->Preds.at(0x11).NanosPerRow, 10.0);
+  EXPECT_EQ(FB->Preds.at(0x11).Samples, 1u);
+}
+
+TEST(AdaptDecay, SecondObservationFoldsTheDeltaWithAlpha) {
+  adapt::FeedbackStore FS(/*Alpha=*/0.5, /*MinSamples=*/1);
+  FS.observe(whereSnap(0xA2, 1, 100, 50, 1000));
+  // Cumulative counters: the new run saw 100 more rows, 80 of which
+  // passed, in 2000 more nanoseconds.
+  auto FB = FS.observe(whereSnap(0xA2, 2, 200, 130, 3000));
+  ASSERT_TRUE(FB.has_value());
+  EXPECT_EQ(FB->Runs, 2u);
+  EXPECT_DOUBLE_EQ(FB->RowsPerRun, 100.0);
+  // Plan cost: 0.5 * 10 + 0.5 * (2000/100) = 15.
+  EXPECT_DOUBLE_EQ(FB->NanosPerRow, 15.0);
+  // Pred: sel 0.5*0.5 + 0.5*0.8 = 0.65; cost 0.5*10 + 0.5*20 = 15.
+  EXPECT_DOUBLE_EQ(FB->Preds.at(0x11).Sel, 0.65);
+  EXPECT_DOUBLE_EQ(FB->Preds.at(0x11).NanosPerRow, 15.0);
+  EXPECT_EQ(FB->Preds.at(0x11).Samples, 2u);
+}
+
+TEST(AdaptDecay, UnchangedCountersFoldNothing) {
+  adapt::FeedbackStore FS(0.5, 1);
+  FS.observe(whereSnap(0xA3, 1, 100, 50, 1000));
+  auto FB = FS.observe(whereSnap(0xA3, 1, 100, 50, 1000));
+  ASSERT_TRUE(FB.has_value());
+  EXPECT_EQ(FB->Runs, 1u);
+  EXPECT_EQ(FB->Preds.at(0x11).Samples, 1u);
+}
+
+TEST(AdaptDecay, BackwardsCountersResetTheBaseline) {
+  adapt::FeedbackStore FS(0.5, 1);
+  FS.observe(whereSnap(0xA4, 5, 500, 250, 5000));
+  // The profile store was cleared: cumulative counters went backwards.
+  // The entry restarts rather than folding a negative delta.
+  auto FB = FS.observe(whereSnap(0xA4, 1, 100, 90, 1000));
+  ASSERT_TRUE(FB.has_value());
+  EXPECT_EQ(FB->Runs, 1u);
+  EXPECT_DOUBLE_EQ(FB->Preds.at(0x11).Sel, 0.9);
+  EXPECT_EQ(FB->Preds.at(0x11).Samples, 1u);
+}
+
+//===--------------------------------------------------------------------===//
+// Minimum-sample gate
+//===--------------------------------------------------------------------===//
+
+TEST(AdaptGate, ObservedStatsStayEmptyBelowMinSamples) {
+  adapt::FeedbackStore FS(/*Alpha=*/0.3, /*MinSamples=*/3);
+  FS.observe(whereSnap(0xB1, 1, 100, 10, 100));
+  EXPECT_TRUE(FS.observedStats(0xB1).empty());
+  FS.observe(whereSnap(0xB1, 2, 200, 20, 200));
+  EXPECT_TRUE(FS.observedStats(0xB1).empty());
+  FS.observe(whereSnap(0xB1, 3, 300, 30, 300));
+  auto Stats = FS.observedStats(0xB1);
+  ASSERT_EQ(Stats.count(0x11), 1u);
+  EXPECT_DOUBLE_EQ(Stats.at(0x11).Sel, 0.1);
+  EXPECT_GT(Stats.at(0x11).CostNanos, 0.0);
+}
+
+TEST(AdaptGate, UntimedPredicatesFallBackToUnitCost) {
+  adapt::FeedbackStore FS(0.3, 1);
+  obs::ProfileSnapshot S = whereSnap(0xB2, 1, 100, 25, /*Nanos=*/0);
+  S.Ops[1].Timed = false;
+  FS.observe(S);
+  auto Stats = FS.observedStats(0xB2);
+  ASSERT_EQ(Stats.count(0x11), 1u);
+  EXPECT_DOUBLE_EQ(Stats.at(0x11).Sel, 0.25);
+  EXPECT_DOUBLE_EQ(Stats.at(0x11).CostNanos, 1.0);
+}
+
+TEST(AdaptGate, UnknownPlanHasNoStats) {
+  adapt::FeedbackStore FS(0.3, 1);
+  EXPECT_TRUE(FS.observedStats(0xDEAD).empty());
+  EXPECT_FALSE(FS.lookup(0xDEAD).has_value());
+  EXPECT_FALSE(FS.ignored(0xDEAD));
+}
+
+//===--------------------------------------------------------------------===//
+// Ignorance list
+//===--------------------------------------------------------------------===//
+
+TEST(AdaptIgnorance, ConsecutiveStrikesTripTheQuarantine) {
+  adapt::FeedbackStore FS(0.3, 1, /*MispredictLimit=*/2);
+  std::uint64_t Before = obs::counter("adapt.ignored").value();
+  EXPECT_FALSE(FS.recordMisprediction(0xC1)); // strike 1
+  EXPECT_FALSE(FS.ignored(0xC1));
+  EXPECT_TRUE(FS.recordMisprediction(0xC1)); // strike 2: tripped
+  EXPECT_TRUE(FS.ignored(0xC1));
+  EXPECT_EQ(obs::counter("adapt.ignored").value(), Before + 1);
+  // Further strikes on a quarantined hash neither re-trip nor re-count.
+  EXPECT_FALSE(FS.recordMisprediction(0xC1));
+  EXPECT_EQ(obs::counter("adapt.ignored").value(), Before + 1);
+}
+
+TEST(AdaptIgnorance, GoodPredictionResetsTheStrikeCount) {
+  adapt::FeedbackStore FS(0.3, 1, 2);
+  EXPECT_FALSE(FS.recordMisprediction(0xC2));
+  FS.recordGoodPrediction(0xC2); // strikes back to 0
+  EXPECT_FALSE(FS.recordMisprediction(0xC2));
+  EXPECT_FALSE(FS.ignored(0xC2));
+  EXPECT_TRUE(FS.recordMisprediction(0xC2));
+  EXPECT_TRUE(FS.ignored(0xC2));
+}
+
+TEST(AdaptIgnorance, QuarantineSuppressesRipeStats) {
+  adapt::FeedbackStore FS(0.3, 1, 2);
+  FS.observe(whereSnap(0xC3, 3, 300, 30, 300));
+  EXPECT_FALSE(FS.observedStats(0xC3).empty());
+  FS.recordMisprediction(0xC3);
+  FS.recordMisprediction(0xC3);
+  EXPECT_TRUE(FS.observedStats(0xC3).empty());
+}
+
+//===--------------------------------------------------------------------===//
+// Feedback-driven predicate ranking in the rewriter
+//===--------------------------------------------------------------------===//
+
+namespace {
+
+/// Two structurally identical Where preds (equal static cost, equal
+/// static selectivity estimate), written in an order only observation
+/// can improve.
+Query twoPredQuery() {
+  return Query::int64Array(0)
+      .where(lambda({xi()}, xi() > E(i64(-100)))) // passes almost all
+      .where(lambda({xi()}, xi() > E(i64(100))))  // passes almost none
+      .sum();
+}
+
+} // namespace
+
+TEST(AdaptRank, ObservedRankReordersWhereStaticCannot) {
+  Chain C = quil::lower(twoPredQuery());
+  ASSERT_FALSE(quil::validate(C).has_value());
+  std::vector<std::uint64_t> Ids = whereOpIds(C);
+  ASSERT_EQ(Ids.size(), 2u);
+
+  // Static ranking sees two identical preds: the stable sort keeps the
+  // written (pessimal) order.
+  RewriteResult Static = quil::rewriteChain(C);
+  EXPECT_EQ(countRule(Static, RewriteRule::ReorderPreds), 0u);
+
+  // Observed: the second pred is far more selective at equal cost, so
+  // rank = (sel - 1) / cost puts it first.
+  RewriteOptions RO;
+  RO.Observed[Ids[0]] = {/*Sel=*/0.95, /*CostNanos=*/5.0};
+  RO.Observed[Ids[1]] = {/*Sel=*/0.05, /*CostNanos=*/5.0};
+  RewriteResult R = quil::rewriteChain(C, RO);
+  EXPECT_TRUE(R.Changed);
+  EXPECT_EQ(countRule(R, RewriteRule::ReorderPreds), 1u);
+  std::vector<std::uint64_t> After = whereOpIds(R.Rewritten);
+  ASSERT_EQ(After.size(), 2u);
+  EXPECT_EQ(After[0], Ids[1]);
+  EXPECT_EQ(After[1], Ids[0]);
+
+  // The certificate records that observed feedback justified the swap.
+  bool SawFeedbackFact = false;
+  for (const quil::RewriteCertificate &Cert : R.Certs)
+    if (Cert.Rule == RewriteRule::ReorderPreds)
+      SawFeedbackFact = Cert.Fact.find("feedback") != std::string::npos;
+  EXPECT_TRUE(SawFeedbackFact);
+}
+
+TEST(AdaptRank, CheaperPredWinsAtEqualSelectivity) {
+  Chain C = quil::lower(twoPredQuery());
+  std::vector<std::uint64_t> Ids = whereOpIds(C);
+  ASSERT_EQ(Ids.size(), 2u);
+  RewriteOptions RO;
+  RO.Observed[Ids[0]] = {0.5, /*CostNanos=*/50.0};
+  RO.Observed[Ids[1]] = {0.5, /*CostNanos=*/5.0};
+  RewriteResult R = quil::rewriteChain(C, RO);
+  EXPECT_EQ(countRule(R, RewriteRule::ReorderPreds), 1u);
+  EXPECT_EQ(whereOpIds(R.Rewritten)[0], Ids[1]);
+}
+
+TEST(AdaptRank, PartialFeedbackFallsBackToStaticRanking) {
+  // Observed nanoseconds and static cost units are not commensurable:
+  // feedback ranking requires stats for EVERY pred in the run.
+  Chain C = quil::lower(twoPredQuery());
+  std::vector<std::uint64_t> Ids = whereOpIds(C);
+  RewriteOptions RO;
+  RO.Observed[Ids[1]] = {0.05, 5.0}; // only one of the two
+  RewriteResult R = quil::rewriteChain(C, RO);
+  RewriteResult Static = quil::rewriteChain(C);
+  EXPECT_EQ(countRule(R, RewriteRule::ReorderPreds),
+            countRule(Static, RewriteRule::ReorderPreds));
+  EXPECT_EQ(quil::hashChain(R.Rewritten), quil::hashChain(Static.Rewritten));
+}
+
+TEST(AdaptRank, FeedbackReorderCertificatesReplayDeterministically) {
+  Chain C = quil::lower(twoPredQuery());
+  std::vector<std::uint64_t> Ids = whereOpIds(C);
+  RewriteOptions RO;
+  RO.Observed[Ids[0]] = {0.95, 5.0};
+  RO.Observed[Ids[1]] = {0.05, 5.0};
+  RewriteResult R = quil::rewriteChain(C, RO);
+  ASSERT_TRUE(R.Changed);
+
+  // Replaying with the same observed stats verifies.
+  std::string Err;
+  EXPECT_TRUE(quil::verifyCertificates(C, R, RO, &Err)) << Err;
+
+  // Replaying with different observed stats (the swap inverted) must
+  // fail: the certificate is bound to the feedback that justified it.
+  RewriteOptions Tampered;
+  Tampered.Observed[Ids[0]] = {0.05, 5.0};
+  Tampered.Observed[Ids[1]] = {0.95, 5.0};
+  EXPECT_FALSE(quil::verifyCertificates(C, R, Tampered, &Err));
+}
+
+//===--------------------------------------------------------------------===//
+// Morsel tuning
+//===--------------------------------------------------------------------===//
+
+TEST(AdaptMorsel, RipeFeedbackSizesTheInitialMorsel) {
+  adapt::FeedbackStore &FS = adapt::FeedbackStore::global();
+  FS.clear();
+  // 100ns/row observed over enough runs to be ripe under any min-sample
+  // setting the environment could have pinned (>= 3 by default).
+  std::uint64_t H = 0xD1D1;
+  std::uint64_t Need = FS.minSamples();
+  for (std::uint64_t R = 1; R <= Need; ++R)
+    FS.observe(whereSnap(H, R, R * 1000, R * 500, R * 100000));
+
+  dryad::MorselOptions M;
+  std::uint64_t Before = obs::counter("adapt.morsel_tuned").value();
+  dryad::MorselOptions Tuned = adapt::tunedMorselOptions(H, M);
+  // Budget-driven: TargetMorselMicros * 1000 / 100ns/row, clamped.
+  std::size_t Want = static_cast<std::size_t>(
+      M.TargetMorselMicros * 1000.0 / 100.0);
+  Want = std::clamp(Want, M.MinMorsel, M.MaxMorsel);
+  EXPECT_EQ(Tuned.InitialMorsel, Want);
+  if (Tuned.InitialMorsel != M.InitialMorsel) {
+    EXPECT_EQ(obs::counter("adapt.morsel_tuned").value(), Before + 1);
+  }
+  FS.clear();
+}
+
+TEST(AdaptMorsel, UnknownPlanLeavesOptionsUntouched) {
+  adapt::FeedbackStore::global().clear();
+  dryad::MorselOptions M;
+  dryad::MorselOptions Tuned = adapt::tunedMorselOptions(0xD00D, M);
+  EXPECT_EQ(Tuned.InitialMorsel, M.InitialMorsel);
+  EXPECT_EQ(Tuned.MaxMorsel, M.MaxMorsel);
+  EXPECT_EQ(Tuned.InlineBelow, M.InlineBelow);
+}
+
+TEST(AdaptMorsel, TinyObservedInputsRaiseInlineBelow) {
+  adapt::FeedbackStore &FS = adapt::FeedbackStore::global();
+  FS.clear();
+  std::uint64_t H = 0xD2D2;
+  std::uint64_t Need = FS.minSamples();
+  dryad::MorselOptions M;
+  // Observed inputs smaller than two minimum morsels: fanning out never
+  // pays for itself.
+  std::uint64_t Rows = static_cast<std::uint64_t>(M.MinMorsel);
+  for (std::uint64_t R = 1; R <= Need; ++R)
+    FS.observe(whereSnap(H, R, R * Rows, R * Rows / 2, R * Rows * 10));
+  dryad::MorselOptions Tuned = adapt::tunedMorselOptions(H, M);
+  EXPECT_GE(Tuned.InlineBelow, static_cast<std::size_t>(Rows) + 1);
+  FS.clear();
+}
+
+//===--------------------------------------------------------------------===//
+// End-to-end: skewed preds reorder, results stay bit-identical
+//===--------------------------------------------------------------------===//
+
+namespace {
+
+/// Pessimally ordered skew: the first pred passes everything, the
+/// second passes a sliver. Only observation can see this.
+Query skewedQuery() {
+  return Query::int64Array(0)
+      .where(lambda({xi()}, xi() >= E(i64(-1)))) // data is >= 0: all pass
+      .where(lambda({xi()}, xi() < E(i64(8))))   // sliver passes
+      .sum();
+}
+
+CompileOptions adaptOpts(Backend Exec, const char *Name) {
+  CompileOptions CO;
+  CO.Exec = Exec;
+  CO.Analyze = analysis::Mode::Off;
+  CO.Rewrite = true;
+  CO.Profile = true;
+  CO.Adaptive = true;
+  CO.Name = Name;
+  return CO;
+}
+
+} // namespace
+
+TEST(AdaptEndToEnd, WarmRecompileReordersAndMatchesStaticBitForBit) {
+  obs::ProfileStore::global().clear();
+  adapt::FeedbackStore &FS = adapt::FeedbackStore::global();
+  FS.clear();
+
+  std::vector<std::int64_t> Data(4096);
+  for (std::size_t I = 0; I != Data.size(); ++I)
+    Data[I] = static_cast<std::int64_t>(I);
+  Bindings B;
+  B.bindInt64Array(0, Data.data(), static_cast<std::int64_t>(Data.size()));
+
+  Query Q = skewedQuery();
+
+  // Static reference (adaptivity pinned off).
+  CompileOptions StaticCO;
+  StaticCO.Exec = Backend::Interp;
+  StaticCO.Analyze = analysis::Mode::Off;
+  StaticCO.Rewrite = true;
+  StaticCO.Adaptive = false;
+  StaticCO.Name = "adapt_e2e_static";
+  QueryResult Want = compileQuery(Q, StaticCO).run(B);
+
+  // Cold adaptive compile: no feedback yet, so no reorder; running it
+  // past the min-sample threshold seeds the FeedbackStore.
+  CompiledQuery Cold =
+      compileQuery(Q, adaptOpts(Backend::Interp, "adapt_e2e_cold"));
+  unsigned Warmups =
+      static_cast<unsigned>(adapt::FeedbackStore::global().minSamples()) + 1;
+  for (unsigned R = 0; R != Warmups; ++R)
+    Cold.run(B);
+
+  // Warm recompile: ripe skew feedback reorders the preds under a
+  // verified certificate...
+  std::uint64_t CertsBefore = obs::counter("adapt.cert_verified").value();
+  CompiledQuery Warm =
+      compileQuery(Q, adaptOpts(Backend::Interp, "adapt_e2e_warm"));
+  ASSERT_NE(Warm.rewriteResult(), nullptr);
+  EXPECT_EQ(countRule(*Warm.rewriteResult(), RewriteRule::ReorderPreds), 1u);
+  EXPECT_GT(obs::counter("adapt.cert_verified").value(), CertsBefore);
+
+  // ...and the reordered plan is bit-identical to the static plan.
+  QueryResult GotInterp = Warm.run(B);
+  ASSERT_EQ(GotInterp.rows().size(), Want.rows().size());
+  for (std::size_t I = 0; I != Want.rows().size(); ++I)
+    EXPECT_TRUE(GotInterp.rows()[I] == Want.rows()[I]) << "row " << I;
+
+  // Same contract through the native backend.
+  CompiledQuery WarmNative =
+      compileQuery(Q, adaptOpts(Backend::Native, "adapt_e2e_native"));
+  ASSERT_NE(WarmNative.rewriteResult(), nullptr);
+  EXPECT_EQ(countRule(*WarmNative.rewriteResult(), RewriteRule::ReorderPreds),
+            1u);
+  QueryResult GotNative = WarmNative.run(B);
+  ASSERT_EQ(GotNative.rows().size(), Want.rows().size());
+  for (std::size_t I = 0; I != Want.rows().size(); ++I)
+    EXPECT_TRUE(GotNative.rows()[I] == Want.rows()[I]) << "row " << I;
+
+  obs::ProfileStore::global().clear();
+  FS.clear();
+}
+
+TEST(AdaptEndToEnd, QuarantinedPlanCompilesStaticEvenWithRipeFeedback) {
+  obs::ProfileStore::global().clear();
+  adapt::FeedbackStore &FS = adapt::FeedbackStore::global();
+  FS.clear();
+
+  std::vector<std::int64_t> Data(4096);
+  for (std::size_t I = 0; I != Data.size(); ++I)
+    Data[I] = static_cast<std::int64_t>(I);
+  Bindings B;
+  B.bindInt64Array(0, Data.data(), static_cast<std::int64_t>(Data.size()));
+
+  Query Q = skewedQuery();
+  CompiledQuery Cold =
+      compileQuery(Q, adaptOpts(Backend::Interp, "adapt_quar_cold"));
+  unsigned Warmups = static_cast<unsigned>(FS.minSamples()) + 1;
+  for (unsigned R = 0; R != Warmups; ++R)
+    Cold.run(B);
+
+  // Quarantine the feedback anchor (the pre-rewrite plan hash).
+  std::uint64_t Anchor = Cold.rewrittenFromHash() ? Cold.rewrittenFromHash()
+                                                  : Cold.planHash();
+  FS.refresh(Anchor, obs::ProfileStore::global());
+  ASSERT_FALSE(FS.observedStats(Anchor).empty());
+  FS.recordMisprediction(Anchor);
+  FS.recordMisprediction(Anchor);
+  ASSERT_TRUE(FS.ignored(Anchor));
+
+  // A warm adaptive recompile must now pin the static plan: no
+  // feedback reorder despite ripe stats.
+  CompiledQuery Warm =
+      compileQuery(Q, adaptOpts(Backend::Interp, "adapt_quar_warm"));
+  if (Warm.rewriteResult()) {
+    EXPECT_EQ(countRule(*Warm.rewriteResult(), RewriteRule::ReorderPreds),
+              0u);
+  }
+
+  obs::ProfileStore::global().clear();
+  FS.clear();
+}

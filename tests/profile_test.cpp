@@ -335,6 +335,133 @@ TEST(ProfileStore, UnknownHashMergeIsANoOp) {
 }
 
 //===--------------------------------------------------------------------===//
+// Provenance resolution: multi-hop chains, siblings, permuted preds
+//===--------------------------------------------------------------------===//
+
+namespace {
+
+/// Registers a Src -> Where -> Ret plan with the given provenance link
+/// and merges \p Runs runs of 10-rows-in / 4-rows-out through it.
+void registerAndRun(obs::ProfileStore &Store, std::uint64_t Hash,
+                    std::uint64_t RewrittenFrom, std::uint64_t Runs,
+                    std::uint64_t OpId = 0x77) {
+  obs::PlanDesc D;
+  D.Name = "prov";
+  D.Ops = {{"Src", 0, false}, {"Where", 1, true, OpId}, {"Ret", 1, false}};
+  D.RewrittenFrom = RewrittenFrom;
+  Store.ensure(Hash, D);
+  obs::ProfileSink S(3);
+  S.Counts = {0, 10, 10, 4, 4, 4};
+  S.Nanos = {0, 100, 0};
+  for (std::uint64_t I = 0; I != Runs; ++I)
+    Store.merge(Hash, S);
+}
+
+} // namespace
+
+TEST(ProfileResolve, MultiHopProvenanceChainFoldsEveryVersion) {
+  // v1 <- v2 <- v3: each version was rewritten from the previous one,
+  // and every version accumulated runs. Regression: resolution used to
+  // follow only ONE RewrittenFrom hop, so v3 lost v1's history.
+  obs::ProfileStore Store;
+  registerAndRun(Store, /*Hash=*/0x10, /*RewrittenFrom=*/0, /*Runs=*/2);
+  registerAndRun(Store, 0x20, 0x10, 1);
+  registerAndRun(Store, 0x30, 0x20, 1);
+
+  auto Snap = Store.snapshotResolved(0x30);
+  ASSERT_TRUE(Snap.has_value());
+  EXPECT_EQ(Snap->PlanHash, 0x30u);
+  EXPECT_EQ(Snap->Runs, 4u) << "v3's own run plus v1+v2 history";
+  EXPECT_EQ(Snap->PriorRuns, 3u);
+  EXPECT_NE(Snap->ResolvedFrom, 0u);
+  // Same operator shape across versions: per-op counters folded too.
+  ASSERT_EQ(Snap->Ops.size(), 3u);
+  EXPECT_EQ(Snap->Ops[1].RowsIn, 40u);
+  EXPECT_EQ(Snap->Ops[1].RowsOut, 16u);
+  EXPECT_EQ(Snap->Ops[1].Nanos, 400u);
+
+  // The component is symmetric: resolving the chain ROOT sees the
+  // descendants' runs as well.
+  auto Root = Store.snapshotResolved(0x10);
+  ASSERT_TRUE(Root.has_value());
+  EXPECT_EQ(Root->Runs, 4u);
+  EXPECT_EQ(Root->PriorRuns, 2u);
+}
+
+TEST(ProfileResolve, ProvenanceSiblingsFoldThroughTheSharedAnchor) {
+  // Two rewrite products of the same (never-registered) original: the
+  // static v1 and a feedback v2 both carry RewrittenFrom = anchor. A
+  // consumer holding only the anchor hash — the adaptive planner — must
+  // see the union of both versions' history.
+  obs::ProfileStore Store;
+  const std::uint64_t Anchor = 0xA0;
+  registerAndRun(Store, 0x21, Anchor, 3);
+  registerAndRun(Store, 0x22, Anchor, 2);
+
+  auto Snap = Store.snapshotResolved(Anchor);
+  ASSERT_TRUE(Snap.has_value());
+  EXPECT_EQ(Snap->PlanHash, Anchor) << "re-keyed under the requested hash";
+  EXPECT_EQ(Snap->Runs, 5u);
+  EXPECT_EQ(Snap->PriorRuns, 5u) << "every run came from a relative";
+  EXPECT_EQ(Snap->Ops[1].RowsIn, 50u);
+
+  // And one sibling resolves through the shared anchor to the other.
+  auto Sib = Store.snapshotResolved(0x21);
+  ASSERT_TRUE(Sib.has_value());
+  EXPECT_EQ(Sib->Runs, 5u);
+  EXPECT_EQ(Sib->PriorRuns, 2u);
+  EXPECT_EQ(Sib->ResolvedFrom, 0x22u);
+}
+
+TEST(ProfileResolve, PermutedPredicatesFoldByOpIdNotIndex) {
+  // v2 = v1 with the two Where preds swapped (what a feedback reorder
+  // produces). Index-wise folding would attribute pred A's rows to pred
+  // B; the fold must match on (Label, OpId) instead.
+  obs::ProfileStore Store;
+  const std::uint64_t IdA = 0xAA, IdB = 0xBB;
+  obs::PlanDesc V1;
+  V1.Name = "v1";
+  V1.Ops = {{"Src", 0, false},
+            {"Where", 1, true, IdA},
+            {"Where", 1, true, IdB},
+            {"Ret", 1, false}};
+  Store.ensure(0x51, V1);
+  obs::PlanDesc V2;
+  V2.Name = "v2";
+  V2.Ops = {{"Src", 0, false},
+            {"Where", 1, true, IdB},
+            {"Where", 1, true, IdA},
+            {"Ret", 1, false}};
+  V2.RewrittenFrom = 0x51;
+  Store.ensure(0x52, V2);
+
+  // v1: A sees 100 -> 90, B sees 90 -> 30.
+  obs::ProfileSink S1(4);
+  S1.Counts = {0, 100, 100, 90, 90, 30, 30, 30};
+  S1.Nanos = {0, 10, 20, 0};
+  Store.merge(0x51, S1);
+  // v2 (swapped): B sees 100 -> 33, A sees 33 -> 30.
+  obs::ProfileSink S2(4);
+  S2.Counts = {0, 100, 100, 33, 33, 30, 30, 30};
+  S2.Nanos = {0, 40, 5, 0};
+  Store.merge(0x52, S2);
+
+  auto Snap = Store.snapshotResolved(0x51);
+  ASSERT_TRUE(Snap.has_value());
+  EXPECT_EQ(Snap->Runs, 2u);
+  // Pred A folded A-with-A: 100+33 in, 90+30 out, 10+5 nanos.
+  EXPECT_EQ(Snap->Ops[1].OpId, IdA);
+  EXPECT_EQ(Snap->Ops[1].RowsIn, 133u);
+  EXPECT_EQ(Snap->Ops[1].RowsOut, 120u);
+  EXPECT_EQ(Snap->Ops[1].Nanos, 15u);
+  // Pred B folded B-with-B: 90+100 in, 30+33 out, 20+40 nanos.
+  EXPECT_EQ(Snap->Ops[2].OpId, IdB);
+  EXPECT_EQ(Snap->Ops[2].RowsIn, 190u);
+  EXPECT_EQ(Snap->Ops[2].RowsOut, 63u);
+  EXPECT_EQ(Snap->Ops[2].Nanos, 60u);
+}
+
+//===--------------------------------------------------------------------===//
 // Profile off: zero instrumentation in the generated plan
 //===--------------------------------------------------------------------===//
 

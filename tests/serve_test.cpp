@@ -13,6 +13,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "adapt/Adapt.h"
 #include "fuzz/Diff.h"
 #include "serve/Serve.h"
 #include "serve/Wire.h"
@@ -503,6 +504,176 @@ TEST(ServeSoak, PlanSwapMidStreamKeepsResultsIdentical) {
   // After the swap every further run is native.
   Response R = Sess->execute(P);
   EXPECT_TRUE(R.NativePlan);
+  EXPECT_TRUE(resultsMatch(R.Result, Want));
+}
+
+namespace {
+
+/// Two same-shaped preds in pessimal order: the first passes ~all of the
+/// uniform [-100, 100] data, the second a sliver. Static ranking sees two
+/// identical costs and keeps the written order; only observed feedback
+/// can swap them — which makes the adaptive v1 -> v2 re-swap observable.
+fuzz::QuerySpec skewedPredsSpec(double LowC, double HighC) {
+  fuzz::QuerySpec S;
+  S.Sources.push_back(
+      {0, fuzz::ElemTy::Double, fuzz::DataClass::Uniform, 256, 33});
+  fuzz::OpSpec W1;
+  W1.K = fuzz::OpK::Where;
+  W1.P = fuzz::PredTmpl::GtC;
+  W1.DArg = LowC;
+  fuzz::OpSpec W2;
+  W2.K = fuzz::OpK::Where;
+  W2.P = fuzz::PredTmpl::GtC;
+  W2.DArg = HighC;
+  fuzz::OpSpec Agg;
+  Agg.K = fuzz::OpK::Agg;
+  Agg.A = fuzz::AggKind::Sum;
+  S.Ops = {W1, W2, Agg};
+  return S;
+}
+
+} // namespace
+
+TEST(ServeSoak, AdaptiveReplanSwapsMidStreamKeepsResultsIdentical) {
+  constexpr unsigned Threads = 4;
+  ServeOptions O;
+  O.BackgroundRecompile = false; // interp v1 -> interp v2, swapped by hand
+  O.Profile = true;              // feedback needs observed runs
+  O.AdaptiveReplan = true;
+  O.ReplanEvery = 0; // no cadence: the test triggers the re-plan itself
+  O.AdaptWindow = 0; // no judgement: the soak only exercises the swap
+  O.Workers = 4;
+  O.MaxQueue = 64;
+  QueryService Svc(O);
+  auto Sess = Svc.openSession();
+  std::string Err;
+  PreparedHandle P = Sess->prepare(specText(skewedPredsSpec(-99.0, 95.0)),
+                                   &Err);
+  ASSERT_TRUE(P) << Err;
+  QueryResult Want = reference(P);
+
+  // Runners hammer the handle across the static -> adaptive swap; the
+  // stop lands only after the swap, so the stream provably spans both.
+  std::atomic<bool> Stop{false};
+  std::atomic<std::uint64_t> Sent{0}, Mismatches{0}, NonOk{0},
+      AdaptiveRuns{0}, StaticRuns{0};
+  std::vector<std::thread> Runners;
+  for (unsigned T = 0; T < Threads; ++T) {
+    Runners.emplace_back([&] {
+      auto Mine = Svc.openSession();
+      while (!Stop.load(std::memory_order_relaxed)) {
+        Sent.fetch_add(1, std::memory_order_relaxed);
+        Response R = Mine->execute(P);
+        if (R.St != Status::Ok) {
+          NonOk.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        (R.AdaptivePlan ? AdaptiveRuns : StaticRuns)
+            .fetch_add(1, std::memory_order_relaxed);
+        if (!resultsMatch(R.Result, Want))
+          Mismatches.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  // Enough profiled static runs to ripen the feedback under any
+  // min-sample setting, then re-plan mid-stream.
+  std::uint64_t Need =
+      adapt::FeedbackStore::global().minSamples() + 4;
+  while (StaticRuns.load(std::memory_order_relaxed) < Need)
+    std::this_thread::yield();
+  for (int Attempt = 0; Attempt != 1000 && !P->adaptiveLive(); ++Attempt) {
+    Svc.scheduleAdaptiveReplan(P);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_TRUE(P->adaptiveLive()) << "feedback re-plan never swapped in";
+  // A post-swap grace period so every runner sees the v2 plan.
+  std::uint64_t SwapMark = AdaptiveRuns.load(std::memory_order_relaxed);
+  while (AdaptiveRuns.load(std::memory_order_relaxed) <
+         SwapMark + Threads * 4)
+    std::this_thread::yield();
+  Stop.store(true, std::memory_order_relaxed);
+  for (std::thread &T : Runners)
+    T.join();
+
+  EXPECT_EQ(NonOk.load(), 0u);
+  EXPECT_EQ(Mismatches.load(), 0u)
+      << "results identical before, across and after the re-swap";
+  EXPECT_GT(StaticRuns.load(), 0u) << "pre-swap executions exist";
+  EXPECT_GT(AdaptiveRuns.load(), 0u) << "post-swap executions exist";
+  EXPECT_EQ(StaticRuns.load() + AdaptiveRuns.load(), Sent.load())
+      << "exactly one Ok response per request";
+  QueryService::Stats S = Svc.stats();
+  EXPECT_GE(S.ReplanSwaps, 1u);
+  EXPECT_GE(S.AdaptiveRuns, AdaptiveRuns.load());
+  // After the swap every further run is the feedback plan.
+  Response R = Sess->execute(P);
+  EXPECT_TRUE(R.AdaptivePlan);
+  EXPECT_TRUE(resultsMatch(R.Result, Want));
+}
+
+TEST(ServeAdapt, ConsecutiveMispredictionsPinTheStaticPlan) {
+  ServeOptions O;
+  O.BackgroundRecompile = false;
+  O.Profile = true;
+  O.AdaptiveReplan = true;
+  O.ReplanEvery = 0;
+  O.AdaptWindow = 4;
+  // Force every judgement to a misprediction: two consecutive strikes
+  // must trip the ignorance list and pin the static plan.
+  O.AdaptJudge = [](double, double) { return true; };
+  QueryService Svc(O);
+  auto Sess = Svc.openSession();
+  std::string Err;
+  PreparedHandle P = Sess->prepare(specText(skewedPredsSpec(-98.0, 90.0)),
+                                   &Err);
+  ASSERT_TRUE(P) << Err;
+  QueryResult Want = reference(P);
+
+  // Ripen the feedback on the static plan.
+  std::uint64_t Seed = adapt::FeedbackStore::global().minSamples() + 2;
+  for (std::uint64_t I = 0; I != Seed; ++I) {
+    Response R = Sess->execute(P);
+    ASSERT_EQ(R.St, Status::Ok);
+    EXPECT_FALSE(R.AdaptivePlan);
+    EXPECT_TRUE(resultsMatch(R.Result, Want));
+  }
+
+  auto waitReverted = [&](std::uint64_t WantReverts) {
+    for (int Spin = 0; Spin != 2000; ++Spin) {
+      if (!P->adaptiveLive() && Svc.stats().AdaptReverted >= WantReverts)
+        return true;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    return false;
+  };
+
+  for (std::uint64_t Cycle = 1; Cycle <= 2; ++Cycle) {
+    ASSERT_TRUE(Svc.scheduleAdaptiveReplan(P)) << "cycle " << Cycle;
+    ASSERT_TRUE(P->adaptiveLive());
+    // Run out the judgement window on the v2 plan; results never drift.
+    for (unsigned R = 0; R != O.AdaptWindow; ++R) {
+      Response Rsp = Sess->execute(P);
+      ASSERT_EQ(Rsp.St, Status::Ok);
+      EXPECT_TRUE(Rsp.AdaptivePlan) << "cycle " << Cycle << " run " << R;
+      EXPECT_TRUE(resultsMatch(Rsp.Result, Want));
+    }
+    // The judge fired on the last windowed run (after the response was
+    // answered): the forced misprediction reverts to the static plan.
+    ASSERT_TRUE(waitReverted(Cycle)) << "cycle " << Cycle;
+  }
+
+  // Strike two tripped the quarantine: the handle is pinned, further
+  // re-plans refuse, and every subsequent run is the static plan.
+  EXPECT_TRUE(P->pinnedStatic());
+  QueryService::Stats S = Svc.stats();
+  EXPECT_EQ(S.AdaptReverted, 2u);
+  EXPECT_EQ(S.AdaptPinned, 1u);
+  EXPECT_EQ(S.ReplanSwaps, 2u);
+  EXPECT_FALSE(Svc.scheduleAdaptiveReplan(P));
+  Response R = Sess->execute(P);
+  ASSERT_EQ(R.St, Status::Ok);
+  EXPECT_FALSE(R.AdaptivePlan);
   EXPECT_TRUE(resultsMatch(R.Result, Want));
 }
 

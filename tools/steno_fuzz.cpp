@@ -37,8 +37,9 @@ void usage() {
       "  --seed N         generator seed (default 1)\n"
       "  --iters N        queries to generate (default 1000)\n"
       "  --backend NAME   restrict to one backend: interp |\n"
-      "                   interp-norewrite | jit | plinq1 | plinq2 |\n"
-      "                   plinq8 | dryad-static | dryad-morsel\n"
+      "                   interp-norewrite | interp-vec | interp-adapt |\n"
+      "                   jit | plinq1 | plinq2 | plinq8 |\n"
+      "                   dryad-static | dryad-morsel\n"
       "  --jit-every N    run the JIT backend every Nth query (default 50;\n"
       "                   0 disables, 1 = every query)\n"
       "  --out DIR        directory for shrunken reproducers\n"

@@ -57,7 +57,13 @@ void usage() {
       "  --deadline-ms N    default request deadline (default 5000)\n"
       "  --no-recompile     stay on the interpreter backend forever\n"
       "  --profile          per-operator query profiling (wire command\n"
-      "                     `profile <handle>`; also STENO_PROFILE=1)\n");
+      "                     `profile <handle>`; also STENO_PROFILE=1)\n"
+      "  --no-adapt         disable feedback-driven re-planning (also\n"
+      "                     STENO_ADAPT=off)\n"
+      "  --replan-every N   adaptive re-plan cadence in executions per\n"
+      "                     handle (default 64; 0 = never)\n"
+      "  --adapt-window N   post-swap judgement window in runs\n"
+      "                     (default 32)\n");
 }
 
 bool parseUnsigned(const char *S, unsigned long long &Out) {
@@ -96,6 +102,12 @@ int main(int Argc, char **Argv) {
       Opts.BackgroundRecompile = false;
     } else if (Arg == "--profile") {
       Opts.Profile = true;
+    } else if (Arg == "--no-adapt") {
+      Opts.AdaptiveReplan = false;
+    } else if (Arg == "--replan-every" && parseUnsigned(next(), N)) {
+      Opts.ReplanEvery = static_cast<unsigned>(N);
+    } else if (Arg == "--adapt-window" && parseUnsigned(next(), N)) {
+      Opts.AdaptWindow = static_cast<unsigned>(N);
     } else {
       usage();
       return 2;
