@@ -1,0 +1,225 @@
+//===- bench/serve_sharded.cpp - 1→N shard serving scaling curve ---------===//
+//
+// Measures what multi-process sharding buys the serving layer: an
+// Agg-heavy splittable query (sum of squares over a large synthesized
+// source) driven closed-loop through shard::ShardRouter at 1, 2 and 4
+// steno_serve worker processes. At one shard the router routes whole
+// (the single-shard fallback — the honest baseline including all wire
+// overhead); at N it fans per-shard pexec partials out and combines
+// with the Agg* stage, so throughput should scale with the fleet until
+// the combine or the wire dominates.
+//
+// Gate: 4 shards must deliver at least 1.8x the 1-shard throughput
+// (the ISSUE budget; perfect scaling is 4x, the budget leaves room for
+// wire framing and the scalar combine). The process exits 1 otherwise,
+// so the bench-smoke CI job fails loudly. Skipped (exit 0, "skipped"
+// JSON) on machines with fewer than 4 hardware threads, where the
+// workers would contend for cores and the curve measures the scheduler.
+//
+// The worker binary comes from --serve-bin, else $STENO_SERVE_BIN, else
+// ../tools/steno_serve next to this binary. Workers run --no-recompile
+// so every configuration measures the same interpreter vertex.
+//
+// Writes BENCH_serve_sharded.json with the scaling curve.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "fuzz/Spec.h"
+#include "shard/Shard.h"
+#include "shard/Spawn.h"
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+using namespace steno;
+using namespace steno::bench;
+
+namespace {
+
+constexpr unsigned kClients = 8;
+constexpr unsigned kSeconds = 3;
+constexpr double kGate = 1.8;
+
+/// The Agg-heavy splittable workload: sum of squares over a source big
+/// enough that per-request execution dominates wire framing.
+std::string workloadSpec() {
+  fuzz::QuerySpec S;
+  S.Sources.push_back({0, fuzz::ElemTy::Double, fuzz::DataClass::Uniform,
+                       static_cast<std::uint32_t>(scaled(200000)), 77});
+  fuzz::OpSpec Sel;
+  Sel.K = fuzz::OpK::Select;
+  Sel.T = fuzz::TransTmpl::Square;
+  fuzz::OpSpec Agg;
+  Agg.K = fuzz::OpK::Agg;
+  Agg.A = fuzz::AggKind::Sum;
+  S.Ops = {Sel, Agg};
+  return fuzz::serializeSpec(S);
+}
+
+/// Spawns \p N workers, drives the closed loop, returns requests/sec
+/// (0 on any failure).
+double measure(const std::string &ServeBin, unsigned N) {
+  std::vector<shard::WorkerProcess> Workers;
+  for (unsigned I = 0; I != N; ++I) {
+    std::string Sock = "/tmp/steno-bench-shard-" +
+                       std::to_string(::getpid()) + "-" +
+                       std::to_string(I) + ".sock";
+    Workers.emplace_back(ServeBin, Sock,
+                         std::vector<std::string>{"--workers", "1",
+                                                  "--no-recompile"});
+    std::string Err;
+    if (!Workers.back().start(&Err)) {
+      std::fprintf(stderr, "serve_sharded: %s\n", Err.c_str());
+      for (shard::WorkerProcess &W : Workers)
+        W.kill9();
+      return 0;
+    }
+  }
+
+  shard::RouterOptions Opts;
+  for (const shard::WorkerProcess &W : Workers)
+    Opts.ShardSockets.push_back(W.socket());
+  Opts.DefaultDeadline = std::chrono::milliseconds(30000);
+  double Rps = 0;
+  {
+    shard::ShardRouter Router(Opts);
+    std::string Err;
+    shard::RoutedHandle H = Router.prepare(workloadSpec(), &Err);
+    if (!H) {
+      std::fprintf(stderr, "serve_sharded: prepare: %s\n", Err.c_str());
+    } else {
+      // Warmup: one request per shard connection path.
+      serve::Response W = Router.execute(H);
+      if (W.St != serve::Status::Ok) {
+        std::fprintf(stderr, "serve_sharded: warmup: %s\n",
+                     W.Message.c_str());
+      } else {
+        auto End = std::chrono::steady_clock::now() +
+                   std::chrono::seconds(kSeconds);
+        std::atomic<std::uint64_t> Ok{0}, Bad{0};
+        std::vector<std::thread> Threads;
+        for (unsigned C = 0; C != kClients; ++C)
+          Threads.emplace_back([&] {
+            while (std::chrono::steady_clock::now() < End) {
+              serve::Response R = Router.execute(H);
+              (R.St == serve::Status::Ok ? Ok : Bad)
+                  .fetch_add(1, std::memory_order_relaxed);
+            }
+          });
+        for (std::thread &T : Threads)
+          T.join();
+        if (Bad.load())
+          std::fprintf(stderr, "serve_sharded: %llu failed requests at "
+                               "%u shards\n",
+                       static_cast<unsigned long long>(Bad.load()), N);
+        else
+          Rps = static_cast<double>(Ok.load()) / kSeconds;
+      }
+    }
+  }
+  for (shard::WorkerProcess &W : Workers) {
+    W.kill9();
+    ::unlink(W.socket().c_str());
+  }
+  return Rps;
+}
+
+void writeJson(const std::string &Body) {
+  const char *Dir = std::getenv("STENO_BENCH_OUT");
+  std::string Path =
+      (Dir && *Dir ? std::string(Dir) + "/" : std::string()) +
+      "BENCH_serve_sharded.json";
+  if (std::FILE *F = std::fopen(Path.c_str(), "w")) {
+    std::fputs(Body.c_str(), F);
+    std::fclose(F);
+    std::fprintf(stderr, "serve_sharded: wrote %s\n", Path.c_str());
+  } else {
+    std::fprintf(stderr, "serve_sharded: cannot write %s\n", Path.c_str());
+  }
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::signal(SIGPIPE, SIG_IGN);
+
+  std::string ServeBin;
+  for (int I = 1; I < Argc; ++I)
+    if (std::strcmp(Argv[I], "--serve-bin") == 0 && I + 1 < Argc)
+      ServeBin = Argv[++I];
+  if (ServeBin.empty())
+    if (const char *Env = std::getenv("STENO_SERVE_BIN"))
+      ServeBin = Env;
+  if (ServeBin.empty()) {
+    std::string Self = Argv[0];
+    std::size_t Slash = Self.rfind('/');
+    ServeBin = (Slash == std::string::npos ? std::string(".")
+                                           : Self.substr(0, Slash)) +
+               "/../tools/steno_serve";
+  }
+  if (::access(ServeBin.c_str(), X_OK) != 0) {
+    std::fprintf(stderr, "serve_sharded: no steno_serve at %s\n",
+                 ServeBin.c_str());
+    return 2;
+  }
+
+  // STENO_BENCH_FORCE=1 runs the curve anyway (without the gate) so the
+  // plumbing stays testable on small machines.
+  bool Forced = std::getenv("STENO_BENCH_FORCE") != nullptr;
+  if (std::thread::hardware_concurrency() < 4 && !Forced) {
+    std::printf("serve_sharded: skipped (needs >= 4 hardware threads)\n");
+    writeJson("{\n  \"binary\": \"serve_sharded\",\n"
+              "  \"skipped\": \"fewer than 4 hardware threads\"\n}\n");
+    return 0;
+  }
+
+  header("Sharded serving scaling (sum of squares, 8 closed-loop clients)");
+  const unsigned Counts[] = {1, 2, 4};
+  double Rps[3] = {0, 0, 0};
+  for (int I = 0; I != 3; ++I) {
+    Rps[I] = measure(ServeBin, Counts[I]);
+    if (Rps[I] <= 0) {
+      std::fprintf(stderr, "serve_sharded: measurement failed at %u\n",
+                   Counts[I]);
+      return 2;
+    }
+    std::printf("  %u shard%s  %8.1f req/s  (%.2fx)\n", Counts[I],
+                Counts[I] == 1 ? " " : "s", Rps[I], Rps[I] / Rps[0]);
+  }
+  double Speedup = Rps[2] / Rps[0];
+
+  char Buf[512];
+  std::snprintf(
+      Buf, sizeof Buf,
+      "{\n  \"binary\": \"serve_sharded\",\n  \"scale\": %g,\n"
+      "  \"clients\": %u,\n  \"seconds\": %u,\n"
+      "  \"rps_1\": %.1f,\n  \"rps_2\": %.1f,\n  \"rps_4\": %.1f,\n"
+      "  \"speedup_4_over_1\": %.2f,\n  \"gate\": %.2f\n}\n",
+      scaleFactor(), kClients, kSeconds, Rps[0], Rps[1], Rps[2], Speedup,
+      kGate);
+  writeJson(Buf);
+
+  if (Speedup < kGate) {
+    if (Forced) {
+      std::printf("serve_sharded: %.2fx below the %.2fx gate, but forced "
+                  "on an undersized machine — not gating\n",
+                  Speedup, kGate);
+      return 0;
+    }
+    std::fprintf(stderr,
+                 "serve_sharded: FAIL speedup %.2fx < %.2fx gate\n",
+                 Speedup, kGate);
+    return 1;
+  }
+  std::printf("serve_sharded: OK %.2fx >= %.2fx gate\n", Speedup, kGate);
+  return 0;
+}

@@ -325,6 +325,13 @@ DistributedQuery::run(ThreadPool &Pool,
 QueryResult
 DistributedQuery::combinePartials(ThreadPool &Pool,
                                   std::vector<QueryResult> Partials) const {
+  return combineParallelPartials(Pool, Plan, Cert, std::move(Partials));
+}
+
+QueryResult
+dryad::combineParallelPartials(ThreadPool &Pool, const ParallelPlan &Plan,
+                               const analysis::SafetyCertificate &Cert,
+                               std::vector<QueryResult> Partials) {
   // Stage 2: Agg* — merge the partial results (in source order).
   switch (Plan.Kind) {
   case CombineKind::Concat: {

@@ -85,6 +85,20 @@ std::vector<Bindings> partitionBindings(const Bindings &B, unsigned Parts,
 Bindings bindingRange(const Bindings &B, unsigned Slot, std::size_t Begin,
                       std::size_t Len);
 
+/// The Agg* stage (Figure 12) as a standalone: merges in-source-order
+/// per-partition partials according to \p Plan — concatenation, a
+/// pairwise Fold combine tree (gated on \p Cert's associativity
+/// classification, with a serial left fold as the defensive fallback),
+/// a per-key merge for GroupByAggregate, or a stable k-way merge of
+/// sorted runs — and applies the final result selector. Shared by
+/// DistributedQuery (whose partials come from in-process vertices) and
+/// the shard router (steno::shard, whose partials arrive over the
+/// serve wire protocol from other processes).
+QueryResult combineParallelPartials(ThreadPool &Pool,
+                                    const ParallelPlan &Plan,
+                                    const analysis::SafetyCertificate &Cert,
+                                    std::vector<QueryResult> Partials);
+
 /// A query compiled for partition-parallel execution. Reusable across
 /// invocations with different partition bindings (so the one-off JIT cost
 /// amortizes across iterations, as in the paper's k-means job).

@@ -4,6 +4,7 @@
 
 #include "adapt/Adapt.h"
 #include "analysis/Analysis.h"
+#include "dryad/Dist.h"
 #include "obs/Metrics.h"
 #include "obs/Trace.h"
 #include "quil/Quil.h"
@@ -65,6 +66,7 @@ struct ServeMetrics {
   obs::Counter &Errors = obs::counter("serve.errors");
   obs::Counter &Degraded = obs::counter("serve.degraded_runs");
   obs::Counter &NativeRuns = obs::counter("serve.native_runs");
+  obs::Counter &PartialRuns = obs::counter("serve.partial_runs");
   obs::Counter &RecompSched = obs::counter("serve.recompile.scheduled");
   obs::Counter &RecompDone = obs::counter("serve.recompile.done");
   obs::Counter &RecompFailed = obs::counter("serve.recompile.failed");
@@ -146,6 +148,10 @@ struct QueryService::RequestState {
   std::chrono::steady_clock::time_point Deadline;
   support::WallTimer QueueTimer;
   std::uint64_t Id = 0;
+  /// Shard-partial request (executePartial): run the §6 vertex over
+  /// [Begin, Begin+Len) of source slot 0 instead of the whole plan.
+  bool Partial = false;
+  std::size_t Begin = 0, Len = 0;
 };
 
 QueryService::QueryService(const ServeOptions &O)
@@ -283,6 +289,173 @@ bool QueryService::scheduleRecompile(const PreparedHandle &P) {
 }
 
 void QueryService::drainRecompiles() { CompileQ.drain(); }
+
+//===--------------------------------------------------------------------===//
+// Shard-partial execution (steno::shard, DESIGN.md §5k)
+//===--------------------------------------------------------------------===//
+
+void QueryService::buildPartial(const PreparedHandle &P) {
+  auto PS = std::make_unique<PreparedQuery::PartialState>();
+
+  // Re-derive the specialized chain: prepare() screened the raw lowering,
+  // but the §6 planner wants the same shape DistributedQuery plans —
+  // GroupByAggregate specialized so dense sinks split into partials.
+  quil::Chain Chain = quil::lower(P->Built.Q);
+  Chain = quil::specializeGroupByAggregate(Chain);
+  analysis::AnalysisResult Analyzed = analysis::analyzeChain(Chain);
+  PS->Cert = Analyzed.Cert;
+
+  std::string WhyNot;
+  std::optional<dryad::ParallelPlan> Plan;
+  if (!PS->Cert.shardSafe()) {
+    WhyNot = "analyzer refused certification (" + PS->Cert.str() + ")";
+  } else {
+    Plan = dryad::planParallel(Chain, &WhyNot);
+  }
+  if (!Plan) {
+    PS->WhyNot = std::move(WhyNot);
+    P->Partial = std::move(PS);
+    return;
+  }
+
+  PS->Splittable = true;
+  PS->Plan = std::move(*Plan);
+  CompileOptions VO = planOptions(Backend::Interp, Options.Profile);
+  VO.SpecializeGroupByAggregate = false; // already applied
+  VO.Name = "serve_vertex";
+  PS->VertexInterp = compileChain(PS->Plan.VertexChain, VO);
+  P->Partial = std::move(PS);
+}
+
+const PreparedQuery::PartialState *
+QueryService::preparePartial(const PreparedHandle &P) {
+  if (!P)
+    return nullptr;
+  std::call_once(P->PartialOnce, [&] { buildPartial(P); });
+  PreparedQuery::PartialState *PS = P->Partial.get();
+  // Same retry-the-upgrade policy as execute(): a saturated compile
+  // queue at first pexec time degrades, later pexecs retry.
+  if (PS && PS->Splittable && Options.BackgroundRecompile &&
+      !PS->VertexNativeReady.load(std::memory_order_acquire) &&
+      PS->VertexRecompile.load(std::memory_order_acquire) == 0 &&
+      !CompileQ.saturated())
+    scheduleVertexRecompile(P);
+  return PS;
+}
+
+bool QueryService::scheduleVertexRecompile(const PreparedHandle &P) {
+  PreparedQuery::PartialState *PS = P->Partial.get();
+  if (!PS || !PS->Splittable ||
+      PS->VertexNativeReady.load(std::memory_order_acquire))
+    return false;
+  int Expected = 0;
+  if (!PS->VertexRecompile.compare_exchange_strong(
+          Expected, 1, std::memory_order_acq_rel))
+    return false; // already in flight or done
+
+  // Deliberately not through the QueryCache: vertex plans are keyed by
+  // the *partial* chain, not the query the cache indexes, and one handle
+  // recompiles its vertex at most once.
+  PreparedHandle Handle = P;
+  bool Submitted = CompileQ.trySubmit(
+      PS->VertexInterp.generatedSource(), PS->VertexInterp.program().Name,
+      [this, Handle](std::unique_ptr<jit::CompiledModule> Module,
+                     std::string Err) {
+        PreparedQuery::PartialState *S = Handle->Partial.get();
+        if (!Module) {
+          S->VertexRecompile.store(0, std::memory_order_release);
+          metrics().RecompFailed.inc();
+          NRecompFailed.fetch_add(1, std::memory_order_relaxed);
+          std::fprintf(stderr, "steno-serve: vertex recompile of '%s' "
+                               "failed: %s\n",
+                       S->VertexInterp.program().Name.c_str(),
+                       Err.c_str());
+          return;
+        }
+        S->VertexNative =
+            S->VertexInterp.withNativeModule(std::move(Module));
+        S->VertexNativeReady.store(true, std::memory_order_release);
+        S->VertexRecompile.store(2, std::memory_order_release);
+        metrics().RecompDone.inc();
+        NRecompDone.fetch_add(1, std::memory_order_relaxed);
+      });
+
+  if (!Submitted) {
+    PS->VertexRecompile.store(0, std::memory_order_release);
+    metrics().RecompSaturated.inc();
+    NRecompSaturated.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  metrics().RecompSched.inc();
+  NRecompSched.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+Response QueryService::executePartial(const PreparedHandle &P,
+                                      std::size_t Begin, std::size_t Len,
+                                      std::chrono::milliseconds Deadline) {
+  ServeMetrics &M = metrics();
+  Response Rsp;
+  Rsp.Id = NextRequestId.fetch_add(1, std::memory_order_relaxed);
+  auto fail = [&](const std::string &Msg) {
+    Rsp.St = Status::Error;
+    Rsp.Message = Msg;
+    M.Errors.inc();
+    NErrors.fetch_add(1, std::memory_order_relaxed);
+    return Rsp;
+  };
+
+  if (!P)
+    return fail("null prepared handle");
+  if (Closed.load(std::memory_order_relaxed))
+    return fail("service is shutting down");
+
+  const PreparedQuery::PartialState *PS = preparePartial(P);
+  if (!PS->Splittable)
+    return fail("query is not splittable: " + PS->WhyNot);
+  const auto &Sources = P->bindings().sources();
+  std::size_t Count =
+      (Sources.empty() || Sources[0].Count < 0)
+          ? 0
+          : static_cast<std::size_t>(Sources[0].Count);
+  if (Begin > Count || Len > Count - Begin)
+    return fail("partial range [" + std::to_string(Begin) + ", +" +
+                std::to_string(Len) + ") out of bounds for source of " +
+                std::to_string(Count));
+
+  // Admission gate, identical to execute(): partial requests share the
+  // same queued + executing bound.
+  std::int64_t Depth = InFlight.fetch_add(1, std::memory_order_acq_rel) + 1;
+  if (Depth > static_cast<std::int64_t>(Options.MaxQueue)) {
+    InFlight.fetch_sub(1, std::memory_order_acq_rel);
+    Rsp.St = Status::Shed;
+    M.Shed.inc();
+    NShed.fetch_add(1, std::memory_order_relaxed);
+    return Rsp;
+  }
+  M.QueueDepth.set(Depth);
+  M.Requests.inc();
+  NAccepted.fetch_add(1, std::memory_order_relaxed);
+
+  auto R = std::make_shared<RequestState>();
+  R->P = P;
+  R->Deadline = std::chrono::steady_clock::now() + Deadline;
+  R->Id = Rsp.Id;
+  R->Partial = true;
+  R->Begin = Begin;
+  R->Len = Len;
+  std::future<Response> Fut = R->Promise.get_future();
+
+  if (!Exec.submit([this, R] { runRequest(R); })) {
+    Rsp.St = Status::Error;
+    Rsp.Message = "service is shutting down";
+    M.Errors.inc();
+    NErrors.fetch_add(1, std::memory_order_relaxed);
+    InFlight.fetch_sub(1, std::memory_order_acq_rel);
+    return Rsp;
+  }
+  return Fut.get();
+}
 
 //===--------------------------------------------------------------------===//
 // Adaptive re-planning (DESIGN.md §5j)
@@ -531,6 +704,39 @@ void QueryService::runRequest(const std::shared_ptr<RequestState> &R) {
   if (Options.ExecHook)
     Options.ExecHook();
 
+  if (R->Partial) {
+    // Shard-partial path: run the §6 vertex over the request's source
+    // range and answer with the *partial* — no adaptive bookkeeping
+    // (partials are combined by the router; judging them against
+    // whole-query latency would be apples to oranges).
+    const PreparedQuery::PartialState &PS = *R->P->Partial;
+    bool Native = PS.VertexNativeReady.load(std::memory_order_acquire);
+    const CompiledQuery &Plan = Native ? PS.VertexNative : PS.VertexInterp;
+    support::WallTimer RunTimer;
+    Bindings Range = dryad::bindingRange(R->P->bindings(), 0, R->Begin,
+                                         R->Len);
+    Rsp.Result = Plan.run(Range);
+    Rsp.RunMicros = RunTimer.seconds() * 1e6;
+    Rsp.St = Status::Ok;
+    Rsp.NativePlan = Native;
+    Rsp.Degraded = !Native && Options.BackgroundRecompile;
+    M.Ok.inc();
+    NOk.fetch_add(1, std::memory_order_relaxed);
+    M.PartialRuns.inc();
+    NPartialRuns.fetch_add(1, std::memory_order_relaxed);
+    if (Native) {
+      M.NativeRuns.inc();
+      NNativeRuns.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (Rsp.Degraded) {
+      M.Degraded.inc();
+      NDegraded.fetch_add(1, std::memory_order_relaxed);
+    }
+    M.RequestMicros.observe(Rsp.QueueMicros + Rsp.RunMicros);
+    finish(*R, std::move(Rsp));
+    return;
+  }
+
   PreparedQuery &P = *R->P;
   bool Native = P.NativeReady.load(std::memory_order_acquire);
   // A live feedback-replanned version takes precedence. The shared_ptr
@@ -622,6 +828,7 @@ QueryService::Stats QueryService::stats() const {
   S.AdaptiveRuns = NAdaptiveRuns.load(std::memory_order_relaxed);
   S.AdaptReverted = NAdaptReverted.load(std::memory_order_relaxed);
   S.AdaptPinned = NAdaptPinned.load(std::memory_order_relaxed);
+  S.PartialRuns = NPartialRuns.load(std::memory_order_relaxed);
   S.QueueDepth = InFlight.load(std::memory_order_relaxed);
   return S;
 }

@@ -53,6 +53,8 @@
 #ifndef STENO_SERVE_SERVE_H
 #define STENO_SERVE_SERVE_H
 
+#include "analysis/Analysis.h"
+#include "dryad/Plan.h"
 #include "dryad/ThreadPool.h"
 #include "fuzz/Spec.h"
 #include "jit/Async.h"
@@ -156,6 +158,32 @@ class QueryService;
 /// threads concurrently, including across the plan swap.
 class PreparedQuery {
 public:
+  /// Shard-serving state (steno::shard, DESIGN.md §5k): the §6
+  /// decomposition of this query, prepared lazily on the first partial-
+  /// execution request. Splittable means the certificate passed
+  /// shardSafe() AND the planner found the homomorphic-prefix + Agg
+  /// split; the vertex plan then computes this worker's *partial* over a
+  /// source range, and the router owns the Agg* combine. Immutable after
+  /// the once-flag fires (the vertex native swap uses the same publish
+  /// protocol as the whole-query plan).
+  struct PartialState {
+    bool Splittable = false;
+    std::string WhyNot;           ///< Why not, when !Splittable.
+    dryad::ParallelPlan Plan;     ///< Valid when Splittable.
+    analysis::SafetyCertificate Cert;
+    CompiledQuery VertexInterp;   ///< Set before publication; then const.
+    /// Same release/acquire publish protocol as PreparedQuery::NativePlan.
+    CompiledQuery VertexNative;
+    std::atomic<bool> VertexNativeReady{false};
+    std::atomic<int> VertexRecompile{0}; ///< 0 idle, 1 in flight, 2 done.
+
+    const CompiledQuery &currentVertex() const {
+      return VertexNativeReady.load(std::memory_order_acquire)
+                 ? VertexNative
+                 : VertexInterp;
+    }
+  };
+
   const fuzz::QuerySpec &spec() const { return Spec; }
   const query::Query &query() const { return Built.Q; }
   const Bindings &bindings() const { return Built.B; }
@@ -217,6 +245,11 @@ private:
   // Latency accounting for the post-swap judgement (nanoseconds).
   std::atomic<std::uint64_t> BaseRuns{0}, BaseNanos{0};
   std::atomic<std::uint64_t> AdaptRuns{0}, AdaptNanos{0};
+
+  /// §6 decomposition, built lazily by QueryService::preparePartial on
+  /// the first pexec for this handle (most handles never shard).
+  std::once_flag PartialOnce;
+  std::unique_ptr<PartialState> Partial;
 };
 
 /// Mutation (the plan swap) is QueryService-private; handle holders only
@@ -278,6 +311,26 @@ public:
   Response execute(const PreparedHandle &P,
                    std::chrono::milliseconds Deadline);
 
+  /// The §6 decomposition of \p P, computed once per handle and cached
+  /// (thread-safe; concurrent callers block on the once-flag). Always
+  /// returns a state — consult Splittable/WhyNot; a handle whose
+  /// certificate or planner refused the split has Splittable == false
+  /// and the router must route it whole. Never null for a non-null
+  /// handle.
+  const PreparedQuery::PartialState *
+  preparePartial(const PreparedHandle &P);
+
+  /// Runs \p P's per-shard vertex (homomorphic prefix + Agg_i of
+  /// Figure 12) over elements [Begin, Begin+Len) of source slot 0,
+  /// returning the *partial* result — the router combines partials with
+  /// the Agg* stage. Admission-controlled exactly like execute().
+  /// Errors when the handle is not splittable or the range is out of
+  /// bounds. Empty ranges (Len == 0) are valid and produce the vertex's
+  /// identity partial.
+  Response executePartial(const PreparedHandle &P, std::size_t Begin,
+                          std::size_t Len,
+                          std::chrono::milliseconds Deadline);
+
   /// Queues a native recompile for \p P now (normally scheduled by
   /// prepare). Returns false when the compile queue is saturated, the
   /// native plan already exists, or a compile is already in flight. Used
@@ -323,6 +376,7 @@ public:
     std::uint64_t AdaptiveRuns = 0;   ///< Requests run on a v2+ plan.
     std::uint64_t AdaptReverted = 0;  ///< Post-swap regressions reverted.
     std::uint64_t AdaptPinned = 0;    ///< Handles quarantined static.
+    std::uint64_t PartialRuns = 0;    ///< Per-shard vertex executions.
     std::int64_t QueueDepth = 0;
   };
   Stats stats() const;
@@ -332,6 +386,8 @@ private:
 
   void runRequest(const std::shared_ptr<RequestState> &R);
   void finish(RequestState &R, Response Rsp);
+  void buildPartial(const PreparedHandle &P);
+  bool scheduleVertexRecompile(const PreparedHandle &P);
   void publishAdaptive(const PreparedHandle &P, CompiledQuery Plan);
   void judgeAdaptive(const PreparedHandle &P);
   std::uint64_t feedbackAnchor(const PreparedQuery &P) const;
@@ -351,7 +407,7 @@ private:
       NNativeRuns{0}, NRecompSched{0}, NRecompDone{0}, NRecompFailed{0},
       NRecompSaturated{0}, NReplans{0}, NReplanSwaps{0},
       NReplanNoChange{0}, NAdaptiveRuns{0}, NAdaptReverted{0},
-      NAdaptPinned{0};
+      NAdaptPinned{0}, NPartialRuns{0};
 
   // Declared last: destroyed first, so worker threads and compile
   // callbacks never outlive the state above.

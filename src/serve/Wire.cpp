@@ -9,7 +9,9 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <cstdlib>
 #include <sstream>
+#include <sys/socket.h>
 #include <unistd.h>
 
 using namespace steno;
@@ -49,7 +51,13 @@ bool FdStream::readLine(std::string &Line) {
 bool FdStream::writeAll(const std::string &Bytes) {
   std::size_t Off = 0;
   while (Off < Bytes.size()) {
-    ssize_t N = ::write(Fd, Bytes.data() + Off, Bytes.size() - Off);
+    // MSG_NOSIGNAL: a peer death (e.g. a SIGKILLed shard worker) must
+    // surface as a write error the retry layer can handle, never a
+    // process-killing SIGPIPE in an embedder that didn't ignore it.
+    ssize_t N = ::send(Fd, Bytes.data() + Off, Bytes.size() - Off,
+                       MSG_NOSIGNAL);
+    if (N < 0 && errno == ENOTSOCK) // pipes/files in tests
+      N = ::write(Fd, Bytes.data() + Off, Bytes.size() - Off);
     if (N < 0) {
       if (errno == EINTR)
         continue;
@@ -83,7 +91,7 @@ std::string statsJson(const QueryService::Stats &S) {
   // registered instrument rather than creating a second one.
   obs::Histogram &Lat = obs::histogram(
       "serve.request.micros", {10, 100, 1e3, 1e4, 1e5, 1e6, 1e7});
-  char Buf[1024];
+  char Buf[1536];
   std::snprintf(
       Buf, sizeof Buf,
       "{\"sessions\":%llu,\"prepares\":%llu,\"accepted\":%llu,"
@@ -94,6 +102,7 @@ std::string statsJson(const QueryService::Stats &S) {
       "\"replans\":%llu,\"replan_swaps\":%llu,"
       "\"replan_no_change\":%llu,\"adaptive_runs\":%llu,"
       "\"adapt_reverted\":%llu,\"adapt_pinned\":%llu,"
+      "\"partial_runs\":%llu,"
       "\"queue_depth\":%lld,"
       "\"latency_us\":{\"p50\":%.1f,\"p95\":%.1f,\"p99\":%.1f}}",
       static_cast<unsigned long long>(S.Sessions),
@@ -115,12 +124,189 @@ std::string statsJson(const QueryService::Stats &S) {
       static_cast<unsigned long long>(S.AdaptiveRuns),
       static_cast<unsigned long long>(S.AdaptReverted),
       static_cast<unsigned long long>(S.AdaptPinned),
+      static_cast<unsigned long long>(S.PartialRuns),
       static_cast<long long>(S.QueueDepth), Lat.percentile(0.50),
       Lat.percentile(0.95), Lat.percentile(0.99));
   return Buf;
 }
 
 } // namespace
+
+//===--------------------------------------------------------------------===//
+// Exact value codec (shard framing)
+//===--------------------------------------------------------------------===//
+
+namespace {
+
+void encodeValue(const expr::Value &V, std::string &Out) {
+  char Buf[64];
+  switch (V.kind()) {
+  case expr::TypeKind::Bool:
+    Out += V.asBool() ? "b 1" : "b 0";
+    return;
+  case expr::TypeKind::Int64:
+    Out += "i ";
+    Out += std::to_string(V.asInt64());
+    return;
+  case expr::TypeKind::Double:
+    // %a round-trips every double (including nan/±inf) through strtod.
+    std::snprintf(Buf, sizeof Buf, "d %a", V.asDouble());
+    Out += Buf;
+    return;
+  case expr::TypeKind::Vec: {
+    expr::VecView View = V.asVec();
+    Out += "v ";
+    Out += std::to_string(View.Len);
+    for (std::int64_t I = 0; I != View.Len; ++I) {
+      std::snprintf(Buf, sizeof Buf, " %a", View.Data[I]);
+      Out += Buf;
+    }
+    return;
+  }
+  case expr::TypeKind::Pair:
+    Out += "p ";
+    encodeValue(V.first(), Out);
+    Out += ' ';
+    encodeValue(V.second(), Out);
+    return;
+  }
+}
+
+/// Token-stream decoder for encodeValue output. istream's operator>>
+/// does not reliably accept hexfloats, so doubles go through strtod.
+struct ValueDecoder {
+  std::istringstream In;
+  std::deque<std::vector<double>> &Arena;
+
+  ValueDecoder(const std::string &S, std::deque<std::vector<double>> &A)
+      : In(S), Arena(A) {}
+
+  bool decodeDouble(double &D) {
+    std::string Tok;
+    if (!(In >> Tok))
+      return false;
+    const char *C = Tok.c_str();
+    char *End = nullptr;
+    D = std::strtod(C, &End);
+    return End != C && *End == '\0';
+  }
+
+  bool decode(expr::Value &Out) {
+    std::string Tag;
+    if (!(In >> Tag))
+      return false;
+    if (Tag == "b") {
+      int B = 0;
+      if (!(In >> B) || (B != 0 && B != 1))
+        return false;
+      Out = expr::Value(B == 1);
+      return true;
+    }
+    if (Tag == "i") {
+      std::string Tok;
+      if (!(In >> Tok))
+        return false;
+      const char *C = Tok.c_str();
+      char *End = nullptr;
+      long long I = std::strtoll(C, &End, 10);
+      if (End == C || *End != '\0')
+        return false;
+      Out = expr::Value(static_cast<std::int64_t>(I));
+      return true;
+    }
+    if (Tag == "d") {
+      double D = 0;
+      if (!decodeDouble(D))
+        return false;
+      Out = expr::Value(D);
+      return true;
+    }
+    if (Tag == "v") {
+      std::int64_t Len = 0;
+      if (!(In >> Len) || Len < 0)
+        return false;
+      Arena.emplace_back();
+      std::vector<double> &Vec = Arena.back();
+      Vec.reserve(static_cast<std::size_t>(Len));
+      for (std::int64_t I = 0; I != Len; ++I) {
+        double D = 0;
+        if (!decodeDouble(D))
+          return false;
+        Vec.push_back(D);
+      }
+      Out = expr::Value(expr::VecView{Vec.data(), Len});
+      return true;
+    }
+    if (Tag == "p") {
+      expr::Value First, Second;
+      if (!decode(First) || !decode(Second))
+        return false;
+      Out = expr::Value::makePair(First, Second);
+      return true;
+    }
+    return false;
+  }
+};
+
+} // namespace
+
+std::string serve::wireValue(const expr::Value &V) {
+  std::string Out;
+  encodeValue(V, Out);
+  return Out;
+}
+
+bool serve::parseWireValue(const std::string &Enc, expr::Value &Out,
+                           std::deque<std::vector<double>> &Arena,
+                           std::string *Err) {
+  ValueDecoder D(Enc, Arena);
+  if (!D.decode(Out)) {
+    if (Err)
+      *Err = "malformed wire value: " + Enc;
+    return false;
+  }
+  std::string Rest;
+  if (D.In >> Rest) {
+    if (Err)
+      *Err = "trailing garbage in wire value: " + Enc;
+    return false;
+  }
+  return true;
+}
+
+std::string serve::renderShardResponse(const Response &R, const char *Verb,
+                                       std::uint64_t Rid) {
+  switch (R.St) {
+  case Status::Timeout:
+    return support::strFormat("%s %llu timeout\n", Verb,
+                              static_cast<unsigned long long>(Rid));
+  case Status::Shed:
+    return support::strFormat("%s %llu shed\n", Verb,
+                              static_cast<unsigned long long>(Rid));
+  case Status::Error:
+    return support::strFormat(
+        "%s %llu error %s\n", Verb, static_cast<unsigned long long>(Rid),
+        oneLine(R.Message.empty() ? "internal error" : R.Message).c_str());
+  case Status::Ok:
+    break;
+  }
+  const char *RowTag = Verb[0] == 'p' ? "prow" : "xrow";
+  const char *DoneTag = Verb[0] == 'p' ? "pdone" : "xdone";
+  std::string Out = support::strFormat(
+      "%s %llu %s %zu native=%d run_us=%.1f\n", Verb,
+      static_cast<unsigned long long>(Rid),
+      R.Result.isScalar() ? "scalar" : "rows", R.Result.rows().size(),
+      R.NativePlan ? 1 : 0, R.RunMicros);
+  for (const expr::Value &V : R.Result.rows()) {
+    Out += RowTag;
+    Out += ' ';
+    Out += wireValue(V);
+    Out += '\n';
+  }
+  Out += DoneTag;
+  Out += '\n';
+  return Out;
+}
 
 std::string serve::renderResponse(const Response &R) {
   switch (R.St) {
@@ -218,6 +404,44 @@ void serve::serveConnection(QueryService &Svc, int Fd) {
                               std::chrono::milliseconds(DeadlineMs))
               : Sess->execute(Handles[Handle]);
       if (!S.writeAll(renderResponse(R)))
+        return;
+      continue;
+    }
+
+    if (Cmd == "pexec" || Cmd == "xexec") {
+      // Shard sub-requests (router-to-worker): exact value encoding,
+      // router request id echoed back for the exactly-once retry
+      // protocol.
+      bool IsPartial = Cmd == "pexec";
+      const char *Verb = IsPartial ? "partial" : "xresult";
+      std::size_t Handle = 0, Begin = 0, Len = 0;
+      long long DeadlineMs = -1;
+      unsigned long long Rid = 0;
+      bool Parsed = static_cast<bool>(Fields >> Handle);
+      if (Parsed && IsPartial)
+        Parsed = static_cast<bool>(Fields >> Begin >> Len);
+      if (!Parsed) {
+        if (!S.writeAll(errorFrame(Cmd + " needs a handle" +
+                                   (IsPartial ? " and a range" : ""))))
+          return;
+        continue;
+      }
+      Fields >> DeadlineMs >> Rid; // both optional
+      std::chrono::milliseconds DL =
+          DeadlineMs >= 0 ? std::chrono::milliseconds(DeadlineMs)
+                          : Svc.options().DefaultDeadline;
+      if (Handle >= Handles.size()) {
+        Response R;
+        R.St = Status::Error;
+        R.Message = support::strFormat("unknown handle %zu", Handle);
+        if (!S.writeAll(renderShardResponse(R, Verb, Rid)))
+          return;
+        continue;
+      }
+      Response R = IsPartial
+                       ? Svc.executePartial(Handles[Handle], Begin, Len, DL)
+                       : Svc.execute(Handles[Handle], DL);
+      if (!S.writeAll(renderShardResponse(R, Verb, Rid)))
         return;
       continue;
     }
@@ -380,6 +604,109 @@ bool WireClient::exec(std::uint64_t Handle, std::int64_t DeadlineMs,
   if (!S.readLine(Line) || Line != "done")
     return false;
   return true;
+}
+
+namespace {
+
+/// Reads and decodes one shard answer (`<verb> <rid> ...` + rows +
+/// terminator). False on protocol breakdown or a rid mismatch — either
+/// way the connection is desynchronized and must be discarded.
+bool readShardAnswer(FdStream &S, const char *Verb, std::uint64_t Rid,
+                     WireClient::PartialResult &Out) {
+  const char *RowTag = Verb[0] == 'p' ? "prow " : "xrow ";
+  const char *DoneTag = Verb[0] == 'p' ? "pdone" : "xdone";
+  std::string Line;
+  if (!S.readLine(Line))
+    return false;
+  std::istringstream Fields(Line);
+  std::string Tok;
+  if (!(Fields >> Tok))
+    return false;
+  if (Tok == "error") {
+    // Pre-dispatch errors (malformed frame) arrive as a bare error line
+    // without a rid; the exchange is still framed, report it.
+    Out.St = Status::Error;
+    Out.Error = Line.size() > 6 ? Line.substr(6) : "unspecified error";
+    return true;
+  }
+  if (Tok != Verb)
+    return false;
+  unsigned long long GotRid = 0;
+  std::string Shape;
+  if (!(Fields >> GotRid >> Shape))
+    return false;
+  if (GotRid != Rid)
+    return false; // stale answer from a lost exchange: conn is dead
+  if (Shape == "timeout") {
+    Out.St = Status::Timeout;
+    return true;
+  }
+  if (Shape == "shed") {
+    Out.St = Status::Shed;
+    return true;
+  }
+  if (Shape == "error") {
+    Out.St = Status::Error;
+    std::getline(Fields, Out.Error);
+    if (!Out.Error.empty() && Out.Error.front() == ' ')
+      Out.Error.erase(0, 1);
+    return true;
+  }
+  if (Shape != "scalar" && Shape != "rows")
+    return false;
+
+  std::size_t NRows = 0;
+  std::string NatTok, RunTok;
+  if (!(Fields >> NRows >> NatTok >> RunTok))
+    return false;
+  Out.Scalar = Shape == "scalar";
+  Out.Native = NatTok == "native=1";
+  if (RunTok.rfind("run_us=", 0) == 0)
+    Out.RunMicros = std::atof(RunTok.c_str() + 7);
+
+  auto Arena = std::make_shared<std::deque<std::vector<double>>>();
+  std::vector<expr::Value> Rows;
+  Rows.reserve(NRows);
+  for (std::size_t I = 0; I != NRows; ++I) {
+    if (!S.readLine(Line) || Line.rfind(RowTag, 0) != 0)
+      return false;
+    expr::Value V;
+    if (!parseWireValue(Line.substr(5), V, *Arena))
+      return false;
+    Rows.push_back(V);
+  }
+  if (!S.readLine(Line) || Line != DoneTag)
+    return false;
+  Out.St = Status::Ok;
+  Out.Result = QueryResult(Out.Scalar, std::move(Rows), std::move(Arena));
+  return true;
+}
+
+} // namespace
+
+bool WireClient::pexec(std::uint64_t Handle, std::size_t Begin,
+                       std::size_t Len, std::int64_t DeadlineMs,
+                       std::uint64_t Rid, PartialResult &Out) {
+  Out = PartialResult();
+  if (!S.writeAll(support::strFormat(
+          "pexec %llu %zu %zu %lld %llu\n",
+          static_cast<unsigned long long>(Handle), Begin, Len,
+          static_cast<long long>(DeadlineMs),
+          static_cast<unsigned long long>(Rid))))
+    return false;
+  return readShardAnswer(S, "partial", Rid, Out);
+}
+
+bool WireClient::xexec(std::uint64_t Handle, std::int64_t DeadlineMs,
+                       std::uint64_t Rid, PartialResult &Out) {
+  Out = PartialResult();
+  if (!S.writeAll(support::strFormat(
+          "xexec %llu %lld %llu\n",
+          static_cast<unsigned long long>(Handle),
+          static_cast<long long>(DeadlineMs),
+          static_cast<unsigned long long>(Rid))))
+    return false;
+  return readShardAnswer(S, "xresult", Rid, Out);
 }
 
 bool WireClient::stats(std::string &Json) {

@@ -47,6 +47,21 @@
 /// The protocol logic lives here (not in the tool) so the framing and a
 /// full socketpair round trip are unit-testable without a real listener.
 ///
+/// **Shard framing** (steno::shard, DESIGN.md §5k). The router speaks
+/// three extra verbs whose answers carry an *exact* value encoding
+/// (wireValue: hexfloat doubles, recursive pairs/vecs) instead of the
+/// human-oriented fuzzValueStr rows, because partials are re-combined
+/// arithmetically and must round-trip bit-exactly. Every shard request
+/// carries the router's request id (rid), echoed in the first response
+/// token after the verb — the exactly-once retry protocol keys on it:
+///
+///   pexec <handle> <begin> <len> [deadline_ms [rid]]
+///       -> partial <rid> scalar|rows <n> native=<0|1> run_us=<f>
+///          <n> x "prow <enc>" lines, then "pdone"
+///       -> partial <rid> timeout | shed | error <msg>
+///   xexec <handle> [deadline_ms [rid]]        (whole-query, exact rows)
+///       -> xresult <rid> ... / xrow <enc> / xdone   (same shape)
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef STENO_SERVE_WIRE_H
@@ -55,6 +70,7 @@
 #include "serve/Serve.h"
 
 #include <cstdint>
+#include <deque>
 #include <string>
 #include <vector>
 
@@ -85,6 +101,27 @@ private:
 /// Renders an execute() Response in wire form (result/timeout/shed/error
 /// frames as documented above). Exposed for tests.
 std::string renderResponse(const Response &R);
+
+/// Exact wire encoding of one value: space-separated prefix form —
+/// `b 0|1`, `i <dec>`, `d <hexfloat|nan|inf|-inf>`, `v <len> <d>...`,
+/// `p <enc> <enc>` (recursive). Hexfloat (%a / strtod) round-trips every
+/// double bit-exactly, which fuzzValueStr's %.17g does not guarantee for
+/// the combine arithmetic downstream.
+std::string wireValue(const expr::Value &V);
+
+/// Decodes wireValue output. Vec payloads are materialized into \p Arena
+/// (which must outlive \p Out). False with \p Err filled on malformed
+/// input or trailing garbage.
+bool parseWireValue(const std::string &Enc, expr::Value &Out,
+                    std::deque<std::vector<double>> &Arena,
+                    std::string *Err = nullptr);
+
+/// Renders a Response as a shard frame with the exact value encoding.
+/// \p Verb is "partial" or "xresult"; rows go out as "prow"/"xrow" and
+/// the terminator is "pdone"/"xdone". \p Rid is the router's request id
+/// echoed back. Exposed for tests.
+std::string renderShardResponse(const Response &R, const char *Verb,
+                                std::uint64_t Rid);
 
 /// Serves one connection: opens a Session on \p Svc and processes
 /// requests from \p Fd until EOF, `quit`, or a write failure. Blocking;
@@ -117,6 +154,33 @@ public:
   /// Sends `exec`; false only on protocol breakdown (timeout/shed/error
   /// statuses are successful protocol exchanges reported in \p Out).
   bool exec(std::uint64_t Handle, std::int64_t DeadlineMs, ExecResult &Out);
+
+  /// A shard sub-request's decoded answer (pexec/xexec): exact values,
+  /// re-homed into Result's own arena.
+  struct PartialResult {
+    Status St = Status::Error;
+    bool Scalar = false;
+    bool Native = false;
+    double RunMicros = 0;
+    QueryResult Result;
+    std::string Error;
+  };
+
+  /// Sends `pexec <handle> <begin> <len> <deadline_ms> <rid>`: runs the
+  /// §6 vertex over the range on the shard and decodes the exact-value
+  /// partial. False only on protocol breakdown or a rid mismatch (a
+  /// stale answer from before a retry) — the caller must treat false as
+  /// a dead connection.
+  bool pexec(std::uint64_t Handle, std::size_t Begin, std::size_t Len,
+             std::int64_t DeadlineMs, std::uint64_t Rid,
+             PartialResult &Out);
+
+  /// Sends `xexec <handle> <deadline_ms> <rid>`: whole-query execution
+  /// with the exact value encoding (the router's single-shard fallback
+  /// path, which re-renders rows for its own client). Same contract as
+  /// pexec.
+  bool xexec(std::uint64_t Handle, std::int64_t DeadlineMs,
+             std::uint64_t Rid, PartialResult &Out);
 
   /// Fetches the service stats line (one JSON object).
   bool stats(std::string &Json);

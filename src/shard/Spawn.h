@@ -1,0 +1,75 @@
+//===- shard/Spawn.h - Worker process management ---------------*- C++ -*-===//
+//
+// Part of the Steno/C++ reproduction of Murray, Isard & Yu,
+// "Steno: Automatic Optimization of Declarative Queries" (PLDI 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Spawning and killing steno_serve worker processes — the harness side
+/// of the shard layer, shared by steno_router --spawn, the loadgen's
+/// chaos mode (SIGKILL + respawn mid-stream), and the shard tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef STENO_SHARD_SPAWN_H
+#define STENO_SHARD_SPAWN_H
+
+#include <chrono>
+#include <string>
+#include <sys/types.h>
+#include <vector>
+
+namespace steno {
+namespace shard {
+
+/// One steno_serve worker child. Movable, not copyable; does NOT kill
+/// the child on destruction (chaos harnesses kill explicitly; a router
+/// shutdown kills its spawned fleet itself).
+class WorkerProcess {
+public:
+  WorkerProcess() = default;
+  WorkerProcess(std::string Bin, std::string Socket,
+                std::vector<std::string> ExtraArgs = {})
+      : Bin(std::move(Bin)), Socket(std::move(Socket)),
+        ExtraArgs(std::move(ExtraArgs)) {}
+
+  WorkerProcess(WorkerProcess &&O) noexcept;
+  WorkerProcess &operator=(WorkerProcess &&O) noexcept;
+  WorkerProcess(const WorkerProcess &) = delete;
+  WorkerProcess &operator=(const WorkerProcess &) = delete;
+
+  /// Forks and execs `Bin --socket Socket <ExtraArgs...>`, then probes
+  /// the socket until the worker accepts (the serve tool unlinks a stale
+  /// socket before binding, so respawning on the same path works).
+  /// False with \p Err filled when the exec fails or the worker never
+  /// starts listening within \p Budget.
+  bool start(std::string *Err,
+             std::chrono::milliseconds Budget =
+                 std::chrono::milliseconds(10000));
+
+  /// SIGKILLs the child and reaps it. Safe to call when not running.
+  void kill9();
+
+  /// True while a started child has not been reaped.
+  bool running() const { return Pid > 0; }
+  pid_t pid() const { return Pid; }
+  const std::string &socket() const { return Socket; }
+
+  /// Connects to a worker's Unix socket, retrying until \p Budget runs
+  /// out (covers the window while a freshly spawned worker binds).
+  /// Returns the connected fd, or -1.
+  static int connectTo(const std::string &Socket,
+                       std::chrono::milliseconds Budget);
+
+private:
+  std::string Bin;
+  std::string Socket;
+  std::vector<std::string> ExtraArgs;
+  pid_t Pid = -1;
+};
+
+} // namespace shard
+} // namespace steno
+
+#endif // STENO_SHARD_SPAWN_H

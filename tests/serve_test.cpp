@@ -808,3 +808,70 @@ TEST(ServeWire, EofMidSpecDropsConnectionCleanly) {
   ::close(Fds[0]);
   EXPECT_EQ(Svc.stats().Prepares, 0u);
 }
+
+//===--------------------------------------------------------------------===//
+// Shutdown: destruction races against in-flight background work
+//===--------------------------------------------------------------------===//
+
+TEST(ServeShutdown, DestroyDuringInflightBackgroundCompileSwap) {
+  // Tear the service down while the background native compile — a real
+  // external-compiler run scheduled by prepare() — is still in flight.
+  // The destructor must wait for the swap callback (which touches stats,
+  // the cache, and the handle's publish flag), not race it. Distinct
+  // specs per iteration guarantee a fresh compile is genuinely running
+  // when the destructor fires.
+  for (std::uint64_t Round = 0; Round != 2; ++Round) {
+    ServeOptions O;
+    O.BackgroundRecompile = true;
+    PreparedHandle P;
+    {
+      QueryService Svc(O);
+      auto Sess = Svc.openSession();
+      std::string Err;
+      P = Sess->prepare(specText(sumSqSpec(48, 1000 + Round)), &Err);
+      ASSERT_TRUE(P) << Err;
+      Response R = Sess->execute(P);
+      ASSERT_EQ(R.St, Status::Ok);
+      // Destroy now, with the compile (almost certainly) unfinished.
+    }
+    // The handle outlives the service; the swap either completed before
+    // teardown finished or never published — both are consistent states,
+    // and the publish flag must not be written after this point.
+    bool ReadyAtTeardown = P->nativeReady();
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    EXPECT_EQ(P->nativeReady(), ReadyAtTeardown)
+        << "swap published after the service was destroyed";
+  }
+}
+
+TEST(ServeShutdown, DestroyWhileRequestExecutes) {
+  // A worker is parked inside a request when the destructor runs: the
+  // pool must drain it (fulfilling the promise) before members die.
+  Gate Entered, Release;
+  std::atomic<bool> First{true};
+  ServeOptions O;
+  O.BackgroundRecompile = false;
+  O.Workers = 1;
+  O.ExecHook = [&] {
+    if (First.exchange(false)) {
+      Entered.open();
+      Release.wait();
+    }
+  };
+  QueryService *Svc = new QueryService(O);
+  auto Sess = Svc->openSession();
+  std::string Err;
+  PreparedHandle P = Sess->prepare(specText(sumSqSpec()), &Err);
+  ASSERT_TRUE(P) << Err;
+
+  std::thread Client([&] {
+    Response R = Sess->execute(P);
+    EXPECT_EQ(R.St, Status::Ok);
+  });
+  Entered.wait();
+  std::thread Destroyer([&] { delete Svc; });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  Release.open();
+  Destroyer.join();
+  Client.join();
+}

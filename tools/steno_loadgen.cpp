@@ -15,26 +15,44 @@
 //
 //   steno_loadgen --clients 8 --seconds 30 --seed 1     # CI configuration
 //
+// With --shards N the harness instead spawns N steno_serve worker
+// processes (--serve-bin), fronts them with an in-process
+// shard::ShardRouter, and drives the same closed-loop mix through the
+// router — the sharded-serving acceptance harness. --chaos-kill-ms
+// additionally SIGKILLs a round-robin victim worker mid-stream and
+// respawns it after --chaos-down-ms; the audit then also requires zero
+// timeouts and bounded retry latency, proving the router's exactly-once
+// retry protocol absorbed every death.
+//
+//   steno_loadgen --clients 4 --seconds 10 --shards 3
+//       --serve-bin ./steno_serve --chaos-kill-ms 2000   # chaos soak
+//
 // Exit status: 0 clean; 1 on lost/duplicate/mismatched/errored
-// responses; 2 on usage or setup errors.
+// responses (and, sharded, timeouts or unbounded latency); 2 on usage
+// or setup errors.
 //
 //===----------------------------------------------------------------------===//
 
 #include "fuzz/Diff.h"
 #include "fuzz/Gen.h"
 #include "serve/Serve.h"
+#include "shard/Shard.h"
+#include "shard/Spawn.h"
 #include "steno/RefExec.h"
 #include "support/Random.h"
 
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unistd.h>
 #include <unordered_set>
 #include <vector>
 
@@ -55,7 +73,15 @@ void usage() {
       "  --workers N        service execution pool (default 4)\n"
       "  --max-queue N      admission bound (default 64)\n"
       "  --compile-workers N  background JIT threads (default 1)\n"
-      "  --no-recompile     stay on the interpreter backend\n");
+      "  --no-recompile     stay on the interpreter backend\n"
+      "sharded mode (spawns worker processes + an in-process router):\n"
+      "  --shards N         drive N steno_serve workers via ShardRouter\n"
+      "  --serve-bin PATH   steno_serve binary (required with --shards)\n"
+      "  --shard-workers N  execution pool per worker (default 1)\n"
+      "  --shard-no-recompile  workers stay on the interpreter\n"
+      "  --socket-dir DIR   directory for worker sockets (default /tmp)\n"
+      "  --chaos-kill-ms N  SIGKILL a round-robin worker every N ms\n"
+      "  --chaos-down-ms N  dead time before the respawn (default 300)\n");
 }
 
 bool parseUnsigned(const char *S, unsigned long long &Out) {
@@ -190,6 +216,267 @@ double percentile(std::vector<double> &Sorted, double P) {
   return Sorted[static_cast<std::size_t>(Idx + 0.5)];
 }
 
+/// A mix entry for sharded mode: the expected result comes from a local
+/// buildSpec + reference run (the BuiltQuery stays alive because the
+/// result may borrow its buffers), and the handle is a router routing
+/// decision instead of a service prepared statement.
+struct ShardMixEntry {
+  std::string Text;
+  shard::RoutedHandle Handle;
+  std::shared_ptr<fuzz::BuiltQuery> Built;
+  QueryResult Expected;
+};
+
+/// Sharded mode: spawn the worker fleet, front it with an in-process
+/// ShardRouter, drive the closed-loop mix through the router, optionally
+/// SIGKILL/respawn workers mid-stream, and audit. Returns the process
+/// exit status.
+int runSharded(unsigned Clients, unsigned Seconds, std::uint64_t Seed,
+               unsigned GenCount, std::chrono::milliseconds Deadline,
+               unsigned ShardCount, const std::string &ServeBin,
+               unsigned ShardWorkers, bool ShardNoRecompile,
+               const std::string &SocketDir, unsigned ChaosKillMs,
+               unsigned ChaosDownMs) {
+  // Writes race against chaos kills; a dead worker's socket must error,
+  // not signal.
+  std::signal(SIGPIPE, SIG_IGN);
+
+  // Spawn the fleet.
+  std::vector<std::string> ExtraArgs = {"--workers",
+                                        std::to_string(ShardWorkers)};
+  if (ShardNoRecompile)
+    ExtraArgs.push_back("--no-recompile");
+  std::vector<shard::WorkerProcess> Workers;
+  for (unsigned I = 0; I != ShardCount; ++I) {
+    std::string Sock = SocketDir + "/steno-shard-" +
+                       std::to_string(::getpid()) + "-" +
+                       std::to_string(I) + ".sock";
+    Workers.emplace_back(ServeBin, Sock, ExtraArgs);
+    std::string Err;
+    if (!Workers.back().start(&Err)) {
+      std::fprintf(stderr, "steno_loadgen: %s\n", Err.c_str());
+      for (shard::WorkerProcess &W : Workers)
+        W.kill9();
+      return 2;
+    }
+  }
+
+  shard::RouterOptions ROpts;
+  for (const shard::WorkerProcess &W : Workers)
+    ROpts.ShardSockets.push_back(W.socket());
+  ROpts.DefaultDeadline = Deadline;
+  // A sub-request must be able to out-wait a chaos kill: dead time plus
+  // the respawned worker's startup, with slack.
+  ROpts.RetryBudget = std::chrono::milliseconds(
+      std::max<std::uint64_t>(Deadline.count(),
+                              ChaosDownMs + 5000));
+  shard::ShardRouter Router(ROpts);
+
+  // Assemble the mix: the paper queries plus prescreened generated
+  // specs, each with a locally computed reference result.
+  std::vector<fuzz::QuerySpec> Specs = paperMix();
+  {
+    support::SplitMix64 Rng(Seed);
+    fuzz::GenOptions GOpts;
+    unsigned Added = 0, Attempts = 0;
+    while (Added < GenCount && Attempts < GenCount * 50 + 50) {
+      ++Attempts;
+      fuzz::QuerySpec S = fuzz::generateSpec(Rng, GOpts);
+      std::string Err;
+      if (Router.prepare(fuzz::serializeSpec(S), &Err)) {
+        Specs.push_back(S);
+        ++Added;
+      }
+    }
+  }
+  std::vector<ShardMixEntry> Mix;
+  for (const fuzz::QuerySpec &S : Specs) {
+    ShardMixEntry E;
+    E.Text = fuzz::serializeSpec(S);
+    std::string Err;
+    E.Handle = Router.prepare(E.Text, &Err);
+    if (!E.Handle) {
+      std::fprintf(stderr, "steno_loadgen: router prepare failed: %s\n%s\n",
+                   Err.c_str(), E.Text.c_str());
+      for (shard::WorkerProcess &W : Workers)
+        W.kill9();
+      return 2;
+    }
+    E.Built = std::make_shared<fuzz::BuiltQuery>();
+    if (!fuzz::buildSpec(S, *E.Built, &Err)) {
+      std::fprintf(stderr, "steno_loadgen: buildSpec failed: %s\n",
+                   Err.c_str());
+      for (shard::WorkerProcess &W : Workers)
+        W.kill9();
+      return 2;
+    }
+    E.Expected = runReference(E.Built->Q, E.Built->B);
+    Mix.push_back(std::move(E));
+  }
+  shard::ShardRouter::Stats PrepStats = Router.stats();
+  std::fprintf(stderr,
+               "steno_loadgen: %zu specs in the mix across %u shards "
+               "(%llu split, %llu fallback)\n",
+               Mix.size(), Router.shards(),
+               static_cast<unsigned long long>(PrepStats.SplitPrepared),
+               static_cast<unsigned long long>(PrepStats.FallbackPrepared));
+
+  // The chaos schedule: SIGKILL a round-robin victim every ChaosKillMs,
+  // leave it dead for ChaosDownMs, respawn, repeat until the run ends.
+  Clock::time_point End = Clock::now() + std::chrono::seconds(Seconds);
+  std::atomic<bool> ChaosFailed{false};
+  std::atomic<std::uint64_t> Kills{0};
+  std::thread Chaos;
+  if (ChaosKillMs > 0) {
+    Chaos = std::thread([&] {
+      unsigned Victim = 0;
+      while (Clock::now() < End && !ChaosFailed.load()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(ChaosKillMs));
+        if (Clock::now() >= End)
+          break;
+        unsigned V = Victim++ % Workers.size();
+        std::fprintf(stderr, "steno_loadgen: chaos kill shard %u (pid %d)\n",
+                     V, static_cast<int>(Workers[V].pid()));
+        Workers[V].kill9();
+        ++Kills;
+        std::this_thread::sleep_for(std::chrono::milliseconds(ChaosDownMs));
+        std::string Err;
+        if (!Workers[V].start(&Err)) {
+          std::fprintf(stderr, "steno_loadgen: chaos respawn failed: %s\n",
+                       Err.c_str());
+          ChaosFailed.store(true);
+        }
+      }
+    });
+  }
+
+  // The closed loop, against the router.
+  std::vector<ClientOutcome> Outcomes(Clients);
+  std::vector<std::thread> Threads;
+  for (unsigned C = 0; C < Clients; ++C) {
+    Threads.emplace_back([&, C] {
+      ClientOutcome &Out = Outcomes[C];
+      std::size_t Cursor = C; // stagger the mix across clients
+      while (Clock::now() < End) {
+        const ShardMixEntry &E = Mix[Cursor++ % Mix.size()];
+        ++Out.Sent;
+        Clock::time_point T0 = Clock::now();
+        serve::Response R = Router.execute(E.Handle, Deadline);
+        double Micros = std::chrono::duration<double, std::micro>(
+                            Clock::now() - T0)
+                            .count();
+        Out.LatencyMicros.push_back(Micros);
+        Out.Ids.push_back(R.Id);
+        switch (R.St) {
+        case serve::Status::Ok:
+          ++Out.Ok;
+          if (R.Degraded)
+            ++Out.Degraded;
+          if (R.NativePlan)
+            ++Out.Native;
+          if (!resultsMatch(R.Result, E.Expected)) {
+            ++Out.Mismatches;
+            if (Out.FirstMismatch.empty())
+              Out.FirstMismatch = E.Text;
+          }
+          break;
+        case serve::Status::Shed:
+          ++Out.Shed;
+          break;
+        case serve::Status::Timeout:
+          ++Out.Timeouts;
+          break;
+        case serve::Status::Error:
+          ++Out.Errors;
+          break;
+        }
+      }
+    });
+  }
+  for (std::thread &T : Threads)
+    T.join();
+  if (Chaos.joinable())
+    Chaos.join();
+  for (shard::WorkerProcess &W : Workers) {
+    W.kill9();
+    ::unlink(W.socket().c_str());
+  }
+
+  // Merge and audit. Sharded mode is stricter than in-process mode:
+  // with the retry budget sized to out-wait every chaos kill, timeouts
+  // and unbounded latency are protocol failures too.
+  ClientOutcome Total;
+  std::vector<double> Lat;
+  std::unordered_set<std::uint64_t> SeenIds;
+  std::uint64_t DuplicateIds = 0, Responses = 0;
+  for (const ClientOutcome &O : Outcomes) {
+    Total.Sent += O.Sent;
+    Total.Ok += O.Ok;
+    Total.Shed += O.Shed;
+    Total.Timeouts += O.Timeouts;
+    Total.Errors += O.Errors;
+    Total.Mismatches += O.Mismatches;
+    Total.Degraded += O.Degraded;
+    Total.Native += O.Native;
+    if (Total.FirstMismatch.empty())
+      Total.FirstMismatch = O.FirstMismatch;
+    Lat.insert(Lat.end(), O.LatencyMicros.begin(), O.LatencyMicros.end());
+    Responses += O.Ids.size();
+    for (std::uint64_t Id : O.Ids)
+      if (Id != 0 && !SeenIds.insert(Id).second)
+        ++DuplicateIds;
+  }
+  std::uint64_t Lost = Total.Sent - Responses;
+  std::sort(Lat.begin(), Lat.end());
+  double P50 = percentile(Lat, 0.50), P99 = percentile(Lat, 0.99);
+  double MaxLat = Lat.empty() ? 0 : Lat.back();
+  double Rps = Seconds > 0 ? static_cast<double>(Total.Sent) / Seconds : 0;
+  double LatBoundMicros =
+      (static_cast<double>(Deadline.count()) +
+       static_cast<double>(ROpts.RetryBudget.count()) + 2000.0) *
+      1000.0;
+  bool LatUnbounded = MaxLat > LatBoundMicros;
+
+  shard::ShardRouter::Stats RS = Router.stats();
+  std::printf("steno_loadgen: sharded %llu requests in %us (%.0f rps), "
+              "%llu ok / %llu shed / %llu timeout / %llu error\n",
+              static_cast<unsigned long long>(Total.Sent), Seconds, Rps,
+              static_cast<unsigned long long>(Total.Ok),
+              static_cast<unsigned long long>(Total.Shed),
+              static_cast<unsigned long long>(Total.Timeouts),
+              static_cast<unsigned long long>(Total.Errors));
+  std::printf("  latency p50 %.1fus p99 %.1fus max %.1fus "
+              "(bound %.0fus); native %llu\n",
+              P50, P99, MaxLat, LatBoundMicros,
+              static_cast<unsigned long long>(Total.Native));
+  std::printf("  lost %llu, duplicate ids %llu, mismatches %llu; "
+              "chaos kills %llu\n",
+              static_cast<unsigned long long>(Lost),
+              static_cast<unsigned long long>(DuplicateIds),
+              static_cast<unsigned long long>(Total.Mismatches),
+              static_cast<unsigned long long>(Kills.load()));
+  std::printf("  router: %llu split / %llu fallback execs, %llu retries, "
+              "%llu reprepares, %llu conn deaths\n",
+              static_cast<unsigned long long>(RS.SplitExecs),
+              static_cast<unsigned long long>(RS.FallbackExecs),
+              static_cast<unsigned long long>(RS.Retries),
+              static_cast<unsigned long long>(RS.Reprepares),
+              static_cast<unsigned long long>(RS.Deaths));
+  std::printf("  %s\n", Router.statsJson().c_str());
+  if (!Total.FirstMismatch.empty())
+    std::fprintf(stderr, "steno_loadgen: first mismatching spec:\n%s\n",
+                 Total.FirstMismatch.c_str());
+  if (LatUnbounded)
+    std::fprintf(stderr,
+                 "steno_loadgen: retry latency exceeded the bound\n");
+  if (ChaosFailed.load())
+    std::fprintf(stderr, "steno_loadgen: chaos respawn failed\n");
+
+  bool Bad = Lost || DuplicateIds || Total.Mismatches || Total.Errors ||
+             Total.Timeouts || LatUnbounded || ChaosFailed.load();
+  return Bad ? 1 : 0;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -199,6 +486,13 @@ int main(int Argc, char **Argv) {
   unsigned GenCount = 4;
   std::chrono::milliseconds Deadline{5000};
   serve::ServeOptions Opts;
+  unsigned ShardCount = 0;
+  std::string ServeBin;
+  std::string SocketDir = "/tmp";
+  unsigned ShardWorkers = 1;
+  bool ShardNoRecompile = false;
+  unsigned ChaosKillMs = 0;
+  unsigned ChaosDownMs = 300;
 
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
@@ -229,6 +523,20 @@ int main(int Argc, char **Argv) {
       Opts.CompileWorkers = static_cast<unsigned>(N);
     } else if (Arg == "--no-recompile") {
       Opts.BackgroundRecompile = false;
+    } else if (Arg == "--shards" && parseUnsigned(next(), N)) {
+      ShardCount = static_cast<unsigned>(N);
+    } else if (Arg == "--serve-bin") {
+      ServeBin = next();
+    } else if (Arg == "--socket-dir") {
+      SocketDir = next();
+    } else if (Arg == "--shard-workers" && parseUnsigned(next(), N)) {
+      ShardWorkers = static_cast<unsigned>(N);
+    } else if (Arg == "--shard-no-recompile") {
+      ShardNoRecompile = true;
+    } else if (Arg == "--chaos-kill-ms" && parseUnsigned(next(), N)) {
+      ChaosKillMs = static_cast<unsigned>(N);
+    } else if (Arg == "--chaos-down-ms" && parseUnsigned(next(), N)) {
+      ChaosDownMs = static_cast<unsigned>(N);
     } else {
       usage();
       return 2;
@@ -237,6 +545,15 @@ int main(int Argc, char **Argv) {
   if (Clients == 0) {
     usage();
     return 2;
+  }
+  if (ShardCount > 0) {
+    if (ServeBin.empty()) {
+      std::fprintf(stderr, "steno_loadgen: --shards needs --serve-bin\n");
+      return 2;
+    }
+    return runSharded(Clients, Seconds, Seed, GenCount, Deadline,
+                      ShardCount, ServeBin, ShardWorkers, ShardNoRecompile,
+                      SocketDir, ChaosKillMs, ChaosDownMs);
   }
 
   serve::QueryService Svc(Opts);
